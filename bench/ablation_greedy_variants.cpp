@@ -1,0 +1,91 @@
+// Ablation — what each ingredient of the scheduler buys, as a function of
+// how tight the network is (P[link capacity >= 2d], the generator's slack).
+//
+// Variants:
+//   * pure    — Algorithm 2 exactly as printed: dependency relations
+//               (Alg. 3) + the time-extended loop check (Alg. 4). Its
+//               dependency rule orders *pending* switches but cannot
+//               express "wait k steps for a drain through a never-updated
+//               switch", so its schedules congest once tight links and
+//               multi-step drains appear — consistent with the congestion
+//               cases the paper itself reports for Chronus in Fig. 7.
+//   * guarded — the same, with every accepted update checked against the
+//               exact time-extended verifier (our default): schedules are
+//               clean by construction, congestion remains only where no
+//               clean schedule exists at all.
+//   * sweep   — the Algorithm 1 crossing sweep used as a scheduler.
+//
+//   ./bench/ablation_greedy_variants [--instances=N] [--n=N] [--seed=N]
+#include "bench_common.hpp"
+
+#include "core/feasibility_tree.hpp"
+#include "core/greedy_scheduler.hpp"
+#include "timenet/verifier.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace chronus;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto instances = static_cast<int>(cli.get_int("instances", 60));
+  const auto n = static_cast<std::size_t>(cli.get_int("n", 20));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  bench::reject_unknown_flags(cli);
+
+  bench::print_header("Ablation", "greedy variants vs link slack");
+  std::printf("n=%zu switches, %d random instances per row, seed=%llu\n\n", n,
+              instances, static_cast<unsigned long long>(seed));
+
+  util::Table table({"slack prob", "pure clean %", "guarded feasible %",
+                     "sweep feasible %", "guarded makespan", "sweep makespan"});
+
+  util::Rng master(seed);
+  for (const double slack : {0.9, 0.7, 0.5, 0.3}) {
+    util::Rng rng = master.fork(static_cast<std::uint64_t>(slack * 100));
+    int pure_clean = 0;
+    int guarded_ok = 0;
+    int sweep_ok = 0;
+    util::Summary guarded_span, sweep_span;
+    for (int i = 0; i < instances; ++i) {
+      net::RandomInstanceOptions opt;
+      opt.n = n;
+      opt.slack_prob = slack;
+      const auto inst = net::random_instance(opt, rng);
+
+      core::GreedyOptions pure_opts;
+      pure_opts.guard_with_verifier = false;
+      pure_opts.record_steps = false;
+      const auto pure = core::greedy_schedule(inst, pure_opts);
+      pure_clean += pure.feasible() &&
+                    timenet::verify_transition(inst, pure.schedule).ok();
+
+      core::GreedyOptions gopts;
+      gopts.record_steps = false;
+      const auto guarded = core::greedy_schedule(inst, gopts);
+      if (guarded.feasible()) {
+        ++guarded_ok;
+        guarded_span.add(static_cast<double>(guarded.schedule.step_span()));
+      }
+
+      const auto sweep = core::tree_feasibility_check(inst);
+      if (sweep.feasible) {
+        ++sweep_ok;
+        sweep_span.add(static_cast<double>(
+            sweep.witness.empty() ? 0 : sweep.witness.step_span()));
+      }
+    }
+    table.add_row({util::fmt(slack, 1),
+                   util::fmt(100.0 * pure_clean / instances, 1),
+                   util::fmt(100.0 * guarded_ok / instances, 1),
+                   util::fmt(100.0 * sweep_ok / instances, 1),
+                   guarded_span.empty() ? "-" : util::fmt(guarded_span.mean(), 1),
+                   sweep_span.empty() ? "-" : util::fmt(sweep_span.mean(), 1)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\n(with ample slack the printed Algorithm 2 suffices; as links "
+              "tighten, only the verifier-guarded variant keeps its schedules "
+              "clean — it degrades by *refusing* instances instead of "
+              "congesting them)\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Shared helpers for the benchmark harnesses that regenerate the paper's
+// evaluation figures. Every harness prints the workload parameters it ran
+// with (the accepted flags are listed in each binary's header comment).
+// Defaults are sized so the whole suite finishes in minutes; the
+// paper-scale parameters are given in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "net/generators.hpp"
+#include "util/cli.hpp"
+#include "util/rng.hpp"
+
+namespace chronus::bench {
+
+/// The §V.B workload: one random update instance per call.
+inline net::UpdateInstance random_instance_for(std::size_t n, util::Rng& rng) {
+  net::RandomInstanceOptions opt;
+  opt.n = n;
+  return net::random_instance(opt, rng);
+}
+
+inline void print_header(const char* figure, const char* what) {
+  std::printf("=== %s: %s ===\n", figure, what);
+}
+
+inline void reject_unknown_flags(const util::Cli& cli) {
+  const auto unused = cli.unused();
+  if (!unused.empty()) {
+    std::fprintf(stderr, "unknown flag: --%s\n", unused.front().c_str());
+    std::exit(2);
+  }
+}
+
+}  // namespace chronus::bench

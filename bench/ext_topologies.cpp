@@ -1,0 +1,117 @@
+// Extension — workload sensitivity: the §V.B generator (a line with a
+// random permutation detour) produces heavily interleaved reroutes. Real
+// topologies give the scheduler shortest-path reroutes instead; this bench
+// runs the same comparison on fat-tree and Waxman reroutes to show how
+// much of the congestion-case level is workload, not algorithm.
+//
+//   ./bench/ext_topologies [--instances=N] [--seed=N]
+#include "bench_common.hpp"
+
+#include <functional>
+#include <optional>
+
+#include "baselines/order_replacement.hpp"
+#include "core/greedy_scheduler.hpp"
+#include "net/topologies.hpp"
+#include "timenet/verifier.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace chronus;
+
+namespace {
+
+struct Family {
+  const char* name;
+  std::function<std::optional<net::UpdateInstance>(util::Rng&)> make;
+};
+
+struct Outcome {
+  int produced = 0;
+  int chronus_feasible = 0;
+  int chronus_dirty = 0;  // best-effort transitions with congestion
+  int or_dirty = 0;
+};
+
+Outcome run_family(const Family& fam, int instances, util::Rng& rng) {
+  Outcome out;
+  for (int i = 0; i < instances; ++i) {
+    const auto inst = fam.make(rng);
+    if (!inst) continue;
+    ++out.produced;
+    core::GreedyOptions gopts;
+    gopts.record_steps = false;
+    gopts.force_complete = true;
+    const auto plan = core::greedy_schedule(*inst, gopts);
+    out.chronus_feasible += plan.status == core::ScheduleStatus::kFeasible;
+    out.chronus_dirty +=
+        !timenet::verify_transition(*inst, plan.schedule).congestion_free();
+    const auto exec = baselines::plan_and_execute_order_replacement(*inst, rng);
+    out.or_dirty +=
+        !timenet::verify_transition(*inst, exec.realized).congestion_free();
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto instances = static_cast<int>(cli.get_int("instances", 30));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  bench::reject_unknown_flags(cli);
+
+  bench::print_header("Extension", "workload sensitivity across topologies");
+  std::printf("%d instances per family, seed=%llu\n\n", instances,
+              static_cast<unsigned long long>(seed));
+
+  const net::FatTree ft = net::fat_tree(4, 1.0);
+  net::WaxmanOptions wopt;
+  wopt.n = 24;
+  wopt.capacity = 1.0;  // tight links; slack comes from the 0.5-cap mix
+  util::Rng topo_rng(seed);
+  const net::Graph wax = net::waxman(wopt, topo_rng);
+
+  const std::vector<Family> families = {
+      {"line + permutation (paper §V.B)",
+       [](util::Rng& rng) -> std::optional<net::UpdateInstance> {
+         net::RandomInstanceOptions opt;
+         opt.n = 20;
+         return net::random_instance(opt, rng);
+       }},
+      {"fat-tree k=4, pod-to-pod reroute",
+       [&ft](util::Rng& rng) -> std::optional<net::UpdateInstance> {
+         const auto& e = ft.edge;
+         const auto src = e[rng.index(2)][rng.index(e[0].size())];
+         const auto dst = e[2 + rng.index(2)][rng.index(e[0].size())];
+         return net::random_reroute(ft.graph, src, dst, 1.0, rng);
+       }},
+      {"Waxman n=24, shortest-path reroute",
+       [&wax](util::Rng& rng) -> std::optional<net::UpdateInstance> {
+         const auto src = static_cast<net::NodeId>(rng.index(wax.node_count()));
+         auto dst = src;
+         while (dst == src) {
+           dst = static_cast<net::NodeId>(rng.index(wax.node_count()));
+         }
+         return net::random_reroute(wax, src, dst, 0.5, rng);
+       }},
+  };
+
+  util::Table table({"workload", "instances", "CHRONUS feasible %",
+                     "CHRONUS congested %", "OR congested %"});
+  util::Rng rng(seed + 1);
+  for (const Family& fam : families) {
+    const Outcome out = run_family(fam, instances, rng);
+    const double denom = std::max(out.produced, 1);
+    table.add_row({fam.name, std::to_string(out.produced),
+                   util::fmt(100.0 * out.chronus_feasible / denom, 1),
+                   util::fmt(100.0 * out.chronus_dirty / denom, 1),
+                   util::fmt(100.0 * out.or_dirty / denom, 1)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\n(structured-topology reroutes are far friendlier than the "
+              "paper-style permutation detours: most are feasible outright, "
+              "and even OR congests less — the orderings still matter, the "
+              "magnitudes are workload)\n");
+  return 0;
+}

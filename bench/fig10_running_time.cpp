@@ -1,0 +1,88 @@
+// Fig. 10 — algorithm running time vs. number of switches (1K .. 6K).
+//
+// Measures the planning time of: CHRONUS (the pure Algorithm 2/3/4
+// pipeline, the variant whose complexity the paper reports), OR (the
+// round-minimization branch and bound) and OPT (the MUTP branch and
+// bound). OR and OPT run under a per-instance deadline — the analogue of
+// the paper's 600 s timeout, scaled down so the bench suite stays fast;
+// ">= deadline" entries mean the solver did not finish, exactly like the
+// paper's missing points beyond 2K/4K switches.
+//
+// Paper shape to reproduce: CHRONUS completes within seconds even at 6K
+// switches while OR and OPT blow past any reasonable budget.
+//
+//   ./bench/fig10_running_time [--timeout=SEC] [--seed=N] [--max-n=N]
+//                              [--repeats=N]
+#include "bench_common.hpp"
+
+#include "core/greedy_scheduler.hpp"
+#include "opt/mutp_bnb.hpp"
+#include "opt/order_bnb.hpp"
+#include "util/stats.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+using namespace chronus;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const double timeout = cli.get_double("timeout", 2.0);
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const auto max_n = static_cast<std::size_t>(cli.get_int("max-n", 6000));
+  const auto repeats = static_cast<int>(cli.get_int("repeats", 3));
+  bench::reject_unknown_flags(cli);
+
+  bench::print_header("Fig. 10", "planning time (seconds)");
+  std::printf("deadline=%.1fs per solver run (paper: 600 s), repeats=%d, "
+              "seed=%llu\n\n",
+              timeout, repeats, static_cast<unsigned long long>(seed));
+
+  util::Table table({"switches", "CHRONUS s", "OR s", "OPT s"});
+  util::Rng master(seed);
+
+  for (std::size_t n = 1000; n <= max_n; n += 1000) {
+    util::Summary chronus_s, or_s, opt_s;
+    bool or_timed_out = false;
+    bool opt_timed_out = false;
+    for (int r = 0; r < repeats; ++r) {
+      util::Rng rng = master.fork(n + static_cast<std::uint64_t>(r));
+      const auto inst = bench::random_instance_for(n, rng);
+
+      {
+        core::GreedyOptions gopts;
+        gopts.guard_with_verifier = false;  // the paper's Algorithm 2
+        gopts.record_steps = false;
+        gopts.force_complete = true;
+        util::Stopwatch sw;
+        (void)core::greedy_schedule(inst, gopts);
+        chronus_s.add(sw.seconds());
+      }
+      {
+        opt::OrderOptions oopts;
+        oopts.timeout_sec = timeout;
+        oopts.exact_limit = static_cast<std::size_t>(-1);  // force the B&B
+        util::Stopwatch sw;
+        const auto res = opt::solve_order_replacement(inst, oopts);
+        or_s.add(sw.seconds());
+        or_timed_out |= res.timed_out;
+      }
+      {
+        opt::MutpOptions mopts;
+        mopts.timeout_sec = timeout;
+        util::Stopwatch sw;
+        const auto res = opt::solve_mutp(inst, mopts);
+        opt_s.add(sw.seconds());
+        opt_timed_out |= res.timed_out || !res.proved_optimal;
+      }
+    }
+    const auto cell = [](const util::Summary& s, bool timed_out) {
+      return util::fmt(s.mean(), 3) + (timed_out ? " (timeout)" : "");
+    };
+    table.add_row({std::to_string(n), util::fmt(chronus_s.mean(), 3),
+                   cell(or_s, or_timed_out), cell(opt_s, opt_timed_out)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\n(paper: CHRONUS < 6 s at 6K switches; OR and OPT exceed "
+              "600 s beyond 2K-4K)\n");
+  return 0;
+}

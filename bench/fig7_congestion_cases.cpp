@@ -1,0 +1,93 @@
+// Fig. 7 — percentage of congestion cases vs. number of switches.
+//
+// Workload (§V.B): random update instances with a fixed initial routing
+// path over n switches and a randomly routed final path; n sweeps 10..60 in
+// steps of 10. Every scheme must complete the update; an instance counts as
+// a congestion case when the executed transition violates the congestion-
+// free condition at any moment (checked by the exact time-extended
+// verifier).
+//
+// Schemes: Chronus (Algorithm 2, forced to completion when infeasible),
+// OPT (branch-and-bound for program (3), same forcing, per-instance
+// deadline like the paper's timeout) and OR (round-minimal loop-free order
+// replacement executed with asynchronous rule latencies).
+//
+// Paper shape to reproduce: Chronus tracks OPT within a few percent and
+// both leave roughly 3x fewer congestion cases than OR (at 60 switches:
+// ~65% congestion-free for Chronus/OPT vs ~15% for OR).
+//
+//   ./bench/fig7_congestion_cases [--instances=N] [--runs=N] [--seed=N]
+//                                 [--opt-timeout=SEC] [--max-n=N]
+#include "bench_common.hpp"
+
+#include "baselines/order_replacement.hpp"
+#include "core/greedy_scheduler.hpp"
+#include "opt/mutp_bnb.hpp"
+#include "timenet/verifier.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace chronus;
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  const auto instances = static_cast<int>(cli.get_int("instances", 20));
+  const auto runs = static_cast<int>(cli.get_int("runs", 2));
+  const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const double opt_timeout = cli.get_double("opt-timeout", 0.02);
+  const auto max_n = static_cast<std::size_t>(cli.get_int("max-n", 60));
+  bench::reject_unknown_flags(cli);
+
+  bench::print_header("Fig. 7", "percentage of congestion cases");
+  std::printf("runs=%d, instances/run=%d, OPT timeout=%.3fs, seed=%llu\n\n",
+              runs, instances, opt_timeout,
+              static_cast<unsigned long long>(seed));
+
+  util::Table table({"switches", "CHRONUS %", "OPT %", "OR %"});
+  util::Rng master(seed);
+
+  for (std::size_t n = 10; n <= max_n; n += 10) {
+    int chronus_cases = 0;
+    int opt_cases = 0;
+    int or_cases = 0;
+    int total = 0;
+    for (int run = 0; run < runs; ++run) {
+      util::Rng rng = master.fork(n * 131 + static_cast<std::uint64_t>(run));
+      for (int i = 0; i < instances; ++i) {
+        const auto inst = bench::random_instance_for(n, rng);
+        ++total;
+
+        core::GreedyOptions gopts;
+        gopts.force_complete = true;
+        gopts.record_steps = false;
+        const auto greedy = core::greedy_schedule(inst, gopts);
+        chronus_cases +=
+            !timenet::verify_transition(inst, greedy.schedule)
+                 .congestion_free();
+
+        opt::MutpOptions mopts;
+        mopts.timeout_sec = opt_timeout;
+        mopts.force_complete = true;
+        const auto exact = opt::solve_mutp(inst, mopts);
+        opt_cases +=
+            !timenet::verify_transition(inst, exact.schedule)
+                 .congestion_free();
+
+        const auto exec =
+            baselines::plan_and_execute_order_replacement(inst, rng);
+        or_cases +=
+            !timenet::verify_transition(inst, exec.realized)
+                 .congestion_free();
+      }
+    }
+    const double denom = total;
+    table.add_row({std::to_string(n),
+                   util::fmt(100.0 * chronus_cases / denom, 1),
+                   util::fmt(100.0 * opt_cases / denom, 1),
+                   util::fmt(100.0 * or_cases / denom, 1)});
+  }
+  std::printf("%s", table.to_string().c_str());
+  std::printf("\n(paper: at 60 switches >65%% of instances congestion-free "
+              "under CHRONUS/OPT vs ~15%% under OR)\n");
+  return 0;
+}

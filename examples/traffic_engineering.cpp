@@ -1,0 +1,108 @@
+// Traffic engineering on a WAN: two aggregates swap their paths to
+// rebalance link load (the SWAN/zUpdate-style scenario from the paper's
+// introduction). Chronus schedules both transitions so that no link is ever
+// overloaded; the order-replacement baseline, which ignores capacities,
+// regularly congests the shared links while in-flight traffic drains.
+//
+//   ./examples/traffic_engineering [--seed=N]
+#include <cstdio>
+
+#include "baselines/order_replacement.hpp"
+#include "core/multi_flow.hpp"
+#include "net/generators.hpp"
+#include "timenet/verifier.hpp"
+#include "util/cli.hpp"
+
+using namespace chronus;
+
+namespace {
+
+// PoP indices in net::wan_topology.
+constexpr net::NodeId SEA = 0, SNV = 1, LAX = 2, SLC = 3, DEN = 4, KSC = 5,
+                      HOU = 6, IND = 8, ATL = 9, NYC = 10;
+
+std::vector<net::UpdateInstance> swap_scenario(double contested_capacity) {
+  net::Graph g = net::wan_topology(contested_capacity);
+  std::vector<net::UpdateInstance> flows;
+  // Aggregate A moves from the northern route onto the southern route.
+  flows.push_back(net::UpdateInstance::from_paths(
+      g, net::Path{SEA, DEN, KSC, IND, 7 /*CHI*/, NYC},
+      net::Path{SEA, SNV, LAX, HOU, ATL, NYC}, 1.0));
+  // Aggregate B moves the other way, onto A's old corridor.
+  flows.push_back(net::UpdateInstance::from_paths(
+      g, net::Path{SNV, LAX, HOU, ATL},
+      net::Path{SNV, SLC, DEN, KSC, IND, ATL}, 1.0));
+  return flows;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Cli cli(argc, argv);
+  util::Rng rng(static_cast<std::uint64_t>(cli.get_int("seed", 7)));
+
+  // With 2x headroom on the contested corridor both moves can overlap
+  // safely; Chronus schedules them and re-verifies the combined plan.
+  {
+    const auto flows = swap_scenario(/*contested_capacity=*/2.0);
+    const auto res = core::schedule_flows_sequentially(flows);
+    std::printf("[headroom 2.0] multi-flow schedule: %s (span %lld steps)\n",
+                res.feasible() ? "feasible, verified clean" : res.message.c_str(),
+                static_cast<long long>(res.total_span));
+    for (std::size_t k = 0; k < flows.size(); ++k) {
+      std::printf("  flow %zu: %s  =>  %s\n", k,
+                  net::to_string(flows[k].graph(), flows[k].p_init()).c_str(),
+                  net::to_string(flows[k].graph(), flows[k].p_fin()).c_str());
+      for (const auto& [v, t] : res.schedules[k].entries()) {
+        std::printf("    %s @ t%lld\n", flows[k].graph().name(v).c_str(),
+                    static_cast<long long>(t));
+      }
+    }
+  }
+
+  // With tight links (1.5 units for two 1.0-unit aggregates) a sequential
+  // plan cannot exist: the scheduler reports it instead of congesting.
+  {
+    const auto flows = swap_scenario(/*contested_capacity=*/1.5);
+    const auto res = core::schedule_flows_sequentially(flows);
+    std::printf("\n[headroom 1.5] multi-flow schedule: %s\n",
+                res.feasible() ? "feasible" : "infeasible — correctly refused");
+    if (!res.feasible()) std::printf("  reason: %s\n", res.message.c_str());
+  }
+
+  // Chronus vs OR on reroutes whose old and new paths interleave (the
+  // §V.B workload: fixed initial path, random final routing, tight links).
+  {
+    net::RandomInstanceOptions ropt;
+    ropt.n = 12;
+    int chronus_congested = 0;
+    int or_congested_runs = 0;
+    std::size_t or_congested_links = 0;
+    constexpr int kInstances = 10;
+    constexpr int kRealizations = 5;
+    for (int i = 0; i < kInstances; ++i) {
+      const auto inst = net::random_instance(ropt, rng);
+      core::GreedyOptions gopts;
+      gopts.force_complete = true;
+      const auto chronus = core::greedy_schedule(inst, gopts);
+      chronus_congested +=
+          !timenet::verify_transition(inst, chronus.schedule).ok();
+      for (int r = 0; r < kRealizations; ++r) {
+        const auto exec =
+            baselines::plan_and_execute_order_replacement(inst, rng);
+        const auto rep = timenet::verify_transition(inst, exec.realized);
+        or_congested_runs += !rep.ok();
+        or_congested_links += rep.congested_link_count();
+      }
+    }
+    std::printf("\n[random reroutes, n=12] transitions with violations:\n");
+    std::printf("  Chronus: %d / %d instances\n", chronus_congested,
+                kInstances);
+    std::printf("  OR:      %d / %d realizations "
+                "(%.1f congested time-extended links each)\n",
+                or_congested_runs, kInstances * kRealizations,
+                static_cast<double>(or_congested_links) /
+                    (kInstances * kRealizations));
+  }
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Dionysus-style dynamic update scheduling (Jin et al., SIGCOMM'14),
+// adapted to the paper's single-flow setting as a third comparison point
+// between OR and Chronus.
+//
+// Dionysus builds a dependency graph between update operations and link
+// capacity resources and schedules operations *dynamically*: an operation
+// is issued as soon as the capacity it needs is free, and completing it
+// (confirmed by the switch) releases the capacity it vacated. Unlike OR it
+// is capacity-aware; unlike Chronus it trusts the control-plane
+// confirmation as the moment capacity is free — it does not model the
+// in-flight traffic that keeps draining over the old path for one
+// propagation delay more. That blind spot is exactly the gap the paper's
+// timed updates close, and the ext_dionysus bench quantifies it.
+//
+// Adaptation to per-switch path updates: the operation for switch v needs
+// `demand` of free capacity on v's new out-link; completing it releases
+// v's old out-link. Loop-freedom is enforced at issue time with the same
+// union-graph test the OR planner uses (single-switch rounds). Rule
+// latencies are sampled per operation, like the paper's OR emulation.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/instance.hpp"
+#include "timenet/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace chronus::baselines {
+
+struct DionysusOptions {
+  /// Rule activation latency, uniform in [1, max_latency] time units;
+  /// 0 selects the automatic default 3 * max link delay.
+  std::int64_t max_latency = 0;
+  /// Give up when no operation can be issued for this many time units
+  /// (capacity deadlock, e.g. a no-headroom swap).
+  std::int64_t stall_limit = 0;
+};
+
+struct DionysusExecution {
+  bool complete = false;  ///< every switch updated
+  /// Switch activation instants (issue + sampled latency).
+  timenet::UpdateSchedule realized;
+  /// Issue instants per switch, for inspecting the dynamic order.
+  timenet::UpdateSchedule issued;
+  std::string message;
+};
+
+/// Runs one dynamic execution. Deterministic given the RNG state.
+DionysusExecution dionysus_execute(const net::UpdateInstance& inst,
+                                   util::Rng& rng,
+                                   const DionysusOptions& opts = {});
+
+}  // namespace chronus::baselines

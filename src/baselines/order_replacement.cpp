@@ -1,0 +1,40 @@
+#include "baselines/order_replacement.hpp"
+
+#include <algorithm>
+
+namespace chronus::baselines {
+
+OrExecution execute_order_replacement(const net::UpdateInstance& inst,
+                                      const opt::OrderResult& plan,
+                                      util::Rng& rng,
+                                      const OrExecutionOptions& opts) {
+  OrExecution exec;
+  const std::int64_t max_latency =
+      opts.max_latency > 0 ? opts.max_latency : 3 * inst.graph().max_delay();
+
+  timenet::TimePoint t = 0;
+  for (const auto& round : plan.rounds) {
+    exec.round_starts.push_back(t);
+    timenet::TimePoint round_end = t;
+    for (const net::NodeId v : round) {
+      const timenet::TimePoint act = t + rng.uniform_int(0, max_latency);
+      exec.realized.set(v, act);
+      round_end = std::max(round_end, act);
+    }
+    // Barrier: the next round's FlowMods go out only after every switch of
+    // this round confirmed its replacement.
+    t = round_end + 1;
+  }
+  return exec;
+}
+
+OrExecution plan_and_execute_order_replacement(
+    const net::UpdateInstance& inst, util::Rng& rng,
+    const OrExecutionOptions& exec_opts, const opt::OrderOptions& plan_opts,
+    opt::OrderResult* plan_out) {
+  const opt::OrderResult plan = opt::solve_order_replacement(inst, plan_opts);
+  if (plan_out) *plan_out = plan;
+  return execute_order_replacement(inst, plan, rng, exec_opts);
+}
+
+}  // namespace chronus::baselines

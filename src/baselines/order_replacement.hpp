@@ -1,0 +1,52 @@
+// Execution of order-replacement (OR) update plans.
+//
+// The planner (opt::solve_order_replacement) emits rounds; the data plane is
+// asynchronous, so within a round every rule replacement takes effect after
+// an unpredictable control-plane latency — the paper emulates this by
+// sleeping "a random number from the data of [Dionysus]" between the
+// FlowMod and its activation. This module realizes a plan into concrete
+// per-switch activation times (integral, in the same unit as link delays)
+// so the exact verifier can measure the transient congestion and loops the
+// OR baseline produces (Figs. 6-8).
+#pragma once
+
+#include <cstdint>
+
+#include "net/instance.hpp"
+#include "opt/order_bnb.hpp"
+#include "timenet/schedule.hpp"
+#include "util/rng.hpp"
+
+namespace chronus::baselines {
+
+struct OrExecutionOptions {
+  /// Rule activation latency within a round is uniform in [0, max_latency]
+  /// time units; 0 selects the automatic default 3 * max link delay
+  /// (control-plane latencies dominate propagation delays in practice).
+  std::int64_t max_latency = 0;
+};
+
+struct OrExecution {
+  /// Per-switch activation times on the algorithm time axis; rounds are
+  /// separated by barriers (round r+1 starts after every activation of
+  /// round r has taken effect).
+  timenet::UpdateSchedule realized;
+  /// Barrier times: start time of each round.
+  std::vector<timenet::TimePoint> round_starts;
+};
+
+/// Samples one asynchronous realization of `plan`.
+OrExecution execute_order_replacement(const net::UpdateInstance& inst,
+                                      const opt::OrderResult& plan,
+                                      util::Rng& rng,
+                                      const OrExecutionOptions& opts = {});
+
+/// Convenience: plan with the B&B solver, then realize. Returns the plan's
+/// rounds via the out-parameter when non-null.
+OrExecution plan_and_execute_order_replacement(
+    const net::UpdateInstance& inst, util::Rng& rng,
+    const OrExecutionOptions& exec_opts = {},
+    const opt::OrderOptions& plan_opts = {},
+    opt::OrderResult* plan_out = nullptr);
+
+}  // namespace chronus::baselines

@@ -1,0 +1,60 @@
+// TP: the two-phase update baseline (Reitblatt et al., SIGCOMM'12), with
+// VLAN-tag ("LAN ID") versioning as in the paper's §V.A implementation.
+//
+// Phase 1 installs the new-version rules (matching the new tag) alongside
+// the old rules; packets are still stamped with the old tag and follow the
+// old path. Phase 2 flips the ingress stamping rule; from then on every new
+// packet carries the new tag and follows the new path wholly, while
+// in-flight old-tagged packets drain over the old path. Finally the old
+// rules are garbage-collected.
+//
+// Per-packet consistency holds by construction, but (a) the flow table must
+// hold both rule generations during the transition — the space overhead
+// Fig. 9 measures — and (b) old-path drain traffic and new-path traffic can
+// still meet on links the two paths share.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/instance.hpp"
+#include "timenet/schedule.hpp"
+
+namespace chronus::baselines {
+
+struct TwoPhaseOptions {
+  /// Number of traffic aggregates (host-pair flows) riding the two paths;
+  /// each needs one forwarding rule per switch and per version.
+  int flows = 10;
+  /// Per-host entries at the source/destination switch (Table II shows one
+  /// entry per host); 0 selects the automatic default = number of switches.
+  int hosts = 0;
+};
+
+struct TwoPhaseReport {
+  // --- flow-table occupancy (entries present at once) ---
+  std::size_t table_rules_steady = 0;  ///< before/after the transition
+  std::size_t table_rules_peak = 0;    ///< during phase 1/2 coexistence
+
+  // --- rule operations performed by the update itself (the Fig. 9
+  //     "number of rules" metric: rules the controller must install,
+  //     modify or delete to carry out the transition) ---
+  std::size_t rules_touched_tp = 0;       ///< two-phase
+  std::size_t rules_touched_chronus = 0;  ///< action-modify-in-place
+
+  /// Links both paths share whose capacity cannot hold old-drain plus new
+  /// traffic at once; on them TP can still congest transiently.
+  std::vector<net::LinkId> vulnerable_links;
+
+  /// The flip schedule realized on the algorithm time axis: every switch
+  /// "activates" its new version at the ingress flip instant (per-packet
+  /// versioning makes the data plane behave as if all switches flipped
+  /// atomically for new packets), which the exact verifier can replay.
+  timenet::UpdateSchedule as_schedule;
+  timenet::TimePoint flip_time = 0;
+};
+
+TwoPhaseReport two_phase_update(const net::UpdateInstance& inst,
+                                const TwoPhaseOptions& opts = {});
+
+}  // namespace chronus::baselines

@@ -1,0 +1,30 @@
+#include "core/config.hpp"
+
+#include <unordered_set>
+#include <vector>
+
+namespace chronus::core {
+
+std::optional<net::NodeId> current_next(const net::UpdateInstance& inst,
+                                        const std::set<net::NodeId>& updated,
+                                        net::NodeId v) {
+  return updated.count(v) ? inst.new_next(v) : inst.old_next(v);
+}
+
+std::optional<net::Path> current_forwarding_path(
+    const net::UpdateInstance& inst, const std::set<net::NodeId>& updated) {
+  std::vector<net::NodeId> nodes;
+  std::unordered_set<net::NodeId> seen;
+  net::NodeId at = inst.source();
+  const net::NodeId dst = inst.destination();
+  while (true) {
+    if (!seen.insert(at).second) return std::nullopt;  // loop
+    nodes.push_back(at);
+    if (at == dst) return net::Path(std::move(nodes));
+    const auto next = current_next(inst, updated, at);
+    if (!next || !inst.graph().has_link(at, *next)) return std::nullopt;
+    at = *next;
+  }
+}
+
+}  // namespace chronus::core

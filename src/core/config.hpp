@@ -1,0 +1,26 @@
+// Helpers over the *current configuration* of a transition: the mix of
+// switches already updated (forwarding with their new rule) and pending
+// switches (still forwarding with their old rule). Algorithms 2-4 reason
+// about the forwarding path induced by this mix.
+#pragma once
+
+#include <optional>
+#include <set>
+
+#include "net/instance.hpp"
+#include "net/path.hpp"
+
+namespace chronus::core {
+
+/// Next hop of v in the current configuration.
+std::optional<net::NodeId> current_next(const net::UpdateInstance& inst,
+                                        const std::set<net::NodeId>& updated,
+                                        net::NodeId v);
+
+/// The forwarding path newly injected packets take from the source under
+/// the current configuration. nullopt if the configuration loops or
+/// blackholes (then there is no steady path).
+std::optional<net::Path> current_forwarding_path(
+    const net::UpdateInstance& inst, const std::set<net::NodeId>& updated);
+
+}  // namespace chronus::core

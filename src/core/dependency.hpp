@@ -1,0 +1,52 @@
+// Dependency relation sets (Algorithm 3).
+//
+// At each time step the greedy scheduler asks: which pending switches can be
+// updated now without violating a link capacity? For a pending switch v_i
+// with new next hop v, the paper inspects the *solid-line* (initial-path)
+// structure around v in the time-extended network: v_bar is v's predecessor
+// and v_tilde its successor on p_init. While v_bar has not been updated it
+// keeps feeding the flow through <v, v_tilde>; if that link cannot hold both
+// the existing flow and the flow v_i would redirect onto it (C < 2d), the
+// relation (v_bar -> v_i) is recorded: v_bar must move away first. Once
+// v_bar is updated its solid link is no longer drawn and the relation
+// disappears.
+//
+// Relations sharing a common element are merged into chains; only the first
+// element of each chain may be updated in a step (Algorithm 2 line 10). As
+// in the paper, a switch already part of a relation is skipped when its own
+// dependency would be computed (the include flag of Algorithm 3), which
+// also rules out two-cycles.
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/instance.hpp"
+
+namespace chronus::core {
+
+struct DependencySet {
+  /// Each chain lists switches in required update order (head first). A
+  /// pending switch with no constraints forms a singleton chain.
+  std::vector<std::vector<net::NodeId>> chains;
+
+  /// True iff the relations contain a cycle. The include-flag mechanism
+  /// makes this structurally impossible, but the check is kept defensive
+  /// (Algorithm 2 line 7-8 aborts on it).
+  bool has_cycle = false;
+
+  /// The heads of all chains: the switches eligible for update this step.
+  std::vector<net::NodeId> heads() const;
+
+  std::string to_string(const net::Graph& g) const;
+};
+
+/// Computes the dependency relation set O_t for the pending switches.
+/// `updated` is the set of switches whose update is already scheduled
+/// (their solid links are no longer drawn).
+DependencySet find_dependencies(const net::UpdateInstance& inst,
+                                const std::set<net::NodeId>& updated,
+                                const std::set<net::NodeId>& pending);
+
+}  // namespace chronus::core

@@ -1,0 +1,44 @@
+// The tree feasibility check (Algorithm 1, Theorem 2).
+//
+// The paper arranges the two routing paths as two branches of a tree rooted
+// at the destination and performs update moves whose dashed (new) edge
+// crosses from one branch to the other, starting at the destination end and
+// working towards the source; each move may wait for in-flight traffic to
+// drain, and fails permanently when neither the capacity condition
+// (cons >= 2d) nor the delay condition (phi(new segment) >= phi(old
+// segment)) holds — the proof of Theorem 2 shows such a failure cannot be
+// repaired at any later time when all link delays are identical.
+//
+// This module implements that procedure as a destination-backwards sweep of
+// p_fin (the order in which dashed edges cross between the branches),
+// followed by the redirect switches that lie only on the old branch, with
+// bounded waiting between moves. Every move is validated with the exact
+// time-extended checks, so a `true` answer always comes with a witness
+// schedule. Theorem 2's completeness claim (identical delays => this order
+// finds a sequence whenever one exists) is exercised against the exact OPT
+// solver in tests/feasibility_tree_test.cpp.
+#pragma once
+
+#include <string>
+
+#include "net/instance.hpp"
+#include "timenet/schedule.hpp"
+
+namespace chronus::core {
+
+struct FeasibilityResult {
+  bool feasible = false;
+  /// A witness congestion- and loop-free schedule when feasible.
+  timenet::UpdateSchedule witness;
+  /// The switch whose update could not be placed, when infeasible.
+  net::NodeId failed_switch = net::kInvalidNode;
+  std::string message;
+};
+
+/// Checks whether a congestion- and loop-free timed update sequence exists.
+/// Polynomial time; complete under the identical-link-delay precondition of
+/// Theorem 2 (with heterogeneous delays it may report false negatives,
+/// like the paper's algorithm).
+FeasibilityResult tree_feasibility_check(const net::UpdateInstance& inst);
+
+}  // namespace chronus::core

@@ -1,0 +1,187 @@
+#include "core/multi_flow.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/dependency.hpp"
+#include "timenet/transition_state.hpp"
+#include "timenet/verifier.hpp"
+
+namespace chronus::core {
+
+namespace {
+
+/// Subtracts the static load of flow `other` (on its old or new stable
+/// path) from the capacities of `g`, clamping at a tiny positive value so
+/// the link stays present but unusable for additional flow.
+void subtract_static_load(net::Graph& g, const net::UpdateInstance& other,
+                          bool transitioned) {
+  const net::Path& p = transitioned ? other.p_fin() : other.p_init();
+  for (const net::LinkId id : net::path_links(g, p)) {
+    net::Link& l = g.mutable_link(id);
+    l.capacity = std::max(l.capacity - other.demand(), 1e-6);
+  }
+}
+
+}  // namespace
+
+MultiFlowResult schedule_flows_jointly(
+    const std::vector<net::UpdateInstance>& flows) {
+  MultiFlowResult res;
+  res.schedules.resize(flows.size());
+  if (flows.empty()) {
+    res.status = ScheduleStatus::kFeasible;
+    return res;
+  }
+
+  std::vector<const net::UpdateInstance*> ptrs;
+  ptrs.reserve(flows.size());
+  for (const auto& f : flows) ptrs.push_back(&f);
+  timenet::TransitionState state(ptrs);  // throws on graph-layout mismatch
+  if (!state.initial_state_valid()) {
+    res.status = ScheduleStatus::kInfeasible;
+    res.message = "initial configuration already exceeds a link capacity";
+    return res;
+  }
+
+  const net::Graph& g = flows.front().graph();
+  const std::int64_t stall_limit =
+      static_cast<std::int64_t>(g.node_count() + 2) * g.max_delay() + 2;
+
+  std::vector<std::set<net::NodeId>> pending(flows.size());
+  std::vector<std::set<net::NodeId>> updated(flows.size());
+  std::size_t remaining = 0;
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    for (const net::NodeId v : flows[f].switches_to_update()) {
+      pending[f].insert(v);
+    }
+    remaining += pending[f].size();
+  }
+
+  timenet::TimePoint t = 0;
+  std::int64_t stall = 0;
+  while (remaining > 0) {
+    bool progressed = false;
+    for (std::size_t f = 0; f < flows.size(); ++f) {
+      if (pending[f].empty()) continue;
+      DependencySet deps = find_dependencies(flows[f], updated[f], pending[f]);
+      if (deps.has_cycle) {
+        res.status = ScheduleStatus::kInfeasible;
+        res.message = "flow " + std::to_string(f) + ": dependency cycle";
+        return res;
+      }
+      std::vector<net::NodeId> heads = deps.heads();
+      std::sort(heads.begin(), heads.end());
+      for (const net::NodeId head : heads) {
+        if (!state.try_update(f, head, t)) continue;
+        updated[f].insert(head);
+        pending[f].erase(head);
+        --remaining;
+        progressed = true;
+      }
+    }
+    ++t;
+    stall = progressed ? 0 : stall + 1;
+    if (stall > stall_limit && remaining > 0) {
+      res.status = ScheduleStatus::kInfeasible;
+      res.message = "no progress for " + std::to_string(stall) +
+                    " steps (drain bound exceeded)";
+      return res;
+    }
+  }
+
+  timenet::TimePoint lo = 0;
+  timenet::TimePoint hi = 0;
+  bool any = false;
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    res.schedules[f] = state.schedule(f);
+    if (res.schedules[f].empty()) continue;
+    if (!any || res.schedules[f].first_time() < lo) {
+      lo = res.schedules[f].first_time();
+    }
+    if (!any || res.schedules[f].last_time() > hi) {
+      hi = res.schedules[f].last_time();
+    }
+    any = true;
+  }
+  res.total_span = any ? (hi - lo + 1) : 0;
+  res.status = ScheduleStatus::kFeasible;
+  return res;
+}
+
+MultiFlowResult schedule_flows_sequentially(
+    const std::vector<net::UpdateInstance>& flows, const GreedyOptions& opts) {
+  MultiFlowResult res;
+  res.schedules.resize(flows.size());
+  if (flows.empty()) {
+    res.status = ScheduleStatus::kFeasible;
+    return res;
+  }
+  const net::Graph& base = flows.front().graph();
+  for (const auto& f : flows) {
+    if (f.graph().node_count() != base.node_count() ||
+        f.graph().link_count() != base.link_count()) {
+      throw std::invalid_argument("flows must share one graph layout");
+    }
+  }
+
+  const timenet::TimePoint drain =
+      static_cast<timenet::TimePoint>(base.node_count() + 2) *
+          base.max_delay() + 2;
+
+  timenet::TimePoint offset = 0;
+  for (std::size_t k = 0; k < flows.size(); ++k) {
+    net::Graph reduced = flows[k].graph();
+    for (std::size_t j = 0; j < flows.size(); ++j) {
+      if (j == k) continue;
+      subtract_static_load(reduced, flows[j], /*transitioned=*/j < k);
+    }
+    const net::UpdateInstance inst_k = flows[k].with_graph(std::move(reduced));
+    const ScheduleResult r = greedy_schedule(inst_k, opts);
+    if (r.status != ScheduleStatus::kFeasible) {
+      res.status = ScheduleStatus::kInfeasible;
+      res.message = "flow " + std::to_string(k) + ": " +
+                    (r.message.empty() ? "unschedulable" : r.message);
+      return res;
+    }
+    if (!r.schedule.empty()) {
+      const timenet::TimePoint base_t = r.schedule.first_time();
+      for (const auto& [v, t] : r.schedule.entries()) {
+        res.schedules[k].set(v, offset + (t - base_t));
+      }
+      offset += (r.schedule.last_time() - base_t) + 1 + drain;
+    }
+  }
+
+  // Re-verify the combined plan against the original capacities.
+  std::vector<timenet::FlowTransition> transitions;
+  transitions.reserve(flows.size());
+  for (std::size_t k = 0; k < flows.size(); ++k) {
+    timenet::FlowTransition ft;
+    ft.instance = &flows[k];
+    ft.schedule = &res.schedules[k];
+    transitions.push_back(ft);
+  }
+  timenet::VerifyOptions vo;
+  vo.first_violation_only = true;
+  if (!verify_transitions(transitions, vo).ok()) {
+    res.status = ScheduleStatus::kInfeasible;
+    res.message = "combined plan failed re-verification";
+    return res;
+  }
+
+  timenet::TimePoint lo = 0;
+  timenet::TimePoint hi = 0;
+  bool any = false;
+  for (const auto& s : res.schedules) {
+    if (s.empty()) continue;
+    if (!any || s.first_time() < lo) lo = s.first_time();
+    if (!any || s.last_time() > hi) hi = s.last_time();
+    any = true;
+  }
+  res.total_span = any ? (hi - lo + 1) : 0;
+  res.status = ScheduleStatus::kFeasible;
+  return res;
+}
+
+}  // namespace chronus::core

@@ -1,0 +1,95 @@
+#include "io/dot.hpp"
+
+#include <set>
+#include <sstream>
+
+namespace chronus::io {
+
+namespace {
+
+std::string link_label(const net::Link& l) {
+  std::ostringstream os;
+  os << l.capacity << "/" << l.delay;
+  return os.str();
+}
+
+}  // namespace
+
+std::string to_dot(const net::Graph& g) {
+  std::ostringstream os;
+  os << "digraph network {\n  rankdir=LR;\n  node [shape=circle];\n";
+  for (net::NodeId v = 0; v < g.node_count(); ++v) {
+    os << "  \"" << g.name(v) << "\";\n";
+  }
+  for (net::LinkId id = 0; id < g.link_count(); ++id) {
+    const net::Link& l = g.link(id);
+    os << "  \"" << g.name(l.src) << "\" -> \"" << g.name(l.dst)
+       << "\" [label=\"" << link_label(l) << "\"];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const net::UpdateInstance& inst,
+                   const timenet::UpdateSchedule* schedule) {
+  const net::Graph& g = inst.graph();
+  std::set<net::LinkId> init_links;
+  for (const net::LinkId id : net::path_links(g, inst.p_init())) {
+    init_links.insert(id);
+  }
+  // The final configuration: new_next of every rule-bearing switch.
+  std::set<net::LinkId> fin_links;
+  for (const net::NodeId v : inst.touched_nodes()) {
+    const auto nn = inst.new_next(v);
+    if (!nn) continue;
+    if (const auto id = g.find_link(v, *nn)) fin_links.insert(*id);
+  }
+
+  std::ostringstream os;
+  os << "digraph update_instance {\n  rankdir=LR;\n  node [shape=circle];\n";
+  for (const net::NodeId v : inst.touched_nodes()) {
+    os << "  \"" << g.name(v) << "\" [label=\"" << g.name(v);
+    if (schedule) {
+      if (const auto t = schedule->at(v)) os << "\\n@t" << *t;
+    }
+    os << "\"";
+    if (v == inst.source()) os << ", shape=doublecircle";
+    if (v == inst.destination()) os << ", shape=doublecircle, peripheries=2";
+    os << "];\n";
+  }
+  for (net::LinkId id = 0; id < g.link_count(); ++id) {
+    const net::Link& l = g.link(id);
+    os << "  \"" << g.name(l.src) << "\" -> \"" << g.name(l.dst)
+       << "\" [label=\"" << link_label(l) << "\"";
+    if (init_links.count(id)) os << ", style=solid, penwidth=2";
+    if (fin_links.count(id)) {
+      os << (init_links.count(id) ? ", color=\"black:black\"" : "")
+         << ", style=dashed";
+    }
+    if (!init_links.count(id) && !fin_links.count(id)) {
+      os << ", color=gray";
+    }
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_dot(const net::Graph& g, const core::DependencySet& deps) {
+  std::ostringstream os;
+  os << "digraph dependencies {\n  rankdir=LR;\n  node [shape=box];\n";
+  for (std::size_t c = 0; c < deps.chains.size(); ++c) {
+    const auto& chain = deps.chains[c];
+    for (std::size_t i = 0; i < chain.size(); ++i) {
+      os << "  \"" << g.name(chain[i]) << "\";\n";
+      if (i + 1 < chain.size()) {
+        os << "  \"" << g.name(chain[i]) << "\" -> \"" << g.name(chain[i + 1])
+           << "\" [label=\"precedes\"];\n";
+      }
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace chronus::io

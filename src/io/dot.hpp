@@ -1,0 +1,26 @@
+// Graphviz (DOT) exporters: render update instances in the paper's Fig. 1
+// style (solid initial path, dashed final configuration), schedules as node
+// annotations, and dependency relation sets (Fig. 5) as chains.
+#pragma once
+
+#include <string>
+
+#include "core/dependency.hpp"
+#include "net/instance.hpp"
+#include "timenet/schedule.hpp"
+
+namespace chronus::io {
+
+/// The bare network: one edge per link, labelled "cap/delay".
+std::string to_dot(const net::Graph& g);
+
+/// Fig. 1 style: initial-path links solid bold, final-configuration links
+/// dashed, everything else gray. With a schedule, nodes are annotated with
+/// their update time ("v2\n@t0").
+std::string to_dot(const net::UpdateInstance& inst,
+                   const timenet::UpdateSchedule* schedule = nullptr);
+
+/// Fig. 5 style: each dependency chain as a row of "must precede" arrows.
+std::string to_dot(const net::Graph& g, const core::DependencySet& deps);
+
+}  // namespace chronus::io

@@ -1,0 +1,65 @@
+// Plain-text serialization of update instances and schedules, so the CLI
+// (tools/chronus_cli) and downstream users can drive the library without
+// writing C++.
+//
+// Instance format (one directive per line, '#' comments, names are free
+// strings):
+//
+//   node v1                      # optional; links auto-create nodes
+//   link v1 v2 cap=1 delay=1
+//   demand 1.0
+//   init v1 v2 v3 v4
+//   fin  v1 v3 v4
+//   redirect v2 v3               # final-config rule for an old-path switch
+//
+// Multi-flow files share the link/node directives and open one block per
+// flow; each block's init/fin/redirect/demand lines belong to that flow:
+//
+//   flow f0
+//   demand 1
+//   init a b c
+//   fin  a c
+//   flow f1
+//   init b c
+//   fin  b a c
+//
+// Schedule format:
+//
+//   update v2 0
+//   update v3 1
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "net/instance.hpp"
+#include "timenet/schedule.hpp"
+
+namespace chronus::io {
+
+/// Parses a single-flow instance; throws std::runtime_error with a line
+/// number on malformed input (including when the file declares several
+/// flows — use read_flows for those).
+net::UpdateInstance read_instance(std::istream& in);
+net::UpdateInstance read_instance_file(const std::string& path);
+
+/// Parses one or more flows over a shared graph. A file without `flow`
+/// directives yields exactly one instance (the single-flow format). All
+/// returned instances share one graph layout, as the multi-flow schedulers
+/// require.
+std::vector<net::UpdateInstance> read_flows(std::istream& in);
+std::vector<net::UpdateInstance> read_flows_file(const std::string& path);
+
+/// Writes the instance in the same format (round-trips with read_instance).
+void write_instance(std::ostream& out, const net::UpdateInstance& inst);
+
+/// Parses a schedule against an instance (names are resolved through it).
+timenet::UpdateSchedule read_schedule(std::istream& in,
+                                      const net::UpdateInstance& inst);
+
+/// Writes "update <switch> <time>" lines, ascending by time then name.
+void write_schedule(std::ostream& out, const net::UpdateInstance& inst,
+                    const timenet::UpdateSchedule& sched);
+
+}  // namespace chronus::io

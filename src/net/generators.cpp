@@ -1,0 +1,111 @@
+#include "net/generators.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace chronus::net {
+
+UpdateInstance fig1_instance() {
+  Graph g;
+  for (int i = 1; i <= 6; ++i) g.add_node("v" + std::to_string(i));
+  const NodeId v1 = 0, v2 = 1, v3 = 2, v4 = 3, v5 = 4, v6 = 5;
+  // Solid (initial) path links.
+  g.add_link(v1, v2, 1.0, 1);
+  g.add_link(v2, v3, 1.0, 1);
+  g.add_link(v3, v4, 1.0, 1);
+  g.add_link(v4, v5, 1.0, 1);
+  g.add_link(v5, v6, 1.0, 1);
+  // Dashed (final) links.
+  g.add_link(v1, v4, 1.0, 1);
+  g.add_link(v4, v3, 1.0, 1);
+  g.add_link(v3, v2, 1.0, 1);
+  g.add_link(v2, v6, 1.0, 1);
+  g.add_link(v5, v2, 1.0, 1);  // redirect rule for in-flight old traffic
+
+  auto inst = UpdateInstance::from_paths(std::move(g), Path{v1, v2, v3, v4, v5, v6},
+                                         Path{v1, v4, v3, v2, v6}, 1.0);
+  inst.set_new_next(v5, v2);
+  return inst;
+}
+
+Graph line_topology(std::size_t n, Capacity capacity, Delay delay) {
+  if (n < 2) throw std::invalid_argument("line needs >= 2 nodes");
+  Graph g;
+  g.add_nodes(n);
+  for (NodeId v = 0; v + 1 < n; ++v) g.add_link(v, v + 1, capacity, delay);
+  return g;
+}
+
+UpdateInstance random_instance(const RandomInstanceOptions& opt,
+                               util::Rng& rng) {
+  if (opt.n < 4) throw std::invalid_argument("random instance needs >= 4 switches");
+  if (opt.delay_min < 1 || opt.delay_max < opt.delay_min) {
+    throw std::invalid_argument("bad delay range");
+  }
+
+  Graph g;
+  g.add_nodes(opt.n);
+  const NodeId src = 0;
+  const NodeId dst = static_cast<NodeId>(opt.n - 1);
+
+  auto rand_delay = [&] {
+    return rng.uniform_int(opt.delay_min, opt.delay_max);
+  };
+  auto rand_capacity = [&] {
+    // Tight links admit only the flow itself; slack links admit old and new
+    // flow simultaneously, like SWAN's slack assumption on a per-link basis.
+    return rng.chance(opt.slack_prob) ? 2.0 * opt.demand : opt.demand;
+  };
+
+  // Initial path: the fixed line.
+  std::vector<NodeId> init_nodes;
+  for (NodeId v = 0; v < opt.n; ++v) init_nodes.push_back(v);
+  for (NodeId v = 0; v + 1 < opt.n; ++v) {
+    g.add_link(v, v + 1, rand_capacity(), rand_delay());
+  }
+
+  // Final path: random subset of intermediate switches in random order.
+  std::vector<NodeId> pool;
+  for (NodeId v = 1; v + 1 < opt.n; ++v) pool.push_back(v);
+  rng.shuffle(pool);
+  std::size_t keep = 0;
+  for (std::size_t i = 0; i < pool.size(); ++i) {
+    if (rng.chance(opt.detour_frac)) pool[keep++] = pool[i];
+  }
+  pool.resize(keep);
+
+  std::vector<NodeId> fin_nodes;
+  fin_nodes.push_back(src);
+  fin_nodes.insert(fin_nodes.end(), pool.begin(), pool.end());
+  fin_nodes.push_back(dst);
+
+  for (std::size_t i = 0; i + 1 < fin_nodes.size(); ++i) {
+    if (!g.has_link(fin_nodes[i], fin_nodes[i + 1])) {
+      g.add_link(fin_nodes[i], fin_nodes[i + 1], rand_capacity(), rand_delay());
+    }
+  }
+
+  return UpdateInstance::from_paths(std::move(g), Path(std::move(init_nodes)),
+                                    Path(std::move(fin_nodes)), opt.demand);
+}
+
+Graph wan_topology(Capacity capacity) {
+  // Abilene-shaped backbone: 11 PoPs, bidirectional links.
+  Graph g;
+  const char* names[] = {"SEA", "SNV", "LAX", "SLC", "DEN", "KSC",
+                         "HOU", "CHI", "IND", "ATL", "NYC"};
+  for (const char* n : names) g.add_node(n);
+  const std::pair<int, int> edges[] = {
+      {0, 1}, {0, 4},  {1, 2}, {1, 3}, {2, 6}, {3, 4}, {4, 5},
+      {5, 6}, {5, 8},  {6, 9}, {7, 8}, {7, 10}, {8, 9}, {9, 10},
+  };
+  int i = 0;
+  for (const auto& [a, b] : edges) {
+    const Delay d = 1 + (i++ % 3);
+    g.add_link(static_cast<NodeId>(a), static_cast<NodeId>(b), capacity, d);
+    g.add_link(static_cast<NodeId>(b), static_cast<NodeId>(a), capacity, d);
+  }
+  return g;
+}
+
+}  // namespace chronus::net

@@ -1,0 +1,44 @@
+// Topology and update-instance generators.
+//
+// * fig1_instance() is the paper's running example (Fig. 1/2/5): six unit-
+//   capacity, unit-delay switches, p_init = v1..v6, p_fin = v1,v4,v3,v2,v6
+//   and the redirect rule v5 -> v2 in the final configuration.
+// * random_instance() reproduces the §V.B workload: a fixed initial routing
+//   path over n switches and a randomly routed final path, with randomized
+//   link capacities (tight = d or slack >= 2d) and integral delays.
+#pragma once
+
+#include <cstdint>
+
+#include "net/instance.hpp"
+#include "util/rng.hpp"
+
+namespace chronus::net {
+
+/// The paper's Fig. 1 example instance. Unit demand, capacity and delay.
+/// Node ids are 0..5 named "v1".."v6".
+UpdateInstance fig1_instance();
+
+/// A line p_init over n nodes; every link with the given capacity/delay.
+Graph line_topology(std::size_t n, Capacity capacity, Delay delay);
+
+struct RandomInstanceOptions {
+  std::size_t n = 10;           ///< number of switches (>= 4)
+  double demand = 1.0;          ///< dynamic-flow demand d
+  double slack_prob = 0.3;      ///< P[link capacity >= 2d] (else exactly d)
+  Delay delay_min = 1;          ///< uniform integral link delays
+  Delay delay_max = 3;
+  double detour_frac = 0.5;     ///< expected fraction of switches on p_fin
+};
+
+/// Initial path is the fixed line v0 -> ... -> v_{n-1}; the final path
+/// visits a random subset of the switches in random order ("random
+/// routing"). Links needed by p_fin are added with random capacity/delay.
+UpdateInstance random_instance(const RandomInstanceOptions& opt,
+                               util::Rng& rng);
+
+/// A small WAN-like topology (11 PoPs, Abilene-shaped) for the example
+/// programs; capacities in `capacity` units and delays in [1, 3].
+Graph wan_topology(Capacity capacity);
+
+}  // namespace chronus::net

@@ -1,0 +1,90 @@
+#include "net/path.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace chronus::net {
+
+Path::Path(std::vector<NodeId> nodes) : nodes_(std::move(nodes)) {}
+
+Path::Path(std::initializer_list<NodeId> nodes) : nodes_(nodes) {}
+
+bool Path::contains(NodeId v) const {
+  return std::find(nodes_.begin(), nodes_.end(), v) != nodes_.end();
+}
+
+std::size_t Path::index_of(NodeId v) const {
+  const auto it = std::find(nodes_.begin(), nodes_.end(), v);
+  return it == nodes_.end() ? npos : static_cast<std::size_t>(it - nodes_.begin());
+}
+
+NodeId Path::next_hop(NodeId v) const {
+  const auto i = index_of(v);
+  if (i == npos || i + 1 >= nodes_.size()) return kInvalidNode;
+  return nodes_[i + 1];
+}
+
+NodeId Path::prev_hop(NodeId v) const {
+  const auto i = index_of(v);
+  if (i == npos || i == 0) return kInvalidNode;
+  return nodes_[i - 1];
+}
+
+bool Path::is_simple() const {
+  std::unordered_set<NodeId> seen;
+  for (NodeId v : nodes_) {
+    if (!seen.insert(v).second) return false;
+  }
+  return true;
+}
+
+Path Path::suffix_from(NodeId v) const {
+  const auto i = index_of(v);
+  if (i == npos) return Path{};
+  return Path(std::vector<NodeId>(nodes_.begin() + static_cast<std::ptrdiff_t>(i),
+                                  nodes_.end()));
+}
+
+bool path_exists_in(const Graph& g, const Path& p) {
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+    if (!g.has_link(p[i], p[i + 1])) return false;
+  }
+  return true;
+}
+
+Delay path_delay(const Graph& g, const Path& p) {
+  Delay d = 0;
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) d += g.delay(p[i], p[i + 1]);
+  return d;
+}
+
+std::vector<LinkId> path_links(const Graph& g, const Path& p) {
+  std::vector<LinkId> ids;
+  ids.reserve(p.size() > 0 ? p.size() - 1 : 0);
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+    const auto id = g.find_link(p[i], p[i + 1]);
+    if (!id) throw std::invalid_argument("path link missing in graph");
+    ids.push_back(*id);
+  }
+  return ids;
+}
+
+Capacity path_min_capacity(const Graph& g, const Path& p) {
+  if (p.size() < 2) throw std::invalid_argument("path has no links");
+  Capacity c = std::numeric_limits<Capacity>::max();
+  for (const LinkId id : path_links(g, p)) c = std::min(c, g.link(id).capacity);
+  return c;
+}
+
+std::string to_string(const Graph& g, const Path& p) {
+  std::string out;
+  for (std::size_t i = 0; i < p.size(); ++i) {
+    if (i) out += " -> ";
+    out += g.name(p[i]);
+  }
+  return out;
+}
+
+}  // namespace chronus::net

@@ -1,0 +1,71 @@
+// Simple directed paths and the path-delay function phi(p) used throughout
+// the tree algorithm (Algorithm 1) and the schedulers.
+#pragma once
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "net/graph.hpp"
+
+namespace chronus::net {
+
+/// A sequence of switches v_0, ..., v_k. A Path object is only a node
+/// sequence; validity against a concrete graph is checked by the free
+/// functions below so that paths can be constructed before their links.
+class Path {
+ public:
+  Path() = default;
+  explicit Path(std::vector<NodeId> nodes);
+  Path(std::initializer_list<NodeId> nodes);
+
+  std::size_t size() const { return nodes_.size(); }
+  bool empty() const { return nodes_.empty(); }
+  NodeId operator[](std::size_t i) const { return nodes_[i]; }
+  NodeId front() const { return nodes_.front(); }
+  NodeId back() const { return nodes_.back(); }
+  const std::vector<NodeId>& nodes() const { return nodes_; }
+
+  auto begin() const { return nodes_.begin(); }
+  auto end() const { return nodes_.end(); }
+
+  bool contains(NodeId v) const;
+
+  /// Index of v in the path, or npos.
+  std::size_t index_of(NodeId v) const;
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+
+  /// Successor of v on this path; kInvalidNode if v is last or absent.
+  NodeId next_hop(NodeId v) const;
+
+  /// Predecessor of v on this path; kInvalidNode if v is first or absent.
+  NodeId prev_hop(NodeId v) const;
+
+  /// No repeated node?
+  bool is_simple() const;
+
+  /// Suffix starting at v (inclusive); empty path if v absent.
+  Path suffix_from(NodeId v) const;
+
+  bool operator==(const Path& other) const = default;
+
+ private:
+  std::vector<NodeId> nodes_;
+};
+
+/// True iff every consecutive pair is a link of g.
+bool path_exists_in(const Graph& g, const Path& p);
+
+/// Sum of link delays phi(p); throws if a link is missing.
+Delay path_delay(const Graph& g, const Path& p);
+
+/// Link ids along the path; throws if a link is missing.
+std::vector<LinkId> path_links(const Graph& g, const Path& p);
+
+/// Minimum capacity along the path; throws on missing link or empty path.
+Capacity path_min_capacity(const Graph& g, const Path& p);
+
+/// "v1 -> v2 -> v3" for diagnostics.
+std::string to_string(const Graph& g, const Path& p);
+
+}  // namespace chronus::net

@@ -1,0 +1,205 @@
+#include "net/topologies.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace chronus::net {
+
+namespace {
+
+void add_duplex(Graph& g, NodeId u, NodeId v, Capacity cap, Delay delay) {
+  g.add_link(u, v, cap, delay);
+  g.add_link(v, u, cap, delay);
+}
+
+}  // namespace
+
+FatTree fat_tree(int k, Capacity capacity) {
+  if (k < 2 || k % 2 != 0) throw std::invalid_argument("fat-tree k must be even");
+  FatTree ft;
+  const int half = k / 2;
+  for (int i = 0; i < half * half; ++i) {
+    ft.core.push_back(ft.graph.add_node("core" + std::to_string(i)));
+  }
+  ft.aggregation.resize(static_cast<std::size_t>(k));
+  ft.edge.resize(static_cast<std::size_t>(k));
+  for (int p = 0; p < k; ++p) {
+    for (int i = 0; i < half; ++i) {
+      ft.aggregation[p].push_back(ft.graph.add_node(
+          "agg" + std::to_string(p) + "_" + std::to_string(i)));
+      ft.edge[p].push_back(ft.graph.add_node(
+          "edge" + std::to_string(p) + "_" + std::to_string(i)));
+    }
+    // Pod mesh: every edge switch to every aggregation switch.
+    for (int e = 0; e < half; ++e) {
+      for (int a = 0; a < half; ++a) {
+        add_duplex(ft.graph, ft.edge[p][e], ft.aggregation[p][a], capacity, 1);
+      }
+    }
+    // Aggregation a connects to cores [a*half, (a+1)*half).
+    for (int a = 0; a < half; ++a) {
+      for (int c = 0; c < half; ++c) {
+        add_duplex(ft.graph, ft.aggregation[p][a], ft.core[a * half + c],
+                   capacity, 2);
+      }
+    }
+  }
+  return ft;
+}
+
+Graph waxman(const WaxmanOptions& opt, util::Rng& rng) {
+  if (opt.n < 2) throw std::invalid_argument("waxman needs >= 2 nodes");
+  Graph g;
+  g.add_nodes(opt.n);
+  std::vector<std::pair<double, double>> pos(opt.n);
+  for (auto& [x, y] : pos) {
+    x = rng.uniform01();
+    y = rng.uniform01();
+  }
+  const double scale = opt.beta * std::sqrt(2.0);
+  auto dist = [&](NodeId u, NodeId v) {
+    const double dx = pos[u].first - pos[v].first;
+    const double dy = pos[u].second - pos[v].second;
+    return std::sqrt(dx * dx + dy * dy);
+  };
+  auto link_delay = [&](double dv) {
+    return std::max<Delay>(
+        1, static_cast<Delay>(std::lround(dv / std::sqrt(2.0) *
+                                          static_cast<double>(opt.max_delay))));
+  };
+  auto link_cap = [&] {
+    return rng.chance(0.5) ? opt.capacity : opt.capacity / 2.0;
+  };
+  for (NodeId u = 0; u < opt.n; ++u) {
+    for (NodeId v = u + 1; v < opt.n; ++v) {
+      const double dv = dist(u, v);
+      if (rng.chance(opt.alpha * std::exp(-dv / scale))) {
+        add_duplex(g, u, v, link_cap(), link_delay(dv));
+      }
+    }
+  }
+  // Connectivity backstop: thread a random spanning chain through any
+  // nodes that ended up isolated from node 0.
+  std::vector<NodeId> order;
+  for (NodeId v = 0; v < opt.n; ++v) order.push_back(v);
+  rng.shuffle(order);
+  for (std::size_t i = 0; i + 1 < order.size(); ++i) {
+    if (!g.has_link(order[i], order[i + 1])) {
+      add_duplex(g, order[i], order[i + 1], link_cap(),
+                 link_delay(dist(order[i], order[i + 1])));
+    }
+  }
+  return g;
+}
+
+Graph grid(std::size_t width, std::size_t height, Capacity capacity,
+           Delay delay) {
+  if (width < 1 || height < 1) throw std::invalid_argument("empty grid");
+  Graph g;
+  g.add_nodes(width * height);
+  const auto at = [&](std::size_t x, std::size_t y) {
+    return static_cast<NodeId>(y * width + x);
+  };
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      if (x + 1 < width) add_duplex(g, at(x, y), at(x + 1, y), capacity, delay);
+      if (y + 1 < height) add_duplex(g, at(x, y), at(x, y + 1), capacity, delay);
+    }
+  }
+  return g;
+}
+
+std::optional<Path> shortest_path(const Graph& g, NodeId src, NodeId dst) {
+  constexpr Delay kInf = std::numeric_limits<Delay>::max();
+  std::vector<Delay> dist(g.node_count(), kInf);
+  std::vector<NodeId> prev(g.node_count(), kInvalidNode);
+  using Item = std::pair<Delay, NodeId>;
+  std::priority_queue<Item, std::vector<Item>, std::greater<>> heap;
+  dist[src] = 0;
+  heap.emplace(0, src);
+  while (!heap.empty()) {
+    const auto [d, u] = heap.top();
+    heap.pop();
+    if (d > dist[u]) continue;
+    if (u == dst) break;
+    for (const LinkId id : g.out_links(u)) {
+      const Link& l = g.link(id);
+      const Delay nd = d + l.delay;
+      if (nd < dist[l.dst]) {
+        dist[l.dst] = nd;
+        prev[l.dst] = u;
+        heap.emplace(nd, l.dst);
+      }
+    }
+  }
+  if (dist[dst] == kInf) return std::nullopt;
+  std::vector<NodeId> nodes;
+  for (NodeId at = dst; at != kInvalidNode; at = prev[at]) {
+    nodes.push_back(at);
+    if (at == src) break;
+  }
+  std::reverse(nodes.begin(), nodes.end());
+  if (nodes.front() != src) return std::nullopt;
+  return Path(std::move(nodes));
+}
+
+std::optional<UpdateInstance> random_reroute(const Graph& g, NodeId src,
+                                             NodeId dst, double demand,
+                                             util::Rng& rng,
+                                             const RerouteOptions& opt) {
+  const auto init = shortest_path(g, src, dst);
+  if (!init || init->size() < 2) return std::nullopt;
+  const std::size_t max_len = opt.max_len ? opt.max_len : g.node_count();
+
+  for (int attempt = 0; attempt < opt.attempts; ++attempt) {
+    // Loop-erased random walk, biased towards the destination: with
+    // probability 1 - deviation follow the next hop of a shortest path,
+    // otherwise take a random outgoing link.
+    std::vector<NodeId> walk{src};
+    std::unordered_map<NodeId, std::size_t> seen{{src, 0}};
+    NodeId at = src;
+    bool ok = false;
+    for (std::size_t step = 0; step < max_len * 4; ++step) {
+      NodeId next = kInvalidNode;
+      if (!rng.chance(opt.deviation)) {
+        const auto sp = shortest_path(g, at, dst);
+        if (sp && sp->size() >= 2) next = (*sp)[1];
+      }
+      if (next == kInvalidNode) {
+        const auto out = g.out_links(at);
+        if (out.empty()) break;
+        next = g.link(out[rng.index(out.size())]).dst;
+      }
+      const auto it = seen.find(next);
+      if (it != seen.end()) {
+        // Loop erasure: cut the walk back to the first visit.
+        for (std::size_t i = it->second + 1; i < walk.size(); ++i) {
+          seen.erase(walk[i]);
+        }
+        walk.resize(it->second + 1);
+        at = next;
+        continue;
+      }
+      walk.push_back(next);
+      seen.emplace(next, walk.size() - 1);
+      at = next;
+      if (next == dst) {
+        ok = true;
+        break;
+      }
+      if (walk.size() > max_len) break;
+    }
+    if (!ok) continue;
+    Path fin{std::vector<NodeId>(walk.begin(), walk.end())};
+    if (fin == *init) continue;  // must actually reroute something
+    return UpdateInstance::from_paths(g, *init, std::move(fin), demand);
+  }
+  return std::nullopt;
+}
+
+}  // namespace chronus::net

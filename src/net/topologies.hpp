@@ -1,0 +1,65 @@
+// Structured and random topologies beyond the paper's line-based workload,
+// plus reroute-instance generation over arbitrary graphs (old route =
+// delay-shortest path, new route = random deviation), for the examples and
+// the extension benchmarks.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "net/instance.hpp"
+#include "util/rng.hpp"
+
+namespace chronus::net {
+
+/// k-ary fat-tree data-center fabric (k even): k^2/4 core switches, k pods
+/// of k/2 aggregation and k/2 edge switches. All links bidirectional with
+/// the given capacity; delays 1 (edge-agg) and 2 (agg-core).
+struct FatTree {
+  Graph graph;
+  std::vector<NodeId> core;
+  std::vector<std::vector<NodeId>> aggregation;  // per pod
+  std::vector<std::vector<NodeId>> edge;         // per pod
+};
+FatTree fat_tree(int k, Capacity capacity);
+
+/// Waxman random graph: n nodes placed uniformly in the unit square; a
+/// bidirectional link between u and v with probability
+/// alpha * exp(-dist(u,v) / (beta * sqrt(2))). Delays scale with distance
+/// (1..max_delay); capacities alternate tight/slack like the paper's
+/// generator. Guaranteed connected (a random spanning tree is added).
+struct WaxmanOptions {
+  std::size_t n = 20;
+  double alpha = 0.7;
+  double beta = 0.25;
+  Capacity capacity = 2.0;
+  Delay max_delay = 3;
+};
+Graph waxman(const WaxmanOptions& opt, util::Rng& rng);
+
+/// w x h grid, bidirectional links.
+Graph grid(std::size_t width, std::size_t height, Capacity capacity,
+           Delay delay);
+
+/// Delay-shortest path from src to dst (Dijkstra); nullopt if unreachable.
+std::optional<Path> shortest_path(const Graph& g, NodeId src, NodeId dst);
+
+struct RerouteOptions {
+  /// Probability that a random-walk step deviates from the shortest path.
+  double deviation = 0.6;
+  /// Hard cap on the new path's node count (0: graph size).
+  std::size_t max_len = 0;
+  /// How many sampling attempts before giving up.
+  int attempts = 64;
+};
+
+/// A reroute instance over an arbitrary graph: p_init is the shortest
+/// path from src to dst; p_fin is sampled by a loop-erased random walk
+/// biased along shortest paths. Returns nullopt when no distinct simple
+/// final path could be sampled (e.g. src->dst is a bridge).
+std::optional<UpdateInstance> random_reroute(const Graph& g, NodeId src,
+                                             NodeId dst, double demand,
+                                             util::Rng& rng,
+                                             const RerouteOptions& opt = {});
+
+}  // namespace chronus::net

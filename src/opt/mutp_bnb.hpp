@@ -1,0 +1,53 @@
+// OPT: branch-and-bound solver for the Minimum Update Time Problem
+// (program (3)) — the paper's "OPT" baseline.
+//
+// The search walks time steps t = 0, 1, ...; at each step it branches over
+// the subsets of pending switches whose updates keep the transition clean
+// (checked with the exact time-extended verifier), including the empty
+// subset (waiting for in-flight traffic to drain). Pruning:
+//   * incumbent bound: a partial schedule already as long as the best known
+//     complete schedule is cut;
+//   * dominance memo: two partial schedules with the same pending set and
+//     the same recent-update pattern (updates older than the drain bound
+//     cannot influence the future) reach identical subtrees, so only the
+//     earliest visit is expanded;
+//   * deadline: like the paper's 600 s timeout in Fig. 10, the solver
+//     returns its incumbent with timed_out set when the budget expires.
+//
+// MUTP is NP-complete (Theorem 1); exactness is therefore bounded: when a
+// step offers more individually-safe candidates than
+// `max_candidates_exact`, branching is truncated to the greedy-preferred
+// subsets and `proved_optimal` is cleared.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/greedy_scheduler.hpp"
+#include "net/instance.hpp"
+#include "timenet/schedule.hpp"
+
+namespace chronus::opt {
+
+struct MutpOptions {
+  double timeout_sec = 10.0;      ///< <= 0 disables the deadline
+  int max_candidates_exact = 16;  ///< subset-branching width limit
+  bool force_complete = false;    ///< emit a best-effort schedule if infeasible
+};
+
+struct MutpResult {
+  core::ScheduleStatus status = core::ScheduleStatus::kInfeasible;
+  timenet::UpdateSchedule schedule;
+  std::int64_t makespan = 0;  ///< |T|: number of time steps, 0 if none
+  bool proved_optimal = false;
+  bool timed_out = false;
+  std::uint64_t nodes_explored = 0;
+  std::string message;
+
+  bool feasible() const { return status == core::ScheduleStatus::kFeasible; }
+};
+
+MutpResult solve_mutp(const net::UpdateInstance& inst,
+                      const MutpOptions& opts = {});
+
+}  // namespace chronus::opt

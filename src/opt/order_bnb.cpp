@@ -1,0 +1,247 @@
+#include "opt/order_bnb.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "util/stopwatch.hpp"
+
+namespace chronus::opt {
+
+namespace {
+
+/// Cycle check on the union graph (see header). Each switch contributes at
+/// most two outgoing edges, so this is O(V).
+bool union_graph_acyclic(const net::UpdateInstance& inst,
+                         const std::set<net::NodeId>& updated,
+                         const std::set<net::NodeId>& round) {
+  const auto nodes = inst.touched_nodes();
+  std::map<net::NodeId, std::vector<net::NodeId>> adj;
+  for (const net::NodeId v : nodes) {
+    const auto on = inst.old_next(v);
+    const auto nn = inst.new_next(v);
+    auto& out = adj[v];
+    if (updated.count(v)) {
+      if (nn) out.push_back(*nn);
+    } else if (round.count(v)) {
+      if (on) out.push_back(*on);
+      if (nn && (!on || *nn != *on)) out.push_back(*nn);
+    } else {
+      if (on) out.push_back(*on);
+    }
+  }
+  // Iterative three-color DFS.
+  std::map<net::NodeId, int> color;  // 0 white, 1 grey, 2 black
+  for (const net::NodeId start : nodes) {
+    if (color[start] != 0) continue;
+    std::vector<std::pair<net::NodeId, std::size_t>> stack{{start, 0}};
+    color[start] = 1;
+    while (!stack.empty()) {
+      auto& [v, i] = stack.back();
+      const auto it = adj.find(v);
+      if (it == adj.end() || i >= it->second.size()) {
+        color[v] = 2;
+        stack.pop_back();
+        continue;
+      }
+      const net::NodeId w = it->second[i++];
+      if (!adj.count(w)) continue;  // sink (destination): no out edges
+      const int c = color[w];
+      if (c == 1) return false;
+      if (c == 0) {
+        color[w] = 1;
+        stack.emplace_back(w, 0);
+      }
+    }
+  }
+  return true;
+}
+
+struct Search {
+  const net::UpdateInstance* inst = nullptr;
+  util::Deadline deadline{0};
+
+  std::size_t incumbent = std::numeric_limits<std::size_t>::max();
+  std::vector<std::vector<net::NodeId>> best;
+  std::vector<std::vector<net::NodeId>> current;
+  bool found = false;
+  bool timed_out = false;
+  std::uint64_t nodes = 0;
+  std::map<std::string, std::size_t> memo;  // pending-set -> fewest rounds used
+
+  void dfs(std::set<net::NodeId>& pending, std::set<net::NodeId>& updated);
+  void branch(std::set<net::NodeId>& pending, std::set<net::NodeId>& updated,
+              const std::vector<net::NodeId>& cand, std::size_t idx,
+              std::set<net::NodeId>& round);
+};
+
+std::string pending_key(const std::set<net::NodeId>& pending) {
+  std::ostringstream os;
+  for (const net::NodeId v : pending) os << v << ',';
+  return os.str();
+}
+
+void Search::dfs(std::set<net::NodeId>& pending,
+                 std::set<net::NodeId>& updated) {
+  if (timed_out || deadline.expired()) {
+    timed_out = true;
+    return;
+  }
+  ++nodes;
+  if (pending.empty()) {
+    if (current.size() < incumbent) {
+      incumbent = current.size();
+      best = current;
+      found = true;
+    }
+    return;
+  }
+  if (current.size() + 1 >= incumbent) return;
+
+  const std::string key = pending_key(pending);
+  const auto it = memo.find(key);
+  if (it != memo.end() && it->second <= current.size()) return;
+  memo[key] = current.size();
+
+  std::vector<net::NodeId> cand;
+  for (const net::NodeId v : pending) {
+    if (round_is_loop_safe(*inst, updated, {v})) cand.push_back(v);
+  }
+  if (cand.empty()) return;  // stuck: no single switch is safe
+
+  std::set<net::NodeId> round;
+  branch(pending, updated, cand, 0, round);
+}
+
+void Search::branch(std::set<net::NodeId>& pending,
+                    std::set<net::NodeId>& updated,
+                    const std::vector<net::NodeId>& cand, std::size_t idx,
+                    std::set<net::NodeId>& round) {
+  if (timed_out || deadline.expired()) {
+    timed_out = true;
+    return;
+  }
+  if (idx == cand.size()) {
+    if (round.empty()) return;
+    for (const net::NodeId v : round) {
+      pending.erase(v);
+      updated.insert(v);
+    }
+    current.emplace_back(round.begin(), round.end());
+    dfs(pending, updated);
+    current.pop_back();
+    for (const net::NodeId v : round) {
+      updated.erase(v);
+      pending.insert(v);
+    }
+    return;
+  }
+  const net::NodeId v = cand[idx];
+  round.insert(v);
+  if (round_is_loop_safe(*inst, updated, round)) {
+    branch(pending, updated, cand, idx + 1, round);
+  }
+  round.erase(v);
+  branch(pending, updated, cand, idx + 1, round);
+}
+
+std::vector<std::vector<net::NodeId>> greedy_maximal(
+    const net::UpdateInstance& inst, std::set<net::NodeId> pending,
+    std::set<net::NodeId> updated, const util::Deadline& deadline) {
+  std::vector<std::vector<net::NodeId>> rounds;
+  while (!pending.empty()) {
+    std::set<net::NodeId> round;
+    for (const net::NodeId v : pending) {
+      if (deadline.expired()) return {};
+      round.insert(v);
+      if (!round_is_loop_safe(inst, updated, round)) round.erase(v);
+    }
+    if (round.empty()) return {};  // stuck
+    for (const net::NodeId v : round) {
+      pending.erase(v);
+      updated.insert(v);
+    }
+    rounds.emplace_back(round.begin(), round.end());
+  }
+  return rounds;
+}
+
+}  // namespace
+
+bool round_is_loop_safe(const net::UpdateInstance& inst,
+                        const std::set<net::NodeId>& updated,
+                        const std::set<net::NodeId>& round) {
+  return union_graph_acyclic(inst, updated, round);
+}
+
+OrderResult solve_order_replacement(const net::UpdateInstance& inst,
+                                    const OrderOptions& opts) {
+  OrderResult res;
+  const auto to_update = inst.switches_to_update();
+  if (to_update.empty()) {
+    res.feasible = true;
+    res.proved_optimal = true;
+    res.message = "nothing to update";
+    return res;
+  }
+  std::set<net::NodeId> pending(to_update.begin(), to_update.end());
+
+  // Switches with no old rule carry no traffic; installing their rules
+  // first is always safe and avoids transient blackholes once upstream
+  // switches flip. They form a preliminary round outside the optimization.
+  std::vector<net::NodeId> fresh;
+  for (auto it = pending.begin(); it != pending.end();) {
+    if (!inst.old_next(*it)) {
+      fresh.push_back(*it);
+      it = pending.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  if (pending.empty()) {
+    res.feasible = true;
+    res.proved_optimal = true;
+    res.rounds.push_back(fresh);
+    return res;
+  }
+  const std::set<net::NodeId> pre_installed(fresh.begin(), fresh.end());
+
+  const util::Deadline deadline(opts.timeout_sec);
+  const auto greedy = greedy_maximal(inst, pending, pre_installed, deadline);
+  const auto with_fresh_round = [&](std::vector<std::vector<net::NodeId>> rounds) {
+    if (!fresh.empty()) rounds.insert(rounds.begin(), fresh);
+    return rounds;
+  };
+
+  if (pending.size() > opts.exact_limit) {
+    res.feasible = !greedy.empty();
+    res.timed_out = deadline.expired();
+    res.rounds = with_fresh_round(greedy);
+    res.message = res.timed_out ? "deadline hit during greedy-maximal"
+                                : "greedy-maximal (instance above exact_limit)";
+    return res;
+  }
+
+  Search s;
+  s.inst = &inst;
+  s.deadline = deadline;
+  if (!greedy.empty()) {
+    s.found = true;
+    s.best = greedy;
+    s.incumbent = greedy.size();
+  }
+  std::set<net::NodeId> updated = pre_installed;
+  s.dfs(pending, updated);
+
+  res.timed_out = s.timed_out;
+  res.nodes_explored = s.nodes;
+  res.feasible = s.found;
+  res.rounds = with_fresh_round(s.best);
+  res.proved_optimal = s.found && !s.timed_out;
+  if (s.timed_out) res.message = "deadline hit; incumbent returned";
+  if (!s.found) res.message = "no loop-free round sequence found";
+  return res;
+}
+
+}  // namespace chronus::opt

@@ -1,0 +1,54 @@
+// OR: the order-replacement baseline planner (Ludwig et al., PODC'15, as
+// used in the paper's §V): partition the to-be-updated switches into a
+// minimum number of rounds such that — no matter in which order the rule
+// replacements inside a round take effect — no transient forwarding loop
+// can occur. Capacities and link delays are deliberately ignored, exactly
+// like the baseline the paper compares against.
+//
+// Round safety uses the union-graph characterization: given the already
+// updated set U and a candidate round S, build the graph where switches in
+// U forward with their new rule, switches in S contribute BOTH rules and
+// everyone else forwards with the old rule. Any cycle in that graph selects
+// a consistent intermediate configuration (take exactly the S-switches whose
+// new edge lies on the cycle as "already flipped") and vice versa, so S is
+// safe iff the union graph is acyclic. This makes the per-round check
+// polynomial; round minimization itself is NP-hard and solved by branch and
+// bound (with a greedy-maximal fallback beyond `exact_limit`), matching the
+// paper's "branch and bound method" for OR.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/instance.hpp"
+
+namespace chronus::opt {
+
+/// True iff updating all of `round` asynchronously, after `updated` already
+/// took effect, cannot create a transient forwarding loop.
+bool round_is_loop_safe(const net::UpdateInstance& inst,
+                        const std::set<net::NodeId>& updated,
+                        const std::set<net::NodeId>& round);
+
+struct OrderOptions {
+  double timeout_sec = 10.0;     ///< <= 0 disables the deadline
+  std::size_t exact_limit = 18;  ///< above this many switches: greedy only
+};
+
+struct OrderResult {
+  bool feasible = false;
+  std::vector<std::vector<net::NodeId>> rounds;
+  bool proved_optimal = false;
+  bool timed_out = false;
+  std::uint64_t nodes_explored = 0;
+  std::string message;
+
+  std::size_t round_count() const { return rounds.size(); }
+};
+
+OrderResult solve_order_replacement(const net::UpdateInstance& inst,
+                                    const OrderOptions& opts = {});
+
+}  // namespace chronus::opt

@@ -1,0 +1,68 @@
+#include "sim/controller.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace chronus::sim {
+
+Controller::Controller(EventQueue& eq, Network& net, util::Rng& rng,
+                       ControlChannelModel model)
+    : eq_(&eq), net_(&net), rng_(&rng), model_(model),
+      last_apply_(net.switch_count(), 0) {}
+
+void Controller::advance_clock(SimTime to) {
+  clock_ = std::max(clock_, to);
+}
+
+SimTime Controller::sample_latency() {
+  const double median = static_cast<double>(model_.latency_median);
+  const double latency = rng_->log_normal(std::log(median), model_.latency_sigma);
+  return std::max<SimTime>(1, static_cast<SimTime>(latency));
+}
+
+SimTime Controller::apply_at(SwitchId sw, SimTime at, FlowMod mod) {
+  // Per-switch FIFO: a switch applies mods in the order they arrive.
+  at = std::max(at, last_apply_[sw]);
+  last_apply_[sw] = at;
+  SimSwitch* target = &net_->sw(sw);
+  eq_->schedule_at(at, [target, at, mod = std::move(mod)] {
+    target->apply(at, mod);
+  });
+  return at;
+}
+
+void Controller::install_now(SwitchId sw, FlowEntry entry) {
+  FlowMod mod;
+  mod.type = FlowModType::kAdd;
+  mod.entry = std::move(entry);
+  apply_at(sw, clock_, std::move(mod));
+}
+
+SimTime Controller::send_flow_mod(SwitchId sw, FlowMod mod) {
+  return apply_at(sw, clock_ + sample_latency(), std::move(mod));
+}
+
+SimTime Controller::send_timed_flow_mod(SwitchId sw, FlowMod mod,
+                                        SimTime execute_at) {
+  const SimTime arrival = clock_ + sample_latency();
+  SimTime exec = execute_at;
+  if (model_.sync_error_stddev > 0) {
+    exec += static_cast<SimTime>(std::llround(
+        rng_->normal(0.0, static_cast<double>(model_.sync_error_stddev))));
+  }
+  return apply_at(sw, std::max(arrival, exec), std::move(mod));
+}
+
+SimTime Controller::barrier(SwitchId sw) {
+  const SimTime request_arrives = clock_ + sample_latency();
+  const SimTime done = std::max(request_arrives, last_apply_[sw]);
+  return done + sample_latency();
+}
+
+void Controller::flush() {
+  eq_->run();
+  clock_ = std::max(clock_, eq_->now());
+}
+
+}  // namespace chronus::sim

@@ -1,0 +1,71 @@
+// The controller: the Floodlight substitute. It issues FlowMods over a
+// control channel with log-normally distributed latency (parameterized to
+// the Dionysus rule-install measurements the paper samples from), supports
+// Time4-style *timed* FlowMods executed at a scheduled instant subject to
+// microsecond-scale clock-synchronization error, and implements OpenFlow
+// barriers (a BarrierReply is sent once all earlier mods on that switch
+// have been applied).
+//
+// The controller owns a logical clock (`clock`): the time at which it
+// issues its next command. Updaters advance it as they orchestrate rounds;
+// switch-side effects are scheduled on the shared event queue.
+#pragma once
+
+#include "sim/event_queue.hpp"
+#include "sim/network.hpp"
+#include "util/rng.hpp"
+
+namespace chronus::sim {
+
+struct ControlChannelModel {
+  /// Median one-way control latency (FlowMod issue -> switch applies).
+  SimTime latency_median = 50 * kMillisecond;
+  /// Log-normal sigma; ~0.8 gives the heavy tail seen in Dionysus data.
+  double latency_sigma = 0.8;
+  /// Stddev of the Time4 scheduled-execution error (clock sync quality).
+  SimTime sync_error_stddev = 1;  // microseconds
+};
+
+class Controller {
+ public:
+  Controller(EventQueue& eq, Network& net, util::Rng& rng,
+             ControlChannelModel model = {});
+
+  /// The controller's logical clock; commands are issued at this time.
+  SimTime clock() const { return clock_; }
+  void advance_clock(SimTime to);
+
+  /// Installs an entry immediately at the current clock (initial network
+  /// configuration; no control latency).
+  void install_now(SwitchId sw, FlowEntry entry);
+
+  /// Sends an asynchronous FlowMod; it is applied after the control
+  /// latency (in FIFO order per switch). Returns the apply time.
+  SimTime send_flow_mod(SwitchId sw, FlowMod mod);
+
+  /// Sends a timed FlowMod executing at `execute_at` (plus clock error);
+  /// if the mod arrives after `execute_at` it executes on arrival.
+  SimTime send_timed_flow_mod(SwitchId sw, FlowMod mod, SimTime execute_at);
+
+  /// Barrier: the time at which the BarrierReply for `sw` reaches the
+  /// controller (after every mod sent so far has been applied).
+  SimTime barrier(SwitchId sw);
+
+  /// Runs the event queue until all scheduled switch effects are applied.
+  void flush();
+
+  Network& network() { return *net_; }
+
+ private:
+  SimTime sample_latency();
+  SimTime apply_at(SwitchId sw, SimTime at, FlowMod mod);
+
+  EventQueue* eq_;
+  Network* net_;
+  util::Rng* rng_;
+  ControlChannelModel model_;
+  SimTime clock_ = 0;
+  std::vector<SimTime> last_apply_;  // per switch: latest scheduled apply
+};
+
+}  // namespace chronus::sim

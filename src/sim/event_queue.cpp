@@ -1,0 +1,33 @@
+#include "sim/event_queue.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace chronus::sim {
+
+void EventQueue::schedule_at(SimTime at, Callback cb) {
+  if (at < now_) throw std::invalid_argument("scheduling into the past");
+  events_.push(Event{at, seq_++, std::move(cb)});
+}
+
+void EventQueue::schedule_in(SimTime delay, Callback cb) {
+  schedule_at(now_ + delay, std::move(cb));
+}
+
+std::size_t EventQueue::run(SimTime until) {
+  std::size_t executed = 0;
+  while (!events_.empty() && events_.top().at <= until) {
+    // priority_queue::top is const; move via const_cast is UB — copy the
+    // callback out through a temporary instead.
+    Event ev = events_.top();
+    events_.pop();
+    now_ = ev.at;
+    ev.cb();
+    ++executed;
+  }
+  // Remaining events are strictly later than `until`; time passed anyway.
+  if (until != INT64_MAX && now_ < until) now_ = until;
+  return executed;
+}
+
+}  // namespace chronus::sim

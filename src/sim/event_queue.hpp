@@ -1,0 +1,49 @@
+// Discrete-event core: a time-ordered queue of callbacks. Ties are broken
+// by insertion order so runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/sim_time.hpp"
+
+namespace chronus::sim {
+
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Schedules `cb` at absolute time `at` (>= now()).
+  void schedule_at(SimTime at, Callback cb);
+
+  /// Schedules `cb` `delay` after now().
+  void schedule_in(SimTime delay, Callback cb);
+
+  SimTime now() const { return now_; }
+  bool empty() const { return events_.empty(); }
+  std::size_t pending() const { return events_.size(); }
+
+  /// Runs events until the queue is empty or `until` is passed; returns the
+  /// number of events executed. Events exactly at `until` still run.
+  std::size_t run(SimTime until = INT64_MAX);
+
+ private:
+  struct Event {
+    SimTime at;
+    std::uint64_t seq;
+    Callback cb;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  SimTime now_ = 0;
+  std::uint64_t seq_ = 0;
+};
+
+}  // namespace chronus::sim

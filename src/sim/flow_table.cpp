@@ -1,0 +1,94 @@
+#include "sim/flow_table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace chronus::sim {
+
+namespace {
+bool prefix_matches(const std::string& prefix, const std::string& field) {
+  return prefix.empty() || field.rfind(prefix, 0) == 0;
+}
+}  // namespace
+
+bool Match::matches(const PacketHeader& pkt) const {
+  if (in_port != kNoPort && in_port != pkt.in_port) return false;
+  if (vlan != kNoVlan && vlan != pkt.vlan) return false;
+  return prefix_matches(src_prefix, pkt.src) && prefix_matches(dst_prefix, pkt.dst);
+}
+
+std::string FlowEntry::to_string() const {
+  std::ostringstream os;
+  os << "prio=" << priority;
+  if (match.in_port != kNoPort) os << " in_port=" << match.in_port;
+  if (!match.src_prefix.empty()) os << " src=" << match.src_prefix;
+  if (!match.dst_prefix.empty()) os << " dst=" << match.dst_prefix;
+  if (match.vlan != kNoVlan) os << " vlan=" << match.vlan;
+  os << " ->";
+  switch (action.type) {
+    case ActionType::kOutput:
+      if (action.out_port == kHostPort) {
+        os << " output:host";
+      } else {
+        os << " output:" << action.out_port;
+      }
+      break;
+    case ActionType::kSetVlanAndOutput:
+      os << " set_vlan:" << action.set_vlan << ",output:" << action.out_port;
+      break;
+    case ActionType::kDrop:
+      os << " drop";
+      break;
+  }
+  return os.str();
+}
+
+bool FlowTable::add(FlowEntry entry) {
+  for (FlowEntry& e : entries_) {
+    if (e.priority == entry.priority && e.match == entry.match) {
+      e.action = entry.action;
+      return true;
+    }
+  }
+  entries_.push_back(std::move(entry));
+  return false;
+}
+
+std::size_t FlowTable::modify(const Match& match, int priority,
+                              const Action& action) {
+  std::size_t n = 0;
+  for (FlowEntry& e : entries_) {
+    if (e.priority == priority && e.match == match) {
+      e.action = action;
+      ++n;
+    }
+  }
+  return n;
+}
+
+std::size_t FlowTable::remove(const Match& match, int priority) {
+  const auto old_size = entries_.size();
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [&](const FlowEntry& e) {
+                                  return e.priority == priority &&
+                                         e.match == match;
+                                }),
+                 entries_.end());
+  return old_size - entries_.size();
+}
+
+const FlowEntry* FlowTable::lookup(const PacketHeader& pkt) const {
+  const FlowEntry* best = nullptr;
+  for (const FlowEntry& e : entries_) {
+    if (!e.match.matches(pkt)) continue;
+    if (!best || e.priority > best->priority) best = &e;
+  }
+  return best;
+}
+
+FlowEntry* FlowTable::lookup(const PacketHeader& pkt) {
+  return const_cast<FlowEntry*>(
+      static_cast<const FlowTable*>(this)->lookup(pkt));
+}
+
+}  // namespace chronus::sim

@@ -1,0 +1,96 @@
+// OpenFlow-style flow tables: priority-ordered entries matching on ingress
+// port, source/destination prefix and VLAN tag (the paper's "LAN ID" used
+// by two-phase versioning), with output / set-tag / drop actions and byte
+// counters — the structure of Table II.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace chronus::sim {
+
+using PortId = std::uint32_t;
+inline constexpr PortId kNoPort = static_cast<PortId>(-1);
+/// The local delivery port (host attached to the switch).
+inline constexpr PortId kHostPort = static_cast<PortId>(-2);
+
+using VlanTag = std::int32_t;
+inline constexpr VlanTag kNoVlan = -1;
+
+/// Packet header fields relevant to matching.
+struct PacketHeader {
+  PortId in_port = kNoPort;
+  std::string src;   ///< e.g. "10.0.0.1"
+  std::string dst;
+  VlanTag vlan = kNoVlan;
+};
+
+/// Match fields; empty string / kNoPort / kNoVlan are wildcards. Prefixes
+/// match when the packet field starts with the rule field (exact-match
+/// rules simply use the full string, per the paper's exact-match remark).
+struct Match {
+  PortId in_port = kNoPort;
+  std::string src_prefix;
+  std::string dst_prefix;
+  VlanTag vlan = kNoVlan;
+
+  bool matches(const PacketHeader& pkt) const;
+  bool operator==(const Match&) const = default;
+};
+
+enum class ActionType { kOutput, kSetVlanAndOutput, kDrop };
+
+struct Action {
+  ActionType type = ActionType::kDrop;
+  PortId out_port = kNoPort;
+  VlanTag set_vlan = kNoVlan;
+
+  static Action output(PortId port) {
+    return Action{ActionType::kOutput, port, kNoVlan};
+  }
+  static Action set_vlan_output(VlanTag tag, PortId port) {
+    return Action{ActionType::kSetVlanAndOutput, port, tag};
+  }
+  static Action drop() { return Action{}; }
+
+  bool operator==(const Action&) const = default;
+};
+
+struct FlowEntry {
+  int priority = 0;
+  Match match;
+  Action action;
+  std::uint64_t byte_count = 0;
+
+  std::string to_string() const;
+};
+
+/// A switch's flow table. Lookup returns the highest-priority matching
+/// entry (ties broken by insertion order, oldest first, like OVS).
+class FlowTable {
+ public:
+  /// Inserts an entry; replaces an existing entry with identical match and
+  /// priority (OpenFlow ADD semantics). Returns true if it replaced.
+  bool add(FlowEntry entry);
+
+  /// Modifies the action of entries with identical match and priority
+  /// (OpenFlow MODIFY_STRICT). Returns the number of entries modified.
+  std::size_t modify(const Match& match, int priority, const Action& action);
+
+  /// Deletes entries with identical match and priority (DELETE_STRICT).
+  std::size_t remove(const Match& match, int priority);
+
+  /// Highest-priority match, if any.
+  const FlowEntry* lookup(const PacketHeader& pkt) const;
+  FlowEntry* lookup(const PacketHeader& pkt);
+
+  std::size_t size() const { return entries_.size(); }
+  const std::vector<FlowEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<FlowEntry> entries_;
+};
+
+}  // namespace chronus::sim

@@ -1,0 +1,16 @@
+// Simulator time base: signed 64-bit microseconds. Microsecond resolution
+// matches the Time4-style scheduling accuracy the paper builds on ("the
+// updates can be scheduled accurately on the order of one microsecond").
+#pragma once
+
+#include <cstdint>
+
+namespace chronus::sim {
+
+using SimTime = std::int64_t;  // microseconds
+
+inline constexpr SimTime kMicrosecond = 1;
+inline constexpr SimTime kMillisecond = 1000;
+inline constexpr SimTime kSecond = 1000 * 1000;
+
+}  // namespace chronus::sim

@@ -1,0 +1,69 @@
+#include "sim/switch.hpp"
+
+#include <stdexcept>
+
+namespace chronus::sim {
+
+namespace {
+void apply_to_table(FlowTable& table, const FlowMod& mod) {
+  switch (mod.type) {
+    case FlowModType::kAdd:
+      table.add(mod.entry);
+      break;
+    case FlowModType::kModifyStrict:
+      table.modify(mod.entry.match, mod.entry.priority, mod.entry.action);
+      break;
+    case FlowModType::kDeleteStrict:
+      table.remove(mod.entry.match, mod.entry.priority);
+      break;
+  }
+}
+}  // namespace
+
+void SimSwitch::apply(SimTime at, const FlowMod& mod) {
+  if (!log_.empty() && at < log_.back().at) {
+    throw std::logic_error("FlowMod applied out of order");
+  }
+  log_.push_back(LogEntry{at, mod});
+  apply_to_table(table_, mod);
+  peak_size_ = std::max(peak_size_, table_.size());
+}
+
+FlowTable SimSwitch::table_at(SimTime t) const {
+  FlowTable table;
+  for (const LogEntry& e : log_) {
+    if (e.at > t) break;
+    apply_to_table(table, e.mod);
+  }
+  return table;
+}
+
+std::vector<std::pair<SimTime, FlowTable>> SimSwitch::snapshots() const {
+  std::vector<std::pair<SimTime, FlowTable>> out;
+  FlowTable table;
+  for (const LogEntry& e : log_) {
+    apply_to_table(table, e.mod);
+    if (!out.empty() && out.back().first == e.at) {
+      out.back().second = table;
+    } else {
+      out.emplace_back(e.at, table);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<SimTime, std::size_t>> SimSwitch::size_history() const {
+  std::vector<std::pair<SimTime, std::size_t>> out;
+  FlowTable table;
+  for (const LogEntry& e : log_) {
+    apply_to_table(table, e.mod);
+    if (out.empty() || out.back().first != e.at) {
+      out.emplace_back(e.at, table.size());
+    } else {
+      out.back().second = table.size();
+    }
+  }
+  return out;
+}
+
+}  // namespace chronus::sim

@@ -1,0 +1,201 @@
+#include "sim/updaters.hpp"
+
+#include <algorithm>
+
+namespace chronus::sim {
+
+namespace {
+
+FlowEntry forwarding_entry(const SimFlowSpec& spec, PortId out_port,
+                           VlanTag match_vlan = kNoVlan) {
+  FlowEntry e;
+  e.priority = spec.rule_priority;
+  e.match.dst_prefix = spec.dst_prefix;
+  e.match.vlan = match_vlan;
+  e.action = Action::output(out_port);
+  return e;
+}
+
+FlowEntry stamping_entry(const SimFlowSpec& spec, VlanTag stamp,
+                         PortId out_port) {
+  FlowEntry e;
+  e.priority = spec.rule_priority + 10;
+  e.match.in_port = kHostPort;
+  e.match.dst_prefix = spec.dst_prefix;
+  e.action = Action::set_vlan_output(stamp, out_port);
+  return e;
+}
+
+}  // namespace
+
+void install_initial_rules(Controller& ctrl, const net::UpdateInstance& inst,
+                           const SimFlowSpec& spec, bool versioned) {
+  Network& net = ctrl.network();
+  const net::Path& p = inst.p_init();
+  const VlanTag transit_vlan = versioned ? kOldVersion : kNoVlan;
+  for (std::size_t i = 0; i + 1 < p.size(); ++i) {
+    const PortId port = net.port_towards(p[i], p[i + 1]);
+    if (versioned && i == 0) {
+      ctrl.install_now(p[i], stamping_entry(spec, kOldVersion, port));
+    } else {
+      ctrl.install_now(p[i], forwarding_entry(spec, port, transit_vlan));
+    }
+  }
+  ctrl.install_now(p.back(), forwarding_entry(spec, kHostPort, transit_vlan));
+}
+
+UpdateRunResult run_timed_schedule(Controller& ctrl,
+                                   const net::UpdateInstance& inst,
+                                   const SimFlowSpec& spec,
+                                   const timenet::UpdateSchedule& schedule,
+                                   SimTime t0, SimTime step_unit,
+                                   bool confirm_with_barriers) {
+  UpdateRunResult run;
+  run.start = ctrl.clock();
+  Network& net = ctrl.network();
+  // Time4: all timed bundles are dispatched ahead of t0 and fire at their
+  // scheduled instants (subject to clock-sync error).
+  SimTime finish = ctrl.clock();
+  for (const auto& [step, switches] : schedule.by_time()) {
+    const SimTime exec_at = t0 + step * step_unit;
+    for (const net::NodeId v : switches) {
+      const auto next = inst.new_next(v);
+      FlowMod mod;
+      mod.type = FlowModType::kAdd;  // replaces the action in place
+      mod.entry = forwarding_entry(spec, net.port_towards(v, *next));
+      const SimTime applied = ctrl.send_timed_flow_mod(v, mod, exec_at);
+      run.applied[v] = applied;
+      finish = std::max(finish, applied);
+    }
+  }
+  // Barrier confirmation per step (Algorithm 5 lines 6-9). Skipped when a
+  // caller dispatches several flows' bundles first and confirms later —
+  // barriers advance the controller clock, which would delay the next
+  // flow's dispatch past its own execution instants.
+  if (confirm_with_barriers) {
+    for (const auto& [step, switches] : schedule.by_time()) {
+      ctrl.advance_clock(t0 + (step + 1) * step_unit);
+      for (const net::NodeId v : switches) {
+        finish = std::max(finish, ctrl.barrier(v));
+      }
+    }
+    ctrl.advance_clock(finish);
+  }
+  run.finish = finish;
+  return run;
+}
+
+UpdateRunResult run_chronus_update(Controller& ctrl,
+                                   const net::UpdateInstance& inst,
+                                   const SimFlowSpec& spec, SimTime t0,
+                                   SimTime step_unit,
+                                   const core::GreedyOptions& gopts) {
+  const core::ScheduleResult plan = core::greedy_schedule(inst, gopts);
+  if (plan.status == core::ScheduleStatus::kInfeasible) {
+    UpdateRunResult run;
+    run.start = ctrl.clock();
+    run.plan_status = plan.status;
+    run.note = "greedy scheduler: " + plan.message;
+    run.finish = ctrl.clock();
+    return run;
+  }
+  UpdateRunResult run =
+      run_timed_schedule(ctrl, inst, spec, plan.schedule, t0, step_unit);
+  run.plan_status = plan.status;
+  return run;
+}
+
+UpdateRunResult run_or_update(Controller& ctrl, const net::UpdateInstance& inst,
+                              const SimFlowSpec& spec, SimTime t0,
+                              const opt::OrderOptions& plan_opts) {
+  UpdateRunResult run;
+  ctrl.advance_clock(t0);
+  run.start = ctrl.clock();
+
+  const opt::OrderResult plan = opt::solve_order_replacement(inst, plan_opts);
+  if (!plan.feasible) {
+    run.plan_status = core::ScheduleStatus::kInfeasible;
+    run.note = "OR planner: " + plan.message;
+    run.finish = ctrl.clock();
+    return run;
+  }
+
+  Network& net = ctrl.network();
+  for (const auto& round : plan.rounds) {
+    for (const net::NodeId v : round) {
+      const auto next = inst.new_next(v);
+      FlowMod mod;
+      mod.type = FlowModType::kAdd;
+      mod.entry = forwarding_entry(spec, net.port_towards(v, *next));
+      run.applied[v] = ctrl.send_flow_mod(v, mod);
+    }
+    SimTime round_done = ctrl.clock();
+    for (const net::NodeId v : round) {
+      round_done = std::max(round_done, ctrl.barrier(v));
+    }
+    ctrl.advance_clock(round_done);
+  }
+  run.finish = ctrl.clock();
+  return run;
+}
+
+UpdateRunResult run_two_phase_update(Controller& ctrl,
+                                     const net::UpdateInstance& inst,
+                                     const SimFlowSpec& spec, SimTime t0,
+                                     SimTime drain_margin) {
+  UpdateRunResult run;
+  ctrl.advance_clock(t0);
+  run.start = ctrl.clock();
+  Network& net = ctrl.network();
+  const net::Path& fin = inst.p_fin();
+
+  // Phase 1: install the new generation alongside the old one.
+  SimTime installed = ctrl.clock();
+  for (std::size_t i = 0; i + 1 < fin.size(); ++i) {
+    if (i == 0) continue;  // the ingress forwards via its stamping rule
+    const PortId port = net.port_towards(fin[i], fin[i + 1]);
+    FlowMod mod;
+    mod.type = FlowModType::kAdd;
+    mod.entry = forwarding_entry(spec, port, kNewVersion);
+    run.applied[fin[i]] = ctrl.send_flow_mod(fin[i], mod);
+  }
+  {
+    FlowMod mod;
+    mod.type = FlowModType::kAdd;
+    mod.entry = forwarding_entry(spec, kHostPort, kNewVersion);
+    run.applied[fin.back()] = ctrl.send_flow_mod(fin.back(), mod);
+  }
+  for (std::size_t i = 1; i < fin.size(); ++i) {
+    installed = std::max(installed, ctrl.barrier(fin[i]));
+  }
+  ctrl.advance_clock(installed);
+
+  // Phase 2: flip the ingress stamping rule; packets stamped from now on
+  // carry the new version and follow the new path end to end.
+  {
+    const PortId port = net.port_towards(fin.front(), fin[1]);
+    FlowMod mod;
+    mod.type = FlowModType::kAdd;
+    mod.entry = stamping_entry(spec, kNewVersion, port);
+    run.flip_time = ctrl.send_flow_mod(fin.front(), mod);
+    run.applied[fin.front()] = run.flip_time;
+    ctrl.advance_clock(ctrl.barrier(fin.front()));
+  }
+
+  // Phase 3: after the drain margin, garbage-collect the old generation.
+  ctrl.advance_clock(run.flip_time + drain_margin);
+  const net::Path& init = inst.p_init();
+  SimTime cleaned = ctrl.clock();
+  for (std::size_t i = 1; i < init.size(); ++i) {
+    FlowMod mod;
+    mod.type = FlowModType::kDeleteStrict;
+    mod.entry = forwarding_entry(spec, kNoPort, kOldVersion);
+    ctrl.send_flow_mod(init[i], mod);
+    cleaned = std::max(cleaned, ctrl.barrier(init[i]));
+  }
+  ctrl.advance_clock(cleaned);
+  run.finish = ctrl.clock();
+  return run;
+}
+
+}  // namespace chronus::sim

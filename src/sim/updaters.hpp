@@ -1,0 +1,90 @@
+// The three update mechanisms of the paper's evaluation, driven end-to-end
+// through the simulated control plane:
+//
+//  * run_chronus_update — Algorithm 5: plan with the greedy scheduler, then
+//    walk the time steps issuing Time4 timed FlowMods followed by barrier
+//    request/reply rounds, one step per `step_unit` of wall time.
+//  * run_or_update — order replacement: per round, asynchronous FlowMods
+//    (log-normal activation latencies), barrier-gated between rounds.
+//  * run_two_phase_update — two-phase commit with VLAN versioning: install
+//    the new generation, flip the ingress stamping rule, drain, delete.
+//
+// Initial rule installation follows Table II: per-flow transit rules plus
+// host entries at the edge switches; the two-phase variant versions every
+// transit rule with a VLAN tag and stamps at the ingress.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "core/greedy_scheduler.hpp"
+#include "net/instance.hpp"
+#include "opt/order_bnb.hpp"
+#include "sim/controller.hpp"
+
+namespace chronus::sim {
+
+/// How a dynamic flow appears in the data plane.
+struct SimFlowSpec {
+  std::string name = "f0";
+  std::string src_prefix = "10.0.1.";
+  std::string dst_prefix = "10.0.2.";
+  double rate_bps = 0.0;
+  int rule_priority = 10;
+};
+
+inline constexpr VlanTag kOldVersion = 1;
+inline constexpr VlanTag kNewVersion = 2;
+
+/// Installs the initial routing of `spec` along inst.p_init() at the
+/// controller's current clock. With `versioned` set, transit rules match
+/// kOldVersion and the ingress stamps it (two-phase style); otherwise
+/// rules are tag-agnostic (Chronus/OR style).
+void install_initial_rules(Controller& ctrl, const net::UpdateInstance& inst,
+                           const SimFlowSpec& spec, bool versioned = false);
+
+struct UpdateRunResult {
+  /// Actual rule activation instants per switch (microseconds).
+  std::map<SwitchId, SimTime> applied;
+  SimTime start = 0;
+  SimTime finish = 0;  ///< last barrier reply / cleanup done
+  /// Two-phase only: the instant the ingress stamping rule flipped.
+  SimTime flip_time = 0;
+  core::ScheduleStatus plan_status = core::ScheduleStatus::kFeasible;
+  std::string note;
+};
+
+/// Algorithm 5. `t0` is the wall time of schedule step 0; consecutive steps
+/// are `step_unit` apart (the paper sleeps one time unit between steps).
+UpdateRunResult run_chronus_update(Controller& ctrl,
+                                   const net::UpdateInstance& inst,
+                                   const SimFlowSpec& spec, SimTime t0,
+                                   SimTime step_unit,
+                                   const core::GreedyOptions& gopts = {});
+
+/// Executes a precomputed timed schedule (Time4 bundles + barriers) for one
+/// flow. Multi-flow plans (core::schedule_flows_jointly) are executed by
+/// calling this once per flow with the same t0/step_unit, so the flows'
+/// schedules share one wall-clock axis.
+UpdateRunResult run_timed_schedule(Controller& ctrl,
+                                   const net::UpdateInstance& inst,
+                                   const SimFlowSpec& spec,
+                                   const timenet::UpdateSchedule& schedule,
+                                   SimTime t0, SimTime step_unit,
+                                   bool confirm_with_barriers = true);
+
+/// Order replacement: plans with opt::solve_order_replacement, then issues
+/// each round asynchronously, gated by barriers.
+UpdateRunResult run_or_update(Controller& ctrl, const net::UpdateInstance& inst,
+                              const SimFlowSpec& spec, SimTime t0,
+                              const opt::OrderOptions& plan_opts = {});
+
+/// Two-phase with VLAN versioning. Requires install_initial_rules(...,
+/// versioned=true). `drain_margin` is waited after the flip before the old
+/// generation is deleted.
+UpdateRunResult run_two_phase_update(Controller& ctrl,
+                                     const net::UpdateInstance& inst,
+                                     const SimFlowSpec& spec, SimTime t0,
+                                     SimTime drain_margin);
+
+}  // namespace chronus::sim

@@ -1,0 +1,49 @@
+#include "timenet/path_enum.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace chronus::timenet {
+
+namespace {
+
+void dfs(const net::Graph& g, net::NodeId dst, const EnumerateOptions& opts,
+         TimedPath& current, std::set<net::NodeId>& visited,
+         std::vector<TimedPath>& out) {
+  if (out.size() >= opts.max_paths) return;
+  const TimedNode at = current.back();  // by value: push_back reallocates
+  if (at.node == dst) {
+    out.push_back(current);
+    return;
+  }
+  for (const net::LinkId id : g.out_links(at.node)) {
+    const net::Link& l = g.link(id);
+    const TimePoint arrival = at.time + l.delay;
+    if (arrival > opts.t_end) continue;
+    if (visited.count(l.dst)) continue;  // Definition 2: no switch twice
+    visited.insert(l.dst);
+    current.push_back(TimedNode{l.dst, arrival});
+    dfs(g, dst, opts, current, visited, out);
+    current.pop_back();
+    visited.erase(l.dst);
+  }
+}
+
+}  // namespace
+
+std::vector<TimedPath> enumerate_timed_paths(const net::Graph& g,
+                                             net::NodeId src, TimePoint t0,
+                                             net::NodeId dst,
+                                             const EnumerateOptions& opts) {
+  std::vector<TimedPath> out;
+  TimedPath current{TimedNode{src, t0}};
+  std::set<net::NodeId> visited{src};
+  dfs(g, dst, opts, current, visited, out);
+  return out;
+}
+
+bool contains_path(const std::vector<TimedPath>& set, const TimedPath& path) {
+  return std::find(set.begin(), set.end(), path) != set.end();
+}
+
+}  // namespace chronus::timenet

@@ -1,0 +1,88 @@
+// Timed update schedules: the output of MUTP solvers — a time point t_j for
+// every switch v_i that must be updated ({v_i, t_j} in the paper's
+// Algorithm 2). Times are in the same integral unit as link delays.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/graph.hpp"
+
+namespace chronus::timenet {
+
+using TimePoint = std::int64_t;
+
+class UpdateSchedule {
+ public:
+  UpdateSchedule() = default;
+
+  /// Assigns (or reassigns) the update time of a switch.
+  void set(net::NodeId v, TimePoint t) { times_[v] = t; }
+
+  void erase(net::NodeId v) { times_.erase(v); }
+
+  /// Update time of v; nullopt means v is never updated (keeps old rule).
+  std::optional<TimePoint> at(net::NodeId v) const {
+    const auto it = times_.find(v);
+    if (it == times_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  bool contains(net::NodeId v) const { return times_.count(v) > 0; }
+  std::size_t size() const { return times_.size(); }
+  bool empty() const { return times_.empty(); }
+
+  /// Earliest / latest update times; require a non-empty schedule.
+  TimePoint first_time() const;
+  TimePoint last_time() const;
+
+  /// last_time - first_time + 1 == |T|, the number of update steps the
+  /// objective of program (3) minimizes; 0 for an empty schedule.
+  std::int64_t step_span() const;
+
+  /// Switches grouped by update time, ascending (Algorithm 5 walks this).
+  std::vector<std::pair<TimePoint, std::vector<net::NodeId>>> by_time() const;
+
+  const std::map<net::NodeId, TimePoint>& entries() const { return times_; }
+
+  bool operator==(const UpdateSchedule& other) const = default;
+
+ private:
+  std::map<net::NodeId, TimePoint> times_;
+};
+
+inline TimePoint UpdateSchedule::first_time() const {
+  TimePoint best = 0;
+  bool first = true;
+  for (const auto& [_, t] : times_) {
+    if (first || t < best) best = t;
+    first = false;
+  }
+  return best;
+}
+
+inline TimePoint UpdateSchedule::last_time() const {
+  TimePoint best = 0;
+  bool first = true;
+  for (const auto& [_, t] : times_) {
+    if (first || t > best) best = t;
+    first = false;
+  }
+  return best;
+}
+
+inline std::int64_t UpdateSchedule::step_span() const {
+  if (times_.empty()) return 0;
+  return last_time() - first_time() + 1;
+}
+
+inline std::vector<std::pair<TimePoint, std::vector<net::NodeId>>>
+UpdateSchedule::by_time() const {
+  std::map<TimePoint, std::vector<net::NodeId>> grouped;
+  for (const auto& [v, t] : times_) grouped[t].push_back(v);
+  return {grouped.begin(), grouped.end()};
+}
+
+}  // namespace chronus::timenet

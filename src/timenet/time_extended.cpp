@@ -1,0 +1,61 @@
+#include "timenet/time_extended.hpp"
+
+#include <stdexcept>
+
+namespace chronus::timenet {
+
+TimeExtendedNetwork::TimeExtendedNetwork(const net::Graph& g, TimePoint t_begin,
+                                         TimePoint t_end,
+                                         bool keep_boundary_links)
+    : base_(&g), t_begin_(t_begin), t_end_(t_end) {
+  if (t_begin > t_end) throw std::invalid_argument("empty time window");
+  out_index_.resize(g.node_count() * time_steps());
+  for (TimePoint t = t_begin_; t <= t_end_; ++t) {
+    for (net::LinkId id = 0; id < g.link_count(); ++id) {
+      const net::Link& l = g.link(id);
+      const TimePoint head = t + l.delay;
+      if (head > t_end_ && !keep_boundary_links) continue;
+      TimedLink tl;
+      tl.from = TimedNode{l.src, t};
+      tl.to = TimedNode{l.dst, head};
+      tl.capacity = l.capacity;
+      tl.base_link = id;
+      out_index_[slot(l.src, t)].push_back(
+          static_cast<std::uint32_t>(links_.size()));
+      links_.push_back(tl);
+    }
+  }
+}
+
+std::size_t TimeExtendedNetwork::node_copies() const {
+  return base_->node_count() * time_steps();
+}
+
+std::size_t TimeExtendedNetwork::slot(net::NodeId v, TimePoint t) const {
+  return static_cast<std::size_t>(t - t_begin_) * base_->node_count() + v;
+}
+
+std::vector<TimedLink> TimeExtendedNetwork::out_links(net::NodeId v,
+                                                      TimePoint t) const {
+  std::vector<TimedLink> out;
+  if (t < t_begin_ || t > t_end_ || v >= base_->node_count()) return out;
+  for (const auto idx : out_index_[slot(v, t)]) out.push_back(links_[idx]);
+  return out;
+}
+
+std::optional<TimedLink> TimeExtendedNetwork::link_at(net::NodeId u,
+                                                      net::NodeId v,
+                                                      TimePoint t) const {
+  for (const TimedLink& l : out_links(u, t)) {
+    if (l.to.node == v) return l;
+  }
+  return std::nullopt;
+}
+
+std::string TimeExtendedNetwork::to_string(const TimedLink& l) const {
+  return base_->name(l.from.node) + "(t" + std::to_string(l.from.time) +
+         ") -> " + base_->name(l.to.node) + "(t" + std::to_string(l.to.time) +
+         ")";
+}
+
+}  // namespace chronus::timenet

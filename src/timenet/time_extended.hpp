@@ -1,0 +1,74 @@
+// The time-extended network G_T (Definition 4): one copy v(t) of every
+// switch for every time step t in T, and for each link <u,v> with delay
+// sigma a link <u(t), v(t+sigma)> with the original capacity.
+//
+// The schedulers themselves work on compact per-time structures, but the
+// explicit expansion is exposed for tests, exposition (Fig. 2/5) and the
+// OPT formulation, matching the paper's model one-to-one.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "timenet/schedule.hpp"
+
+namespace chronus::timenet {
+
+struct TimedNode {
+  net::NodeId node = net::kInvalidNode;
+  TimePoint time = 0;
+  bool operator==(const TimedNode&) const = default;
+};
+
+struct TimedLink {
+  TimedNode from;
+  TimedNode to;
+  net::Capacity capacity = 0.0;
+  net::LinkId base_link = net::kInvalidLink;
+};
+
+class TimeExtendedNetwork {
+ public:
+  /// Expands `g` over the inclusive time window [t_begin, t_end]. Links
+  /// whose head would fall outside the window are kept (they model flow
+  /// leaving the window) only when `keep_boundary_links` is set.
+  TimeExtendedNetwork(const net::Graph& g, TimePoint t_begin, TimePoint t_end,
+                      bool keep_boundary_links = false);
+
+  TimePoint t_begin() const { return t_begin_; }
+  TimePoint t_end() const { return t_end_; }
+  std::size_t time_steps() const {
+    return static_cast<std::size_t>(t_end_ - t_begin_ + 1);
+  }
+
+  /// Number of node copies = node_count * time_steps.
+  std::size_t node_copies() const;
+
+  const std::vector<TimedLink>& links() const { return links_; }
+
+  /// Outgoing timed links of v(t); empty if t outside the window.
+  std::vector<TimedLink> out_links(net::NodeId v, TimePoint t) const;
+
+  /// The timed link for base link <u,v> departing at t, if inside window.
+  std::optional<TimedLink> link_at(net::NodeId u, net::NodeId v,
+                                   TimePoint t) const;
+
+  const net::Graph& base() const { return *base_; }
+
+  /// "v1(t0) -> v2(t1)" for diagnostics.
+  std::string to_string(const TimedLink& l) const;
+
+ private:
+  const net::Graph* base_;
+  TimePoint t_begin_;
+  TimePoint t_end_;
+  std::vector<TimedLink> links_;
+  // links_ indexed per (node, time) for out_links lookups.
+  std::vector<std::vector<std::uint32_t>> out_index_;
+  std::size_t slot(net::NodeId v, TimePoint t) const;
+};
+
+}  // namespace chronus::timenet

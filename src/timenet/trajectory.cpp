@@ -1,0 +1,92 @@
+#include "timenet/trajectory.hpp"
+
+#include <unordered_set>
+
+namespace chronus::timenet {
+
+std::optional<net::NodeId> FlowView::rule_at(net::NodeId v, TimePoint t,
+                                             TimePoint injected) const {
+  if (per_packet_flip) {
+    if (injected >= *per_packet_flip) return instance->new_next(v);
+    return instance->old_next(v);
+  }
+  const auto update_time = schedule->at(v);
+  if (update_time && t >= *update_time) return instance->new_next(v);
+  return instance->old_next(v);
+}
+
+Trace trace_class(const FlowView& flow, TimePoint injected, int hop_limit) {
+  const net::Graph& g = *flow.graph;
+  if (hop_limit <= 0) hop_limit = static_cast<int>(g.node_count()) + 2;
+
+  Trace trace;
+  trace.injected = injected;
+
+  net::NodeId at = flow.instance->source();
+  TimePoint now = injected;
+  const net::NodeId dst = flow.instance->destination();
+  std::unordered_set<net::NodeId> visited;
+
+  trace.hops.push_back(TraceHop{at, now});
+  visited.insert(at);
+
+  for (int hop = 0; hop < hop_limit; ++hop) {
+    if (at == dst) {
+      trace.end = TraceEnd::kDelivered;
+      return trace;
+    }
+    const auto next = flow.rule_at(at, now, injected);
+    if (!next) {
+      trace.end = TraceEnd::kBlackhole;
+      trace.fault_node = at;
+      return trace;
+    }
+    const auto link = g.find_link(at, *next);
+    if (!link) {
+      // A rule over a non-existent link is a blackhole in the data plane.
+      trace.end = TraceEnd::kBlackhole;
+      trace.fault_node = at;
+      return trace;
+    }
+    now += g.link(*link).delay;
+    at = *next;
+    trace.hops.push_back(TraceHop{at, now});
+    if (!visited.insert(at).second &&
+        trace.loop_node == net::kInvalidNode) {
+      trace.loop_node = at;  // record, but keep flowing
+    }
+  }
+  trace.end = TraceEnd::kHopLimit;
+  trace.fault_node = at;
+  if (trace.loop_node == net::kInvalidNode) trace.loop_node = at;
+  return trace;
+}
+
+Trace trace_class(const net::UpdateInstance& inst, const UpdateSchedule& sched,
+                  TimePoint injected, int hop_limit) {
+  FlowView flow;
+  flow.graph = &inst.graph();
+  flow.instance = &inst;
+  flow.schedule = &sched;
+  flow.demand = inst.demand();
+  return trace_class(flow, injected, hop_limit);
+}
+
+std::string to_string(const net::Graph& g, const Trace& trace) {
+  std::string out;
+  for (std::size_t i = 0; i < trace.hops.size(); ++i) {
+    if (i) out += " -> ";
+    out += g.name(trace.hops[i].node) + "@" + std::to_string(trace.hops[i].arrival);
+  }
+  switch (trace.end) {
+    case TraceEnd::kDelivered: out += " [delivered]"; break;
+    case TraceEnd::kBlackhole: out += " [BLACKHOLE at " + g.name(trace.fault_node) + "]"; break;
+    case TraceEnd::kHopLimit: out += " [hop limit]"; break;
+  }
+  if (trace.loop_node != net::kInvalidNode) {
+    out += " [LOOP at " + g.name(trace.loop_node) + "]";
+  }
+  return out;
+}
+
+}  // namespace chronus::timenet

@@ -1,0 +1,86 @@
+// Packet-trajectory tracing under a timed update schedule.
+//
+// The dynamic-flow semantics of the paper (Definition 1) is made concrete by
+// tracing *injection classes*: the fluid injected at the source during the
+// unit interval [tau, tau+1) samples, at every switch it reaches, the rule
+// installed at its own arrival time. A switch v scheduled at T(v) forwards
+// with the old rule strictly before T(v) and with the new rule from T(v) on.
+//
+// The trace of a class yields the occupied time-extended links
+// <u(t), v(t+sigma)> — exactly the variables of program (3) — and detects
+// violations of the loop-free condition (Definition 2: no switch is visited
+// twice by the same unit of flow).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/instance.hpp"
+#include "timenet/schedule.hpp"
+
+namespace chronus::timenet {
+
+enum class TraceEnd {
+  kDelivered,  ///< reached the destination
+  kBlackhole,  ///< reached a switch with no rule for the flow
+  kHopLimit,   ///< exceeded the hop budget (a persistent forwarding loop)
+};
+
+struct TraceHop {
+  net::NodeId node = net::kInvalidNode;
+  TimePoint arrival = 0;  ///< time the class reaches `node`
+};
+
+struct Trace {
+  TimePoint injected = 0;
+  std::vector<TraceHop> hops;  ///< first hop is the source at `injected`
+  TraceEnd end = TraceEnd::kDelivered;
+  net::NodeId fault_node = net::kInvalidNode;  ///< blackhole/hop-limit switch
+
+  /// First switch visited twice, if any (Definition 2 violation). A class
+  /// that revisits a switch keeps flowing — transient loops in Fig. 1 exit
+  /// via v2 -> v6 and are precisely what congests that link — so a trace
+  /// can be both looped and delivered.
+  net::NodeId loop_node = net::kInvalidNode;
+
+  bool delivered() const { return end == TraceEnd::kDelivered; }
+  bool looped() const {
+    return loop_node != net::kInvalidNode || end == TraceEnd::kHopLimit;
+  }
+};
+
+/// A flow's routing state during a transition, decoupled from
+/// net::UpdateInstance so that multi-flow extensions can reuse the tracer.
+struct FlowView {
+  const net::Graph* graph = nullptr;
+  const net::UpdateInstance* instance = nullptr;  ///< rule source
+  const UpdateSchedule* schedule = nullptr;
+  double demand = 1.0;
+
+  /// Two-phase (per-packet versioned) semantics: when set, a class uses the
+  /// old rules everywhere iff it was injected before the flip and the new
+  /// rules everywhere otherwise — the stamped tag, not the arrival time,
+  /// selects the rule generation. `schedule` is ignored in this mode.
+  std::optional<TimePoint> per_packet_flip;
+
+  /// Rule of switch v for a class injected at `injected` arriving at time
+  /// t: new rule from T(v) on (timed mode) or from the tag flip on
+  /// (per-packet mode), old rule before.
+  std::optional<net::NodeId> rule_at(net::NodeId v, TimePoint t,
+                                     TimePoint injected) const;
+};
+
+/// Traces the class injected at `injected`. `hop_limit` defaults to
+/// node_count + 2 (a simple trajectory can never be longer).
+Trace trace_class(const FlowView& flow, TimePoint injected, int hop_limit = 0);
+
+/// Convenience wrapper building the FlowView from an instance.
+Trace trace_class(const net::UpdateInstance& inst, const UpdateSchedule& sched,
+                  TimePoint injected, int hop_limit = 0);
+
+/// Human-readable "v1@0 -> v2@1 -> ..." for diagnostics.
+std::string to_string(const net::Graph& g, const Trace& trace);
+
+}  // namespace chronus::timenet

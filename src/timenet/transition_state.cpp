@@ -1,0 +1,283 @@
+#include "timenet/transition_state.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace chronus::timenet {
+
+namespace {
+constexpr double kEps = 1e-9;
+// "Since forever": the tail of a flow that was never updated.
+constexpr TimePoint kAlways = std::numeric_limits<TimePoint>::min() / 4;
+}  // namespace
+
+TransitionState::TransitionState(const net::UpdateInstance& inst)
+    : TransitionState(std::vector<const net::UpdateInstance*>{&inst}) {}
+
+TransitionState::TransitionState(
+    std::vector<const net::UpdateInstance*> flows) {
+  if (flows.empty()) throw std::invalid_argument("no flows");
+  graph_ = &flows.front()->graph();
+  for (const auto* inst : flows) {
+    if (inst->graph().node_count() != graph_->node_count() ||
+        inst->graph().link_count() != graph_->link_count()) {
+      throw std::invalid_argument("flows must share one graph layout");
+    }
+  }
+  d_ = static_cast<TimePoint>(graph_->node_count() + 2) * graph_->max_delay();
+  flows_.resize(flows.size());
+  for (std::size_t f = 0; f < flows.size(); ++f) {
+    FlowState& fs = flows_[f];
+    fs.inst = flows[f];
+    // Unscheduled flows are one steady stream on their old path; the
+    // tail's start is "always" so its load applies at every entry step.
+    fs.steady_shape = trace_class(*fs.inst, fs.sched, 0);
+    fs.steady_from = kAlways;
+    for (std::size_t i = 0; i + 1 < fs.steady_shape.hops.size(); ++i) {
+      const auto link = graph_->find_link(fs.steady_shape.hops[i].node,
+                                          fs.steady_shape.hops[i + 1].node);
+      fs.steady_entry[*link] = kAlways;
+    }
+  }
+}
+
+bool TransitionState::initial_state_valid() const {
+  std::map<net::LinkId, double> static_load;
+  for (const FlowState& fs : flows_) {
+    for (const net::LinkId id :
+         net::path_links(*graph_, fs.inst->p_init())) {
+      static_load[id] += fs.inst->demand();
+    }
+  }
+  for (const auto& [id, x] : static_load) {
+    if (x > graph_->link(id).capacity + kEps) return false;
+  }
+  return true;
+}
+
+void TransitionState::add_loads(const Trace& trace, double demand,
+                                double sign) {
+  for (std::size_t i = 0; i + 1 < trace.hops.size(); ++i) {
+    const auto link =
+        graph_->find_link(trace.hops[i].node, trace.hops[i + 1].node);
+    load_[*link][trace.hops[i].arrival] += sign * demand;
+  }
+}
+
+double TransitionState::steady_load(net::LinkId link, TimePoint entry) const {
+  double x = 0.0;
+  for (const FlowState& fs : flows_) {
+    const auto it = fs.steady_entry.find(link);
+    if (it != fs.steady_entry.end() && entry >= it->second) {
+      x += fs.inst->demand();
+    }
+  }
+  return x;
+}
+
+bool TransitionState::retrace(std::size_t flow, TimePoint tau,
+                              UndoRecord& record,
+                              std::vector<LoadKey>* touched) {
+  FlowState& fs = flows_[flow];
+  std::optional<Trace> prev;
+  const auto it = fs.traces.find(tau);
+  if (it != fs.traces.end()) {
+    prev = std::move(it->second);
+    add_loads(*prev, fs.inst->demand(), -1.0);
+  }
+  Trace trace = trace_class(*fs.inst, fs.sched, tau);
+  const bool bad = trace.looped() || trace.end == TraceEnd::kBlackhole;
+
+  for (std::size_t i = 0; i + 1 < trace.hops.size(); ++i) {
+    const auto link =
+        graph_->find_link(trace.hops[i].node, trace.hops[i + 1].node);
+    load_[*link][trace.hops[i].arrival] += fs.inst->demand();
+    if (touched) touched->emplace_back(*link, trace.hops[i].arrival);
+  }
+  record.replaced.emplace_back(flow, tau, std::move(prev));
+  fs.traces[tau] = std::move(trace);
+  return bad;
+}
+
+bool TransitionState::refresh_steady(std::size_t flow) {
+  FlowState& fs = flows_[flow];
+  fs.steady_from = fs.sched.last_time();
+  fs.steady_shape = trace_class(*fs.inst, fs.sched, fs.steady_from);
+  fs.steady_entry.clear();
+  bool bad = fs.steady_shape.looped() ||
+             fs.steady_shape.end == TraceEnd::kBlackhole;
+  for (std::size_t i = 0; i + 1 < fs.steady_shape.hops.size(); ++i) {
+    const auto link = graph_->find_link(fs.steady_shape.hops[i].node,
+                                        fs.steady_shape.hops[i + 1].node);
+    fs.steady_entry[*link] = fs.steady_shape.hops[i].arrival;
+  }
+  if (bad) return false;
+
+  for (const auto& [link, start] : fs.steady_entry) {
+    const double cap = graph_->link(link).capacity;
+    // Tail-vs-tail: every tail containing this link enters it once per
+    // step from its start on, so from max(starts) onward they all share
+    // the link forever.
+    double tails = 0.0;
+    for (const FlowState& other : flows_) {
+      if (other.steady_entry.count(link)) tails += other.inst->demand();
+    }
+    if (tails > cap + kEps) return false;
+    // Tail-vs-transitional: any traced load at or past the tail's start
+    // collides with it (plus any other tail active there).
+    const auto lit = load_.find(link);
+    if (lit == load_.end()) continue;
+    for (auto e = lit->second.lower_bound(start); e != lit->second.end(); ++e) {
+      if (e->second + steady_load(link, e->first) > cap + kEps) return false;
+    }
+  }
+  return true;
+}
+
+void TransitionState::rollback(UndoRecord& rec) {
+  for (auto r = rec.replaced.rbegin(); r != rec.replaced.rend(); ++r) {
+    auto& [flow, tau, prev] = *r;
+    FlowState& fs = flows_[flow];
+    add_loads(fs.traces.at(tau), fs.inst->demand(), -1.0);
+    if (prev) {
+      add_loads(*prev, fs.inst->demand(), 1.0);
+      fs.traces[tau] = std::move(*prev);
+    } else {
+      fs.traces.erase(tau);
+    }
+  }
+  for (std::size_t f = 0; f < flows_.size(); ++f) {
+    flows_[f].lo = rec.prev_lo[f];
+    flows_[f].hi = rec.prev_hi[f];
+  }
+  if (rec.prev_steady_shape) {
+    FlowState& fs = flows_[rec.flow];
+    fs.steady_from = rec.prev_steady_from;
+    fs.steady_shape = std::move(*rec.prev_steady_shape);
+    fs.steady_entry.clear();
+    for (std::size_t i = 0; i + 1 < fs.steady_shape.hops.size(); ++i) {
+      const auto link = graph_->find_link(fs.steady_shape.hops[i].node,
+                                          fs.steady_shape.hops[i + 1].node);
+      const TimePoint at = rec.prev_steady_from == kAlways
+                               ? kAlways
+                               : fs.steady_shape.hops[i].arrival;
+      fs.steady_entry[*link] = at;
+    }
+  }
+}
+
+void TransitionState::extend_windows_down(TimePoint want_lo) {
+  UndoRecord* host = undo_stack_.empty() ? &base_ : &undo_stack_.back();
+  if (host->prev_lo.empty()) {
+    // The base record never rolls back; give it window placeholders.
+    host->prev_lo.assign(flows_.size(), 0);
+    host->prev_hi.assign(flows_.size(), -1);
+  }
+  for (std::size_t f = 0; f < flows_.size(); ++f) {
+    FlowState& fs = flows_[f];
+    if (fs.sched.empty()) continue;  // pure tail, nothing transitional
+    if (fs.hi < fs.lo) continue;     // window set when first scheduled
+    for (TimePoint tau = want_lo; tau < fs.lo; ++tau) {
+      retrace(f, tau, *host, nullptr);
+    }
+    fs.lo = std::min(fs.lo, want_lo);
+  }
+}
+
+bool TransitionState::try_update(std::size_t flow, net::NodeId v,
+                                 TimePoint t) {
+  FlowState& fs = flows_.at(flow);
+  if (fs.sched.contains(v)) {
+    throw std::logic_error("switch already scheduled for this flow");
+  }
+
+  // Global earliest schedule time (including the candidate): every
+  // scheduled flow's transitional window must reach 2d below it so that
+  // all cross-flow collisions in the evaluation region are counted.
+  TimePoint global_first = t;
+  for (const FlowState& g : flows_) {
+    if (!g.sched.empty()) {
+      global_first = std::min(global_first, g.sched.first_time());
+    }
+  }
+  extend_windows_down(global_first - 2 * d_);
+
+  UndoRecord rec;
+  rec.flow = flow;
+  rec.v = v;
+  for (const FlowState& g : flows_) {
+    rec.prev_lo.push_back(g.lo);
+    rec.prev_hi.push_back(g.hi);
+  }
+  rec.prev_steady_shape = fs.steady_shape;
+  rec.prev_steady_from = fs.steady_from;
+
+  const bool was_empty = fs.hi < fs.lo;
+  fs.sched.set(v, t);
+  if (was_empty) fs.lo = global_first - 2 * d_;  // first update: open it
+  const TimePoint new_top = fs.sched.last_time() - 1;
+  const TimePoint old_hi = was_empty ? fs.lo - 1 : fs.hi;
+
+  bool bad = false;
+  std::vector<LoadKey> touched;
+
+  // Classes that left the analytic steady tail (a later update time makes
+  // them transitional) are materialized under the new schedule.
+  for (TimePoint tau = old_hi + 1; tau <= new_top && !bad; ++tau) {
+    bad = retrace(flow, tau, rec, &touched);
+  }
+  fs.hi = std::max(old_hi, new_top);
+
+  // Transitional classes the candidate can affect: those whose current
+  // trajectory visits v at or after t (v's rule change is invisible to
+  // every other class — rules are per flow).
+  const TimePoint from = std::max(fs.lo, t - d_);
+  for (TimePoint tau = from; tau <= old_hi && !bad; ++tau) {
+    const auto it = fs.traces.find(tau);
+    if (it == fs.traces.end()) continue;
+    bool visits = false;
+    for (const TraceHop& hop : it->second.hops) {
+      if (hop.node == v && hop.arrival >= t) {
+        visits = true;
+        break;
+      }
+    }
+    if (visits) bad = retrace(flow, tau, rec, &touched);
+  }
+
+  // The flow's steady tail under its new final configuration, and that
+  // tail's collisions with transitional loads and other tails.
+  if (!bad) bad = !refresh_steady(flow);
+
+  // Capacity on every touched key, including every tail's share — judged
+  // only now, after *all* affected classes moved (a class leaving a link
+  // can compensate for another arriving on it).
+  if (!bad) {
+    for (const auto& [link, entry] : touched) {
+      const double x = load_[link][entry] + steady_load(link, entry);
+      if (x > graph_->link(link).capacity + kEps) {
+        bad = true;
+        break;
+      }
+    }
+  }
+
+  if (bad) {
+    rollback(rec);
+    fs.sched.erase(v);
+    return false;
+  }
+  undo_stack_.push_back(std::move(rec));
+  return true;
+}
+
+void TransitionState::undo() {
+  if (undo_stack_.empty()) throw std::logic_error("nothing to undo");
+  UndoRecord rec = std::move(undo_stack_.back());
+  undo_stack_.pop_back();
+  rollback(rec);
+  flows_[rec.flow].sched.erase(rec.v);
+}
+
+}  // namespace chronus::timenet

@@ -1,0 +1,135 @@
+// Incremental transition verification, single- or multi-flow.
+//
+// The guarded greedy scheduler and the OPT branch-and-bound ask thousands
+// of times per instance: "does scheduling one more switch update keep the
+// transition congestion- and loop-free?". Re-verifying the whole
+// time-extended network for each probe is O(window * hops); this class
+// maintains the verifier's state and updates only what a probe can affect,
+// giving the same verdict orders of magnitude faster.
+//
+// State representation (per flow):
+//  * transitional classes — injected in [lo, steady_from): traced
+//    individually; their per-(link, entry-step) loads are summed across
+//    flows in load_;
+//  * the steady tail — every class injected at or after steady_from
+//    (= the flow's latest scheduled update) sees only final rules, so all
+//    of them share one trajectory shape; they are represented by that
+//    single shape plus, per link, the first entry step (one class enters
+//    each shape link every step from there on);
+//  * classes before lo are pure-old steady state; with a valid initial
+//    configuration (see initial_state_valid) they collide with nothing
+//    that is not already accounted for.
+//
+// The maintained invariant: the current schedules are jointly congestion-
+// and loop-free at every moment in time. try_update() extends a flow's
+// schedule only when the invariant is preserved; undo() rolls back the
+// most recent successful try_update (LIFO, for branch-and-bound
+// backtracking). Rules are per flow, so a probe re-traces only the probed
+// flow's classes; the shared load map catches cross-flow collisions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "net/instance.hpp"
+#include "timenet/schedule.hpp"
+#include "timenet/trajectory.hpp"
+
+namespace chronus::timenet {
+
+class TransitionState {
+ public:
+  /// Single-flow state (the common case).
+  explicit TransitionState(const net::UpdateInstance& inst);
+
+  /// Multiple flows over one graph. All instances must be built over the
+  /// same graph value (identical node and link ids); capacities are read
+  /// from flows[0].
+  explicit TransitionState(std::vector<const net::UpdateInstance*> flows);
+
+  /// True iff the all-old steady state respects every link capacity (the
+  /// combined static load of all flows). A false here means the *input*
+  /// is invalid; try_update verdicts are then meaningless.
+  bool initial_state_valid() const;
+
+  /// Tries to schedule switch v's update (for the given flow) at time t on
+  /// top of the current schedules. Returns true and applies it if the
+  /// joint transition stays clean; otherwise leaves the state untouched
+  /// and returns false.
+  bool try_update(net::NodeId v, TimePoint t) { return try_update(0, v, t); }
+  bool try_update(std::size_t flow, net::NodeId v, TimePoint t);
+
+  /// Rolls back the most recent successful try_update. Undoing with no
+  /// applied update throws std::logic_error.
+  void undo();
+
+  /// Number of updates currently applied (== depth of the undo stack).
+  std::size_t depth() const { return undo_stack_.size(); }
+
+  std::size_t flow_count() const { return flows_.size(); }
+  const UpdateSchedule& schedule(std::size_t flow = 0) const {
+    return flows_.at(flow).sched;
+  }
+
+ private:
+  using LoadKey = std::pair<net::LinkId, TimePoint>;
+
+  struct FlowState {
+    const net::UpdateInstance* inst = nullptr;
+    UpdateSchedule sched;
+    std::map<TimePoint, Trace> traces;  // transitional classes
+    TimePoint lo = 0;
+    TimePoint hi = -1;  // traced range [lo, hi]; empty when hi < lo
+    // Steady tail: trajectory of every class injected >= steady_from.
+    Trace steady_shape;
+    std::map<net::LinkId, TimePoint> steady_entry;
+    TimePoint steady_from = 0;
+  };
+
+  struct UndoRecord {
+    std::size_t flow = 0;
+    net::NodeId v = net::kInvalidNode;
+    // (flow, tau, previous trace or nullopt) for every class replaced or
+    // newly created by this step, in application order.
+    std::vector<std::tuple<std::size_t, TimePoint, std::optional<Trace>>>
+        replaced;
+    // Per-flow window and steady-tail state before this step.
+    std::vector<TimePoint> prev_lo;
+    std::vector<TimePoint> prev_hi;
+    std::optional<Trace> prev_steady_shape;
+    TimePoint prev_steady_from = 0;
+  };
+
+  /// (Re)traces transitional class tau of `flow` under its current
+  /// schedule, maintaining load_. Reports loop/blackhole.
+  bool retrace(std::size_t flow, TimePoint tau, UndoRecord& record,
+               std::vector<LoadKey>* touched);
+
+  void rollback(UndoRecord& rec);
+  void add_loads(const Trace& trace, double demand, double sign);
+
+  /// Combined steady-tail load of every flow on (link, entry-step).
+  double steady_load(net::LinkId link, TimePoint entry) const;
+
+  /// Recomputes `flow`'s steady tail; false when the tail loops,
+  /// blackholes, or collides with traced loads or other tails.
+  bool refresh_steady(std::size_t flow);
+
+  /// Widens every flow's traced window to cover [want_lo, inf) classes
+  /// down to want_lo, under the current schedules.
+  void extend_windows_down(TimePoint want_lo);
+
+  const net::Graph* graph_ = nullptr;
+  TimePoint d_ = 0;  // trajectory duration bound
+
+  std::vector<FlowState> flows_;
+  // Per-link entry-step loads from transitional classes, all flows.
+  std::map<net::LinkId, std::map<TimePoint, double>> load_;
+
+  std::vector<UndoRecord> undo_stack_;
+  UndoRecord base_;  // window extensions under empty schedules
+};
+
+}  // namespace chronus::timenet

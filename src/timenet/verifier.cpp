@@ -1,0 +1,172 @@
+#include "timenet/verifier.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/stopwatch.hpp"
+
+namespace chronus::timenet {
+
+namespace {
+
+/// Upper bound on the duration of any single trajectory.
+TimePoint trajectory_bound(const net::Graph& g) {
+  return static_cast<TimePoint>(g.node_count() + 2) * g.max_delay();
+}
+
+struct Window {
+  TimePoint trace_begin = 0;  ///< first injected class
+  TimePoint trace_end = 0;    ///< last injected class (inclusive)
+  TimePoint eval_begin = 0;   ///< congestion evaluated for entries >= this
+  TimePoint eval_end = 0;     ///< ... and <= this
+};
+
+Window make_window(const net::Graph& g,
+                   const std::vector<FlowTransition>& flows) {
+  TimePoint min_t = 0;
+  TimePoint max_t = 0;
+  bool any = false;
+  for (const auto& f : flows) {
+    for (const auto& [_, t] : f.schedule->entries()) {
+      if (!any || t < min_t) min_t = t;
+      if (!any || t > max_t) max_t = t;
+      any = true;
+    }
+    if (f.per_packet_flip) {
+      if (!any || *f.per_packet_flip < min_t) min_t = *f.per_packet_flip;
+      if (!any || *f.per_packet_flip > max_t) max_t = *f.per_packet_flip;
+      any = true;
+    }
+  }
+  const TimePoint d = trajectory_bound(g);
+  Window w;
+  w.eval_begin = min_t - d;
+  w.eval_end = max_t + d;
+  w.trace_begin = w.eval_begin - d;  // completes counts at eval_begin
+  w.trace_end = w.eval_end;
+  return w;
+}
+
+}  // namespace
+
+TransitionReport verify_transitions(const std::vector<FlowTransition>& flows,
+                                    const VerifyOptions& opts) {
+  TransitionReport report;
+  if (flows.empty()) return report;
+  const net::Graph& g = flows.front().instance->graph();
+
+  Window w = make_window(g, flows);
+  w.trace_begin -= opts.window_slack;
+  w.trace_end += opts.window_slack;
+  const util::Deadline deadline(opts.deadline_sec);
+
+  // Per time-extended link loads, summed over flows.
+  std::map<std::pair<net::LinkId, TimePoint>, double> load;
+  std::set<net::NodeId> loop_nodes_seen;
+  std::set<net::NodeId> blackhole_nodes_seen;
+
+  for (const auto& f : flows) {
+    FlowView view;
+    view.graph = &g;
+    view.instance = f.instance;
+    view.schedule = f.schedule;
+    view.demand = f.instance->demand();
+    view.per_packet_flip = f.per_packet_flip;
+
+    for (TimePoint tau = w.trace_begin; tau <= w.trace_end; ++tau) {
+      if ((tau & 0xff) == 0 && deadline.expired()) {
+        report.aborted = true;
+        return report;
+      }
+      const Trace trace = trace_class(view, tau);
+      for (std::size_t i = 0; i + 1 < trace.hops.size(); ++i) {
+        const auto link = g.find_link(trace.hops[i].node, trace.hops[i + 1].node);
+        // trace_class only follows existing links.
+        load[{*link, trace.hops[i].arrival}] += view.demand;
+      }
+      if (trace.looped()) {
+        // Report each looping switch once; a persistent loop would
+        // otherwise repeat for every class in the window.
+        if (loop_nodes_seen.insert(trace.loop_node).second) {
+          report.loops.push_back(LoopEvent{tau, trace.loop_node});
+          if (opts.first_violation_only) return report;
+        }
+      }
+      if (trace.end == TraceEnd::kBlackhole) {
+        if (blackhole_nodes_seen.insert(trace.fault_node).second) {
+          report.blackholes.push_back(BlackholeEvent{tau, trace.fault_node});
+          if (opts.first_violation_only) return report;
+        }
+      }
+    }
+  }
+
+  constexpr double kEps = 1e-9;
+  for (const auto& [key, x] : load) {
+    const auto& [link_id, enter] = key;
+    if (enter < w.eval_begin || enter > w.eval_end) continue;
+    const double cap = g.link(link_id).capacity;
+    if (x > cap + kEps) {
+      report.congestion.push_back(CongestionEvent{link_id, enter, x, cap});
+      if (opts.first_violation_only) return report;
+    }
+  }
+  return report;
+}
+
+TransitionReport verify_transition(const net::UpdateInstance& inst,
+                                   const UpdateSchedule& sched,
+                                   const VerifyOptions& opts) {
+  FlowTransition ft;
+  ft.instance = &inst;
+  ft.schedule = &sched;
+  return verify_transitions({ft}, opts);
+}
+
+std::map<std::pair<net::LinkId, TimePoint>, double> link_loads(
+    const net::UpdateInstance& inst, const UpdateSchedule& sched) {
+  const net::Graph& g = inst.graph();
+  FlowTransition ft;
+  ft.instance = &inst;
+  ft.schedule = &sched;
+  Window w = make_window(g, {ft});
+  std::map<std::pair<net::LinkId, TimePoint>, double> load;
+  FlowView view;
+  view.graph = &g;
+  view.instance = &inst;
+  view.schedule = &sched;
+  view.demand = inst.demand();
+  for (TimePoint tau = w.trace_begin; tau <= w.trace_end; ++tau) {
+    const Trace trace = trace_class(view, tau);
+    for (std::size_t i = 0; i + 1 < trace.hops.size(); ++i) {
+      const auto link = g.find_link(trace.hops[i].node, trace.hops[i + 1].node);
+      load[{*link, trace.hops[i].arrival}] += view.demand;
+    }
+  }
+  return load;
+}
+
+std::string TransitionReport::to_string(const net::Graph& g) const {
+  std::ostringstream os;
+  os << (ok() ? "OK" : "VIOLATIONS") << ": " << congestion.size()
+     << " congested time-extended links, " << loops.size() << " loops, "
+     << blackholes.size() << " blackholes\n";
+  for (const auto& c : congestion) {
+    const net::Link& l = g.link(c.link);
+    os << "  congestion on " << g.name(l.src) << "->" << g.name(l.dst)
+       << " entering at t=" << c.enter_time << ": load " << c.load << " > cap "
+       << c.capacity << "\n";
+  }
+  for (const auto& e : loops) {
+    os << "  loop through " << g.name(e.node) << " (class injected at t="
+       << e.injected << ")\n";
+  }
+  for (const auto& e : blackholes) {
+    os << "  blackhole at " << g.name(e.node) << " (class injected at t="
+       << e.injected << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace chronus::timenet

@@ -1,0 +1,87 @@
+#include "util/step_function.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace chronus::util {
+
+StepFunction::StepFunction(double initial) : initial_(initial) {}
+
+double StepFunction::at(Time t) const {
+  auto it = steps_.upper_bound(t);
+  if (it == steps_.begin()) return initial_;
+  return std::prev(it)->second;
+}
+
+void StepFunction::add(Time from, Time to, double delta) {
+  if (from >= to) throw std::invalid_argument("StepFunction::add: empty interval");
+  if (delta == 0.0) return;
+  // Ensure breakpoints exist at `from` and `to`, carrying the prior value.
+  const double at_from = at(from);
+  const double at_to = at(to);
+  steps_[from] = at_from;  // may overwrite with identical value
+  steps_[to] = at_to;
+  auto it = steps_.find(from);
+  const auto end = steps_.find(to);
+  for (; it != end; ++it) it->second += delta;
+}
+
+void StepFunction::add_from(Time from, double delta) {
+  if (delta == 0.0) return;
+  const double at_from = at(from);
+  steps_[from] = at_from;
+  for (auto it = steps_.find(from); it != steps_.end(); ++it) it->second += delta;
+}
+
+double StepFunction::max_over(Time from, Time to) const {
+  if (from >= to) throw std::invalid_argument("StepFunction::max_over: empty interval");
+  double best = at(from);
+  for (auto it = steps_.upper_bound(from); it != steps_.end() && it->first < to; ++it) {
+    best = std::max(best, it->second);
+  }
+  return best;
+}
+
+double StepFunction::integral(Time from, Time to) const {
+  if (from > to) throw std::invalid_argument("StepFunction::integral: from > to");
+  if (from == to) return 0.0;
+  double acc = 0.0;
+  Time cursor = from;
+  double value = at(from);
+  for (auto it = steps_.upper_bound(from); it != steps_.end() && it->first < to; ++it) {
+    acc += value * static_cast<double>(it->first - cursor);
+    cursor = it->first;
+    value = it->second;
+  }
+  acc += value * static_cast<double>(to - cursor);
+  return acc;
+}
+
+StepFunction::Time StepFunction::first_time_above(Time from, Time to,
+                                                  double threshold) const {
+  if (from >= to) return to;
+  if (at(from) > threshold) return from;
+  for (auto it = steps_.upper_bound(from); it != steps_.end() && it->first < to; ++it) {
+    if (it->second > threshold) return it->first;
+  }
+  return to;
+}
+
+std::vector<std::pair<StepFunction::Time, double>> StepFunction::breakpoints() const {
+  return {steps_.begin(), steps_.end()};
+}
+
+void StepFunction::normalize(double eps) {
+  double prev = initial_;
+  for (auto it = steps_.begin(); it != steps_.end();) {
+    if (std::abs(it->second - prev) <= eps) {
+      it = steps_.erase(it);
+    } else {
+      prev = it->second;
+      ++it;
+    }
+  }
+}
+
+}  // namespace chronus::util

@@ -1,0 +1,42 @@
+// Wall-clock stopwatch and deadline used by the branch-and-bound solvers
+// (Fig. 10 reproduces the paper's 600 s timeout behaviour at smaller scale).
+#pragma once
+
+#include <chrono>
+
+namespace chronus::util {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void reset() { start_ = Clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// A deadline; `expired()` is cheap enough for inner search loops.
+class Deadline {
+ public:
+  /// seconds <= 0 means "no deadline".
+  explicit Deadline(double seconds)
+      : enabled_(seconds > 0),
+        end_(Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                std::chrono::duration<double>(
+                                    seconds > 0 ? seconds : 0))) {}
+
+  bool expired() const { return enabled_ && Clock::now() >= end_; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  bool enabled_;
+  Clock::time_point end_;
+};
+
+}  // namespace chronus::util

@@ -1,0 +1,66 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace chronus::util {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {}
+
+void Table::add_row(std::vector<std::string> cells) {
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::ostringstream os;
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string{};
+      os << cell << std::string(widths[c] - cell.size(), ' ');
+      if (c + 1 < widths.size()) os << "  ";
+    }
+    os << '\n';
+    return os.str();
+  };
+  std::ostringstream os;
+  os << render_row(header_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < widths.size(); ++c) total += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+  os << std::string(total, '-') << '\n';
+  for (const auto& row : rows_) os << render_row(row);
+  return os.str();
+}
+
+std::string bar(double value, double max_value, int width) {
+  if (max_value <= 0.0 || value <= 0.0) return "";
+  const int n = std::min<int>(
+      width, static_cast<int>(value / max_value * width + 0.5));
+  return std::string(static_cast<std::size_t>(std::max(n, 0)), '#');
+}
+
+std::string bar_chart(const std::vector<std::pair<std::string, double>>& series,
+                      int width) {
+  double maxv = 0.0;
+  std::size_t label_w = 0;
+  for (const auto& [label, v] : series) {
+    maxv = std::max(maxv, v);
+    label_w = std::max(label_w, label.size());
+  }
+  std::ostringstream os;
+  for (const auto& [label, v] : series) {
+    os << label << std::string(label_w - label.size(), ' ') << "  ";
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%10.2f", v);
+    os << buf << "  |" << bar(v, maxv, width) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace chronus::util

@@ -1,0 +1,35 @@
+// ASCII report rendering for the benchmark harness: aligned tables and
+// simple inline bar/series plots, so each bench binary prints the rows and
+// series of the paper figure it regenerates.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace chronus::util {
+
+/// Column-aligned ASCII table.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders with a header separator; missing cells print empty.
+  std::string to_string() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Horizontal ASCII bar scaled so that `max_value` spans `width` chars.
+std::string bar(double value, double max_value, int width = 40);
+
+/// Renders a labelled series as "label  value  <bar>" lines.
+std::string bar_chart(const std::vector<std::pair<std::string, double>>& series,
+                      int width = 40);
+
+}  // namespace chronus::util

@@ -1,0 +1,142 @@
+// Tests for the OR executor (asynchronous round realization) and the TP
+// two-phase baseline (rule accounting and per-packet safety/vulnerability).
+#include <gtest/gtest.h>
+
+#include "baselines/order_replacement.hpp"
+#include "baselines/two_phase.hpp"
+#include "net/generators.hpp"
+#include "timenet/verifier.hpp"
+
+namespace chronus::baselines {
+namespace {
+
+using net::NodeId;
+using net::Path;
+
+TEST(OrExecution, RespectsRoundBarriers) {
+  const auto inst = net::fig1_instance();
+  util::Rng rng(41);
+  opt::OrderResult plan;
+  const OrExecution exec =
+      plan_and_execute_order_replacement(inst, rng, {}, {}, &plan);
+  ASSERT_TRUE(plan.feasible);
+  ASSERT_EQ(exec.round_starts.size(), plan.rounds.size());
+  // Every activation of round r happens before round r+1 starts.
+  for (std::size_t r = 0; r + 1 < plan.rounds.size(); ++r) {
+    for (const NodeId v : plan.rounds[r]) {
+      EXPECT_LT(*exec.realized.at(v), exec.round_starts[r + 1]);
+      EXPECT_GE(*exec.realized.at(v), exec.round_starts[r]);
+    }
+  }
+  EXPECT_EQ(exec.realized.size(), 5u);
+}
+
+TEST(OrExecution, LatencyBoundsHold) {
+  const auto inst = net::fig1_instance();
+  util::Rng rng(42);
+  OrExecutionOptions opts;
+  opts.max_latency = 7;
+  opt::OrderResult plan;
+  const OrExecution exec =
+      plan_and_execute_order_replacement(inst, rng, opts, {}, &plan);
+  for (std::size_t r = 0; r < plan.rounds.size(); ++r) {
+    for (const NodeId v : plan.rounds[r]) {
+      EXPECT_LE(*exec.realized.at(v), exec.round_starts[r] + 7);
+    }
+  }
+}
+
+TEST(OrExecution, DifferentSeedsGiveDifferentInterleavings) {
+  const auto inst = net::fig1_instance();
+  util::Rng a(1), b(2);
+  const auto ea = plan_and_execute_order_replacement(inst, a);
+  const auto eb = plan_and_execute_order_replacement(inst, b);
+  EXPECT_NE(ea.realized, eb.realized);
+}
+
+TEST(OrExecution, CapacityObliviousRealizationsCanCongest) {
+  // Across several seeds, at least one asynchronous realization of the
+  // round-minimal OR plan on Fig. 1 violates congestion- or loop-freedom
+  // in the strict dynamic-flow sense — the phenomenon Figs. 6-8 measure.
+  const auto inst = net::fig1_instance();
+  int violations = 0;
+  for (int seed = 0; seed < 10; ++seed) {
+    util::Rng rng(100 + seed);
+    const auto exec = plan_and_execute_order_replacement(inst, rng);
+    const auto report = timenet::verify_transition(inst, exec.realized);
+    violations += !report.ok();
+  }
+  EXPECT_GT(violations, 0);
+}
+
+TEST(TwoPhase, RuleAccountingShape) {
+  const auto inst = net::fig1_instance();
+  TwoPhaseOptions opts;
+  opts.flows = 10;
+  opts.hosts = 6;
+  const TwoPhaseReport rep = two_phase_update(inst, opts);
+  // p_init has 5 rule-bearing switches, p_fin has 4.
+  EXPECT_EQ(rep.table_rules_steady, 10u * 5 + 2u * 6);
+  EXPECT_EQ(rep.table_rules_peak, 10u * 9 + 4u * 6);
+  EXPECT_EQ(rep.rules_touched_tp, 10u * 9 + 2u * 6);
+  EXPECT_EQ(rep.rules_touched_chronus, 10u * 5);
+  EXPECT_GT(rep.table_rules_peak, rep.table_rules_steady);
+}
+
+TEST(TwoPhase, ChronusSavesSubstantially) {
+  // The headline Fig. 9 claim: Chronus saves well over half of the rule
+  // operations on random instances.
+  util::Rng rng(43);
+  net::RandomInstanceOptions opt;
+  opt.n = 30;
+  double tp = 0;
+  double chronus = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto inst = net::random_instance(opt, rng);
+    const TwoPhaseReport rep = two_phase_update(inst);
+    tp += static_cast<double>(rep.rules_touched_tp);
+    chronus += static_cast<double>(rep.rules_touched_chronus);
+  }
+  EXPECT_LT(chronus, 0.4 * tp);
+}
+
+TEST(TwoPhase, DefaultHostsTrackSwitchCount) {
+  const auto inst = net::fig1_instance();
+  const TwoPhaseReport rep = two_phase_update(inst);
+  // hosts defaults to node_count = 6.
+  EXPECT_EQ(rep.table_rules_steady, 10u * 5 + 2u * 6);
+}
+
+TEST(TwoPhase, VulnerableLinksAreSharedTightLinks) {
+  // Fig. 1's paths share no directed link: TP is fully safe there.
+  EXPECT_TRUE(two_phase_update(net::fig1_instance()).vulnerable_links.empty());
+
+  // Shared tight tail link b->t: flagged.
+  net::Graph g;
+  g.add_nodes(4);
+  g.add_link(0, 1, 1.0, 1);
+  g.add_link(1, 2, 1.0, 1);
+  g.add_link(2, 3, 1.0, 1);
+  g.add_link(0, 2, 1.0, 1);
+  const auto inst =
+      net::UpdateInstance::from_paths(g, Path{0, 1, 2, 3}, Path{0, 2, 3}, 1.0);
+  const TwoPhaseReport rep = two_phase_update(inst);
+  ASSERT_EQ(rep.vulnerable_links.size(), 1u);
+  const net::Link& l = g.link(rep.vulnerable_links[0]);
+  EXPECT_EQ(l.src, 2u);
+  EXPECT_EQ(l.dst, 3u);
+}
+
+TEST(TwoPhase, AsScheduleReplaysPerPacket) {
+  const auto inst = net::fig1_instance();
+  const TwoPhaseReport rep = two_phase_update(inst);
+  timenet::FlowTransition ft;
+  ft.instance = &inst;
+  ft.schedule = &rep.as_schedule;
+  ft.per_packet_flip = rep.flip_time;
+  // Per-packet consistency on disjoint paths: clean.
+  EXPECT_TRUE(timenet::verify_transitions({ft}).ok());
+}
+
+}  // namespace
+}  // namespace chronus::baselines

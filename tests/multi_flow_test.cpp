@@ -1,0 +1,201 @@
+// Tests for the multi-flow scheduling extension: sequential transitions
+// with static-load capacity reduction and combined re-verification.
+#include <gtest/gtest.h>
+
+#include "core/multi_flow.hpp"
+#include "net/generators.hpp"
+#include "timenet/verifier.hpp"
+
+namespace chronus::core {
+namespace {
+
+using net::NodeId;
+using net::Path;
+
+/// Two flows on a shared diamond: s1/s2 -> m -> t, each rerouting to a
+/// private bypass. Capacities sized so both transitions are feasible.
+std::vector<net::UpdateInstance> diamond_flows(double shared_cap) {
+  net::Graph g;
+  g.add_nodes(6);  // s1=0 s2=1 m=2 t=3 b1=4 b2=5
+  g.add_link(0, 2, 2.0, 1);
+  g.add_link(1, 2, 2.0, 1);
+  g.add_link(2, 3, shared_cap, 1);
+  g.add_link(0, 4, 2.0, 1);
+  g.add_link(4, 3, 2.0, 1);
+  g.add_link(1, 5, 2.0, 1);
+  g.add_link(5, 3, 2.0, 1);
+  std::vector<net::UpdateInstance> flows;
+  flows.push_back(
+      net::UpdateInstance::from_paths(g, Path{0, 2, 3}, Path{0, 4, 3}, 1.0));
+  flows.push_back(
+      net::UpdateInstance::from_paths(g, Path{1, 2, 3}, Path{1, 5, 3}, 1.0));
+  return flows;
+}
+
+TEST(MultiFlow, EmptyInputIsFeasible) {
+  const MultiFlowResult res = schedule_flows_sequentially({});
+  EXPECT_TRUE(res.feasible());
+  EXPECT_EQ(res.total_span, 0);
+}
+
+TEST(MultiFlow, TwoFlowsOffSharedLink) {
+  const auto flows = diamond_flows(2.0);
+  const MultiFlowResult res = schedule_flows_sequentially(flows);
+  ASSERT_TRUE(res.feasible()) << res.message;
+  ASSERT_EQ(res.schedules.size(), 2u);
+  EXPECT_FALSE(res.schedules[0].empty());
+  EXPECT_FALSE(res.schedules[1].empty());
+  // Combined plan is clean under the original capacities.
+  std::vector<timenet::FlowTransition> ts;
+  for (std::size_t k = 0; k < flows.size(); ++k) {
+    timenet::FlowTransition ft;
+    ft.instance = &flows[k];
+    ft.schedule = &res.schedules[k];
+    ts.push_back(ft);
+  }
+  EXPECT_TRUE(verify_transitions(ts).ok());
+}
+
+TEST(MultiFlow, TransitionsAreSeparatedInTime) {
+  const auto flows = diamond_flows(2.0);
+  const MultiFlowResult res = schedule_flows_sequentially(flows);
+  ASSERT_TRUE(res.feasible());
+  // Flow 1 starts strictly after flow 0 finished draining.
+  EXPECT_GT(res.schedules[1].first_time(), res.schedules[0].last_time());
+  EXPECT_GE(res.total_span, res.schedules[1].last_time() -
+                                res.schedules[0].first_time() + 1);
+}
+
+TEST(MultiFlow, StaticLoadMakesTightLinksUnusable) {
+  // The shared link m->t holds only one flow (capacity 1.0): while flow 1
+  // still rides it, flow 0's scheduler must not route through it — but
+  // flow 0 *leaves* m->t, so this stays feasible; the instructive case is
+  // a flow trying to move ONTO a saturated link.
+  net::Graph g;
+  g.add_nodes(4);  // s1=0 s2=1 m=2 t=3
+  g.add_link(0, 2, 2.0, 1);
+  g.add_link(1, 2, 2.0, 1);
+  g.add_link(2, 3, 1.0, 1);  // saturated by flow 1 forever
+  g.add_link(0, 3, 2.0, 1);  // flow 0's old direct path
+  std::vector<net::UpdateInstance> flows;
+  // Flow 0 wants to move onto m->t, which flow 1 occupies permanently.
+  flows.push_back(
+      net::UpdateInstance::from_paths(g, Path{0, 3}, Path{0, 2, 3}, 1.0));
+  flows.push_back(
+      net::UpdateInstance::from_paths(g, Path{1, 2, 3}, Path{1, 2, 3}, 1.0));
+  const MultiFlowResult res = schedule_flows_sequentially(flows);
+  EXPECT_FALSE(res.feasible());
+}
+
+TEST(MultiFlow, MismatchedGraphsRejected) {
+  auto flows = diamond_flows(2.0);
+  net::Graph other = net::line_topology(3, 1.0, 1);
+  flows.push_back(
+      net::UpdateInstance::from_paths(other, Path{0, 1, 2}, Path{0, 1, 2}, 1.0));
+  EXPECT_THROW(schedule_flows_sequentially(flows), std::invalid_argument);
+}
+
+TEST(MultiFlowJoint, SchedulesTheDiamondWithShorterSpan) {
+  const auto flows = diamond_flows(2.0);
+  const MultiFlowResult joint = schedule_flows_jointly(flows);
+  const MultiFlowResult seq = schedule_flows_sequentially(flows);
+  ASSERT_TRUE(joint.feasible()) << joint.message;
+  ASSERT_TRUE(seq.feasible());
+  // No inter-flow drain separation: the joint plan overlaps transitions.
+  EXPECT_LT(joint.total_span, seq.total_span);
+  std::vector<timenet::FlowTransition> ts;
+  for (std::size_t k = 0; k < flows.size(); ++k) {
+    timenet::FlowTransition ft;
+    ft.instance = &flows[k];
+    ft.schedule = &joint.schedules[k];
+    ts.push_back(ft);
+  }
+  EXPECT_TRUE(verify_transitions(ts).ok());
+}
+
+TEST(MultiFlowJoint, SucceedsWhereInputOrderFails) {
+  // Flow 0 wants to move onto flow 1's old link; flow 1 vacates onto a
+  // private bypass. Sequentially in input order, flow 0 is stuck behind
+  // flow 1's static load; jointly, flow 1 simply moves first.
+  net::Graph g;
+  g.add_nodes(5);  // s0=0 s1=1 m=2 t=3 b=4
+  g.add_link(0, 2, 2.0, 1);
+  g.add_link(2, 3, 1.0, 1);  // the contested link, one flow only
+  g.add_link(0, 3, 1.0, 1);  // flow 0's old direct path
+  g.add_link(1, 2, 2.0, 1);
+  g.add_link(1, 4, 1.0, 1);  // flow 1's bypass
+  g.add_link(4, 3, 1.0, 1);
+  std::vector<net::UpdateInstance> flows;
+  flows.push_back(
+      net::UpdateInstance::from_paths(g, Path{0, 3}, Path{0, 2, 3}, 1.0));
+  flows.push_back(
+      net::UpdateInstance::from_paths(g, Path{1, 2, 3}, Path{1, 4, 3}, 1.0));
+
+  EXPECT_FALSE(schedule_flows_sequentially(flows).feasible());
+  const MultiFlowResult joint = schedule_flows_jointly(flows);
+  ASSERT_TRUE(joint.feasible()) << joint.message;
+  std::vector<timenet::FlowTransition> ts;
+  for (std::size_t k = 0; k < flows.size(); ++k) {
+    timenet::FlowTransition ft;
+    ft.instance = &flows[k];
+    ft.schedule = &joint.schedules[k];
+    ts.push_back(ft);
+  }
+  EXPECT_TRUE(verify_transitions(ts).ok());
+}
+
+TEST(MultiFlowJoint, RejectsOverloadedInitialState) {
+  net::Graph g;
+  g.add_nodes(3);
+  g.add_link(0, 2, 1.0, 1);  // capacity for one flow...
+  g.add_link(1, 2, 1.0, 1);
+  std::vector<net::UpdateInstance> flows;  // ...but two ride link 0->2
+  flows.push_back(
+      net::UpdateInstance::from_paths(g, Path{0, 2}, Path{0, 2}, 1.0));
+  flows.push_back(
+      net::UpdateInstance::from_paths(g, Path{0, 2}, Path{0, 2}, 1.0));
+  const MultiFlowResult res = schedule_flows_jointly(flows);
+  EXPECT_FALSE(res.feasible());
+  EXPECT_NE(res.message.find("initial configuration"), std::string::npos);
+}
+
+TEST(MultiFlowJoint, GenuineSwapDeadlockIsInfeasible) {
+  // The classic no-headroom swap: flow A's new path is flow B's old
+  // bottleneck and vice versa, both at exactly one flow of capacity.
+  // Neither can move first, sequentially or jointly.
+  net::Graph g;
+  g.add_nodes(8);  // sA=0 sB=1 a=2 b=3 c=4 d=5 tA=6 tB=7
+  g.add_link(2, 3, 1.0, 1);  // L1, contested
+  g.add_link(4, 5, 1.0, 1);  // L2, contested
+  for (const auto& [u, w] : std::vector<std::pair<net::NodeId, net::NodeId>>{
+           {0, 2}, {0, 4}, {1, 2}, {1, 4}, {3, 6}, {5, 6}, {3, 7}, {5, 7}}) {
+    g.add_link(u, w, 2.0, 1);
+  }
+  std::vector<net::UpdateInstance> flows;
+  flows.push_back(net::UpdateInstance::from_paths(
+      g, Path{0, 2, 3, 6}, Path{0, 4, 5, 6}, 1.0));  // A: L1 -> L2
+  flows.push_back(net::UpdateInstance::from_paths(
+      g, Path{1, 4, 5, 7}, Path{1, 2, 3, 7}, 1.0));  // B: L2 -> L1
+  EXPECT_FALSE(schedule_flows_sequentially(flows).feasible());
+  const MultiFlowResult joint = schedule_flows_jointly(flows);
+  EXPECT_FALSE(joint.feasible());
+}
+
+TEST(MultiFlowJoint, SingleFlowMatchesGreedy) {
+  const auto inst = net::fig1_instance();
+  const MultiFlowResult joint = schedule_flows_jointly({inst});
+  ASSERT_TRUE(joint.feasible());
+  const auto greedy = greedy_schedule(inst);
+  EXPECT_EQ(joint.schedules[0], greedy.schedule);
+}
+
+TEST(MultiFlow, SingleFlowMatchesGreedyShape) {
+  const auto inst = net::fig1_instance();
+  const MultiFlowResult res = schedule_flows_sequentially({inst});
+  ASSERT_TRUE(res.feasible()) << res.message;
+  EXPECT_EQ(res.schedules[0].size(), 5u);
+  EXPECT_EQ(res.total_span, 4);
+}
+
+}  // namespace
+}  // namespace chronus::core

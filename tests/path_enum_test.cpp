@@ -1,0 +1,106 @@
+// Tests for the P(f) path enumeration of program (3), and the
+// cross-validation the paper's formulation implies: every trajectory a
+// schedule induces for an injection class is a member of the loop-free
+// timed path set, and the optimal schedule's class paths always are.
+#include <gtest/gtest.h>
+
+#include "core/greedy_scheduler.hpp"
+#include "net/generators.hpp"
+#include "opt/mutp_bnb.hpp"
+#include "timenet/path_enum.hpp"
+#include "timenet/trajectory.hpp"
+
+namespace chronus::timenet {
+namespace {
+
+TimedPath as_timed_path(const Trace& trace) {
+  TimedPath p;
+  for (const TraceHop& hop : trace.hops) {
+    p.push_back(TimedNode{hop.node, hop.arrival});
+  }
+  return p;
+}
+
+TEST(PathEnum, Fig1ClassHasBothRoutes) {
+  const auto inst = net::fig1_instance();
+  EnumerateOptions opts;
+  opts.t_end = 20;
+  const auto paths =
+      enumerate_timed_paths(inst.graph(), inst.source(), 0,
+                            inst.destination(), opts);
+  // The old route v1..v6 (5 hops, arrives at 5) and the new route
+  // v1,v4,v3,v2,v6 (4 hops, arrives at 4) must both be present.
+  TimedPath old_route{{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 4}, {5, 5}};
+  TimedPath new_route{{0, 0}, {3, 1}, {2, 2}, {1, 3}, {5, 4}};
+  EXPECT_TRUE(contains_path(paths, old_route));
+  EXPECT_TRUE(contains_path(paths, new_route));
+  // Every enumerated path is loop-free and ends at the destination.
+  for (const TimedPath& p : paths) {
+    std::set<net::NodeId> seen;
+    for (const TimedNode& tn : p) EXPECT_TRUE(seen.insert(tn.node).second);
+    EXPECT_EQ(p.back().node, inst.destination());
+    EXPECT_LE(p.back().time, 20);
+  }
+}
+
+TEST(PathEnum, HorizonBoundsArrivals) {
+  const auto inst = net::fig1_instance();
+  EnumerateOptions opts;
+  opts.t_end = 4;  // only the 4-hop new route fits
+  const auto paths = enumerate_timed_paths(inst.graph(), inst.source(), 0,
+                                           inst.destination(), opts);
+  for (const TimedPath& p : paths) EXPECT_LE(p.back().time, 4);
+  EXPECT_FALSE(paths.empty());
+}
+
+TEST(PathEnum, MaxPathsCapsTheSet) {
+  const auto inst = net::fig1_instance();
+  EnumerateOptions opts;
+  opts.t_end = 30;
+  opts.max_paths = 2;
+  const auto paths = enumerate_timed_paths(inst.graph(), inst.source(), 0,
+                                           inst.destination(), opts);
+  EXPECT_EQ(paths.size(), 2u);
+}
+
+TEST(PathEnum, ScheduleTrajectoriesAreMembersOfPf) {
+  // Program (3) picks one loop-free timed path per class; conversely, the
+  // trajectory a (clean) schedule induces for any class must lie in P(f).
+  const auto inst = net::fig1_instance();
+  const auto plan = core::greedy_schedule(inst);
+  ASSERT_TRUE(plan.feasible());
+  for (TimePoint tau = -3; tau <= 4; ++tau) {
+    const Trace trace = trace_class(inst, plan.schedule, tau);
+    ASSERT_TRUE(trace.delivered());
+    ASSERT_FALSE(trace.looped());
+    EnumerateOptions opts;
+    opts.t_end = trace.hops.back().arrival;
+    const auto paths = enumerate_timed_paths(
+        inst.graph(), inst.source(), tau, inst.destination(), opts);
+    EXPECT_TRUE(contains_path(paths, as_timed_path(trace)))
+        << "class " << tau << ": " << to_string(inst.graph(), trace);
+  }
+}
+
+TEST(PathEnum, OptTrajectoriesAreMembersOfPf) {
+  util::Rng rng(44);
+  net::RandomInstanceOptions opt;
+  opt.n = 6;
+  for (int i = 0; i < 5; ++i) {
+    const auto inst = net::random_instance(opt, rng);
+    const auto exact = opt::solve_mutp(inst);
+    if (!exact.feasible()) continue;
+    for (TimePoint tau = 0; tau <= exact.schedule.last_time(); ++tau) {
+      const Trace trace = trace_class(inst, exact.schedule, tau);
+      if (!trace.delivered()) continue;
+      EnumerateOptions opts;
+      opts.t_end = trace.hops.back().arrival;
+      const auto paths = enumerate_timed_paths(
+          inst.graph(), inst.source(), tau, inst.destination(), opts);
+      EXPECT_TRUE(contains_path(paths, as_timed_path(trace)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace chronus::timenet

@@ -1,0 +1,144 @@
+// Tests for the structured/random topologies and reroute generation over
+// arbitrary graphs.
+#include <gtest/gtest.h>
+
+#include "core/greedy_scheduler.hpp"
+#include "net/topologies.hpp"
+#include "timenet/verifier.hpp"
+
+namespace chronus::net {
+namespace {
+
+TEST(FatTreeT, K4Shape) {
+  const FatTree ft = fat_tree(4, 10.0);
+  EXPECT_EQ(ft.core.size(), 4u);
+  EXPECT_EQ(ft.aggregation.size(), 4u);
+  EXPECT_EQ(ft.edge.size(), 4u);
+  // 4 pods x (2 edge + 2 agg) + 4 cores = 20 switches.
+  EXPECT_EQ(ft.graph.node_count(), 20u);
+  // Per pod: 4 edge-agg duplex pairs; per pod 4 agg-core duplex pairs.
+  EXPECT_EQ(ft.graph.link_count(), 2u * (4 * 4 + 4 * 4));
+  // Every edge switch reaches every other pod's edge switch.
+  const auto p = shortest_path(ft.graph, ft.edge[0][0], ft.edge[3][1]);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(p->size(), 5u);  // edge-agg-core-agg-edge
+}
+
+TEST(FatTreeT, RejectsOddK) {
+  EXPECT_THROW(fat_tree(3, 1.0), std::invalid_argument);
+  EXPECT_THROW(fat_tree(0, 1.0), std::invalid_argument);
+}
+
+TEST(WaxmanT, ConnectedAndDeterministic) {
+  WaxmanOptions opt;
+  opt.n = 30;
+  util::Rng a(5), b(5);
+  const Graph ga = waxman(opt, a);
+  const Graph gb = waxman(opt, b);
+  EXPECT_EQ(ga.link_count(), gb.link_count());
+  // Connectivity: every node reachable from node 0.
+  for (NodeId v = 1; v < ga.node_count(); ++v) {
+    EXPECT_TRUE(shortest_path(ga, 0, v).has_value()) << v;
+  }
+}
+
+TEST(WaxmanT, DelaysWithinBounds) {
+  WaxmanOptions opt;
+  opt.n = 25;
+  opt.max_delay = 4;
+  util::Rng rng(6);
+  const Graph g = waxman(opt, rng);
+  for (LinkId id = 0; id < g.link_count(); ++id) {
+    EXPECT_GE(g.link(id).delay, 1);
+    EXPECT_LE(g.link(id).delay, 4);
+  }
+}
+
+TEST(GridT, Shape) {
+  const Graph g = grid(3, 2, 1.0, 1);
+  EXPECT_EQ(g.node_count(), 6u);
+  // Horizontal: 2 per row x 2 rows; vertical: 3; all duplex.
+  EXPECT_EQ(g.link_count(), 2u * (2 * 2 + 3));
+  EXPECT_TRUE(g.has_link(0, 1));
+  EXPECT_TRUE(g.has_link(1, 0));
+  EXPECT_TRUE(g.has_link(0, 3));
+  EXPECT_FALSE(g.has_link(0, 4));
+}
+
+TEST(ShortestPathT, PicksMinimumDelay) {
+  Graph g;
+  g.add_nodes(4);
+  g.add_link(0, 1, 1.0, 5);
+  g.add_link(0, 2, 1.0, 1);
+  g.add_link(2, 3, 1.0, 1);
+  g.add_link(1, 3, 1.0, 1);
+  const auto p = shortest_path(g, 0, 3);
+  ASSERT_TRUE(p.has_value());
+  EXPECT_EQ(*p, (Path{0, 2, 3}));
+}
+
+TEST(ShortestPathT, UnreachableIsNullopt) {
+  Graph g;
+  g.add_nodes(3);
+  g.add_link(0, 1, 1.0, 1);
+  EXPECT_FALSE(shortest_path(g, 0, 2).has_value());
+  EXPECT_FALSE(shortest_path(g, 1, 0).has_value());
+}
+
+TEST(RandomRerouteT, ProducesValidInstances) {
+  WaxmanOptions wopt;
+  wopt.n = 24;
+  util::Rng rng(7);
+  const Graph g = waxman(wopt, rng);
+  int produced = 0;
+  for (int i = 0; i < 20; ++i) {
+    const NodeId src = static_cast<NodeId>(rng.index(g.node_count()));
+    NodeId dst = src;
+    while (dst == src) dst = static_cast<NodeId>(rng.index(g.node_count()));
+    const auto inst = random_reroute(g, src, dst, 1.0, rng);
+    if (!inst) continue;
+    ++produced;
+    EXPECT_TRUE(inst->p_init().is_simple());
+    EXPECT_TRUE(inst->p_fin().is_simple());
+    EXPECT_NE(inst->p_init(), inst->p_fin());
+    EXPECT_EQ(inst->p_init().front(), src);
+    EXPECT_EQ(inst->p_fin().back(), dst);
+    EXPECT_TRUE(path_exists_in(inst->graph(), inst->p_fin()));
+  }
+  EXPECT_GT(produced, 10);
+}
+
+TEST(RandomRerouteT, SchedulableOnFatTree) {
+  // Moving a pod-to-pod aggregate between core routes: the bread-and-
+  // butter DCN reroute. The scheduler should handle most of them.
+  const FatTree ft = fat_tree(4, 2.0);
+  util::Rng rng(8);
+  int feasible = 0;
+  int produced = 0;
+  for (int i = 0; i < 15; ++i) {
+    const auto inst =
+        random_reroute(ft.graph, ft.edge[0][0], ft.edge[2][1], 1.0, rng);
+    if (!inst) continue;
+    ++produced;
+    const auto plan = core::greedy_schedule(*inst);
+    if (plan.feasible()) {
+      ++feasible;
+      EXPECT_TRUE(timenet::verify_transition(*inst, plan.schedule).ok());
+    }
+  }
+  EXPECT_GT(produced, 5);
+  EXPECT_GT(feasible, produced / 2);
+}
+
+TEST(RandomRerouteT, NulloptWhenNoAlternative) {
+  // A bare line has exactly one path; rerouting is impossible.
+  Graph g;
+  g.add_nodes(3);
+  g.add_link(0, 1, 1.0, 1);
+  g.add_link(1, 2, 1.0, 1);
+  util::Rng rng(9);
+  EXPECT_FALSE(random_reroute(g, 0, 2, 1.0, rng).has_value());
+}
+
+}  // namespace
+}  // namespace chronus::net
