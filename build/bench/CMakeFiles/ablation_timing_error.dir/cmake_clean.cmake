@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_timing_error.dir/ablation_timing_error.cpp.o"
+  "CMakeFiles/ablation_timing_error.dir/ablation_timing_error.cpp.o.d"
+  "ablation_timing_error"
+  "ablation_timing_error.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_timing_error.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

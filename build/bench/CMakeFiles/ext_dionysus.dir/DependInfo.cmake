@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/ext_dionysus.cpp" "bench/CMakeFiles/ext_dionysus.dir/ext_dionysus.cpp.o" "gcc" "bench/CMakeFiles/ext_dionysus.dir/ext_dionysus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/chronus_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/chronus_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/chronus_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/chronus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/timenet/CMakeFiles/chronus_timenet.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/chronus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chronus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

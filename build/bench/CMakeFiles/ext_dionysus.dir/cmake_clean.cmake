@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_dionysus.dir/ext_dionysus.cpp.o"
+  "CMakeFiles/ext_dionysus.dir/ext_dionysus.cpp.o.d"
+  "ext_dionysus"
+  "ext_dionysus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_dionysus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_heuristics.dir/ext_heuristics.cpp.o"
+  "CMakeFiles/ext_heuristics.dir/ext_heuristics.cpp.o.d"
+  "ext_heuristics"
+  "ext_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_congestion_cases.dir/fig7_congestion_cases.cpp.o"
+  "CMakeFiles/fig7_congestion_cases.dir/fig7_congestion_cases.cpp.o.d"
+  "fig7_congestion_cases"
+  "fig7_congestion_cases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_congestion_cases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_congested_links.dir/fig8_congested_links.cpp.o"
+  "CMakeFiles/fig8_congested_links.dir/fig8_congested_links.cpp.o.d"
+  "fig8_congested_links"
+  "fig8_congested_links.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_congested_links.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

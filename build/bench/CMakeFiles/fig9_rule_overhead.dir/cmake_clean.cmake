@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_rule_overhead.dir/fig9_rule_overhead.cpp.o"
+  "CMakeFiles/fig9_rule_overhead.dir/fig9_rule_overhead.cpp.o.d"
+  "fig9_rule_overhead"
+  "fig9_rule_overhead.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_rule_overhead.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

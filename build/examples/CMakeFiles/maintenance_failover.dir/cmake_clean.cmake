@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/maintenance_failover.dir/maintenance_failover.cpp.o"
+  "CMakeFiles/maintenance_failover.dir/maintenance_failover.cpp.o.d"
+  "maintenance_failover"
+  "maintenance_failover.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/maintenance_failover.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

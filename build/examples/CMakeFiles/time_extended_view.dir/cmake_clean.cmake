@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/time_extended_view.dir/time_extended_view.cpp.o"
+  "CMakeFiles/time_extended_view.dir/time_extended_view.cpp.o.d"
+  "time_extended_view"
+  "time_extended_view.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/time_extended_view.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronus_baselines.dir/dionysus.cpp.o"
+  "CMakeFiles/chronus_baselines.dir/dionysus.cpp.o.d"
+  "CMakeFiles/chronus_baselines.dir/order_replacement.cpp.o"
+  "CMakeFiles/chronus_baselines.dir/order_replacement.cpp.o.d"
+  "CMakeFiles/chronus_baselines.dir/two_phase.cpp.o"
+  "CMakeFiles/chronus_baselines.dir/two_phase.cpp.o.d"
+  "libchronus_baselines.a"
+  "libchronus_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronus_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/config.cpp" "src/core/CMakeFiles/chronus_core.dir/config.cpp.o" "gcc" "src/core/CMakeFiles/chronus_core.dir/config.cpp.o.d"
+  "/root/repo/src/core/dependency.cpp" "src/core/CMakeFiles/chronus_core.dir/dependency.cpp.o" "gcc" "src/core/CMakeFiles/chronus_core.dir/dependency.cpp.o.d"
+  "/root/repo/src/core/feasibility_tree.cpp" "src/core/CMakeFiles/chronus_core.dir/feasibility_tree.cpp.o" "gcc" "src/core/CMakeFiles/chronus_core.dir/feasibility_tree.cpp.o.d"
+  "/root/repo/src/core/greedy_scheduler.cpp" "src/core/CMakeFiles/chronus_core.dir/greedy_scheduler.cpp.o" "gcc" "src/core/CMakeFiles/chronus_core.dir/greedy_scheduler.cpp.o.d"
+  "/root/repo/src/core/heuristics.cpp" "src/core/CMakeFiles/chronus_core.dir/heuristics.cpp.o" "gcc" "src/core/CMakeFiles/chronus_core.dir/heuristics.cpp.o.d"
+  "/root/repo/src/core/loop_check.cpp" "src/core/CMakeFiles/chronus_core.dir/loop_check.cpp.o" "gcc" "src/core/CMakeFiles/chronus_core.dir/loop_check.cpp.o.d"
+  "/root/repo/src/core/multi_flow.cpp" "src/core/CMakeFiles/chronus_core.dir/multi_flow.cpp.o" "gcc" "src/core/CMakeFiles/chronus_core.dir/multi_flow.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/timenet/CMakeFiles/chronus_timenet.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/chronus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chronus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronus_core.dir/config.cpp.o"
+  "CMakeFiles/chronus_core.dir/config.cpp.o.d"
+  "CMakeFiles/chronus_core.dir/dependency.cpp.o"
+  "CMakeFiles/chronus_core.dir/dependency.cpp.o.d"
+  "CMakeFiles/chronus_core.dir/feasibility_tree.cpp.o"
+  "CMakeFiles/chronus_core.dir/feasibility_tree.cpp.o.d"
+  "CMakeFiles/chronus_core.dir/greedy_scheduler.cpp.o"
+  "CMakeFiles/chronus_core.dir/greedy_scheduler.cpp.o.d"
+  "CMakeFiles/chronus_core.dir/heuristics.cpp.o"
+  "CMakeFiles/chronus_core.dir/heuristics.cpp.o.d"
+  "CMakeFiles/chronus_core.dir/loop_check.cpp.o"
+  "CMakeFiles/chronus_core.dir/loop_check.cpp.o.d"
+  "CMakeFiles/chronus_core.dir/multi_flow.cpp.o"
+  "CMakeFiles/chronus_core.dir/multi_flow.cpp.o.d"
+  "libchronus_core.a"
+  "libchronus_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronus_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libchronus_core.a"
+)

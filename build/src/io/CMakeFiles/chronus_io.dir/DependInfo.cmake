@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/io/dot.cpp" "src/io/CMakeFiles/chronus_io.dir/dot.cpp.o" "gcc" "src/io/CMakeFiles/chronus_io.dir/dot.cpp.o.d"
+  "/root/repo/src/io/instance_io.cpp" "src/io/CMakeFiles/chronus_io.dir/instance_io.cpp.o" "gcc" "src/io/CMakeFiles/chronus_io.dir/instance_io.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/chronus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/timenet/CMakeFiles/chronus_timenet.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/chronus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chronus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

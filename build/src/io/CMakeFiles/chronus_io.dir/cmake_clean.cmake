@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronus_io.dir/dot.cpp.o"
+  "CMakeFiles/chronus_io.dir/dot.cpp.o.d"
+  "CMakeFiles/chronus_io.dir/instance_io.cpp.o"
+  "CMakeFiles/chronus_io.dir/instance_io.cpp.o.d"
+  "libchronus_io.a"
+  "libchronus_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronus_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

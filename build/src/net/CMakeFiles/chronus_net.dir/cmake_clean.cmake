@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronus_net.dir/generators.cpp.o"
+  "CMakeFiles/chronus_net.dir/generators.cpp.o.d"
+  "CMakeFiles/chronus_net.dir/graph.cpp.o"
+  "CMakeFiles/chronus_net.dir/graph.cpp.o.d"
+  "CMakeFiles/chronus_net.dir/instance.cpp.o"
+  "CMakeFiles/chronus_net.dir/instance.cpp.o.d"
+  "CMakeFiles/chronus_net.dir/path.cpp.o"
+  "CMakeFiles/chronus_net.dir/path.cpp.o.d"
+  "CMakeFiles/chronus_net.dir/topologies.cpp.o"
+  "CMakeFiles/chronus_net.dir/topologies.cpp.o.d"
+  "libchronus_net.a"
+  "libchronus_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronus_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

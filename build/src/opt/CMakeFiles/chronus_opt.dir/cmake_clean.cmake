@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronus_opt.dir/mutp_bnb.cpp.o"
+  "CMakeFiles/chronus_opt.dir/mutp_bnb.cpp.o.d"
+  "CMakeFiles/chronus_opt.dir/order_bnb.cpp.o"
+  "CMakeFiles/chronus_opt.dir/order_bnb.cpp.o.d"
+  "libchronus_opt.a"
+  "libchronus_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronus_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for chronus_opt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/controller.cpp" "src/sim/CMakeFiles/chronus_sim.dir/controller.cpp.o" "gcc" "src/sim/CMakeFiles/chronus_sim.dir/controller.cpp.o.d"
+  "/root/repo/src/sim/event_queue.cpp" "src/sim/CMakeFiles/chronus_sim.dir/event_queue.cpp.o" "gcc" "src/sim/CMakeFiles/chronus_sim.dir/event_queue.cpp.o.d"
+  "/root/repo/src/sim/flow_table.cpp" "src/sim/CMakeFiles/chronus_sim.dir/flow_table.cpp.o" "gcc" "src/sim/CMakeFiles/chronus_sim.dir/flow_table.cpp.o.d"
+  "/root/repo/src/sim/network.cpp" "src/sim/CMakeFiles/chronus_sim.dir/network.cpp.o" "gcc" "src/sim/CMakeFiles/chronus_sim.dir/network.cpp.o.d"
+  "/root/repo/src/sim/queue.cpp" "src/sim/CMakeFiles/chronus_sim.dir/queue.cpp.o" "gcc" "src/sim/CMakeFiles/chronus_sim.dir/queue.cpp.o.d"
+  "/root/repo/src/sim/switch.cpp" "src/sim/CMakeFiles/chronus_sim.dir/switch.cpp.o" "gcc" "src/sim/CMakeFiles/chronus_sim.dir/switch.cpp.o.d"
+  "/root/repo/src/sim/traffic.cpp" "src/sim/CMakeFiles/chronus_sim.dir/traffic.cpp.o" "gcc" "src/sim/CMakeFiles/chronus_sim.dir/traffic.cpp.o.d"
+  "/root/repo/src/sim/updaters.cpp" "src/sim/CMakeFiles/chronus_sim.dir/updaters.cpp.o" "gcc" "src/sim/CMakeFiles/chronus_sim.dir/updaters.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/baselines/CMakeFiles/chronus_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/opt/CMakeFiles/chronus_opt.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/chronus_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/timenet/CMakeFiles/chronus_timenet.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/chronus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chronus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

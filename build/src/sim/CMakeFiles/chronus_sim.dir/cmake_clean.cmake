@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronus_sim.dir/controller.cpp.o"
+  "CMakeFiles/chronus_sim.dir/controller.cpp.o.d"
+  "CMakeFiles/chronus_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/chronus_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/chronus_sim.dir/flow_table.cpp.o"
+  "CMakeFiles/chronus_sim.dir/flow_table.cpp.o.d"
+  "CMakeFiles/chronus_sim.dir/network.cpp.o"
+  "CMakeFiles/chronus_sim.dir/network.cpp.o.d"
+  "CMakeFiles/chronus_sim.dir/queue.cpp.o"
+  "CMakeFiles/chronus_sim.dir/queue.cpp.o.d"
+  "CMakeFiles/chronus_sim.dir/switch.cpp.o"
+  "CMakeFiles/chronus_sim.dir/switch.cpp.o.d"
+  "CMakeFiles/chronus_sim.dir/traffic.cpp.o"
+  "CMakeFiles/chronus_sim.dir/traffic.cpp.o.d"
+  "CMakeFiles/chronus_sim.dir/updaters.cpp.o"
+  "CMakeFiles/chronus_sim.dir/updaters.cpp.o.d"
+  "libchronus_sim.a"
+  "libchronus_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronus_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

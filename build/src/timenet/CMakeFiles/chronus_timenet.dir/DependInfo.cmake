@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/timenet/path_enum.cpp" "src/timenet/CMakeFiles/chronus_timenet.dir/path_enum.cpp.o" "gcc" "src/timenet/CMakeFiles/chronus_timenet.dir/path_enum.cpp.o.d"
+  "/root/repo/src/timenet/time_extended.cpp" "src/timenet/CMakeFiles/chronus_timenet.dir/time_extended.cpp.o" "gcc" "src/timenet/CMakeFiles/chronus_timenet.dir/time_extended.cpp.o.d"
+  "/root/repo/src/timenet/trajectory.cpp" "src/timenet/CMakeFiles/chronus_timenet.dir/trajectory.cpp.o" "gcc" "src/timenet/CMakeFiles/chronus_timenet.dir/trajectory.cpp.o.d"
+  "/root/repo/src/timenet/transition_state.cpp" "src/timenet/CMakeFiles/chronus_timenet.dir/transition_state.cpp.o" "gcc" "src/timenet/CMakeFiles/chronus_timenet.dir/transition_state.cpp.o.d"
+  "/root/repo/src/timenet/verifier.cpp" "src/timenet/CMakeFiles/chronus_timenet.dir/verifier.cpp.o" "gcc" "src/timenet/CMakeFiles/chronus_timenet.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/chronus_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/chronus_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

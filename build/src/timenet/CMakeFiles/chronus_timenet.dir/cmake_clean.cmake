@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronus_timenet.dir/path_enum.cpp.o"
+  "CMakeFiles/chronus_timenet.dir/path_enum.cpp.o.d"
+  "CMakeFiles/chronus_timenet.dir/time_extended.cpp.o"
+  "CMakeFiles/chronus_timenet.dir/time_extended.cpp.o.d"
+  "CMakeFiles/chronus_timenet.dir/trajectory.cpp.o"
+  "CMakeFiles/chronus_timenet.dir/trajectory.cpp.o.d"
+  "CMakeFiles/chronus_timenet.dir/transition_state.cpp.o"
+  "CMakeFiles/chronus_timenet.dir/transition_state.cpp.o.d"
+  "CMakeFiles/chronus_timenet.dir/verifier.cpp.o"
+  "CMakeFiles/chronus_timenet.dir/verifier.cpp.o.d"
+  "libchronus_timenet.a"
+  "libchronus_timenet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronus_timenet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

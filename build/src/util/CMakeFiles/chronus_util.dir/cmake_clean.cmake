@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronus_util.dir/cli.cpp.o"
+  "CMakeFiles/chronus_util.dir/cli.cpp.o.d"
+  "CMakeFiles/chronus_util.dir/rng.cpp.o"
+  "CMakeFiles/chronus_util.dir/rng.cpp.o.d"
+  "CMakeFiles/chronus_util.dir/stats.cpp.o"
+  "CMakeFiles/chronus_util.dir/stats.cpp.o.d"
+  "CMakeFiles/chronus_util.dir/step_function.cpp.o"
+  "CMakeFiles/chronus_util.dir/step_function.cpp.o.d"
+  "CMakeFiles/chronus_util.dir/table.cpp.o"
+  "CMakeFiles/chronus_util.dir/table.cpp.o.d"
+  "libchronus_util.a"
+  "libchronus_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronus_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dionysus_test.dir/dionysus_test.cpp.o"
+  "CMakeFiles/dionysus_test.dir/dionysus_test.cpp.o.d"
+  "dionysus_test"
+  "dionysus_test.pdb"
+  "dionysus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dionysus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

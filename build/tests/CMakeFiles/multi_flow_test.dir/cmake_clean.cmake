@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_flow_test.dir/multi_flow_test.cpp.o"
+  "CMakeFiles/multi_flow_test.dir/multi_flow_test.cpp.o.d"
+  "multi_flow_test"
+  "multi_flow_test.pdb"
+  "multi_flow_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_flow_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/path_enum_test.dir/path_enum_test.cpp.o"
+  "CMakeFiles/path_enum_test.dir/path_enum_test.cpp.o.d"
+  "path_enum_test"
+  "path_enum_test.pdb"
+  "path_enum_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/path_enum_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/timenet_test.dir/timenet_test.cpp.o"
+  "CMakeFiles/timenet_test.dir/timenet_test.cpp.o.d"
+  "timenet_test"
+  "timenet_test.pdb"
+  "timenet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/timenet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transition_state_test.dir/transition_state_test.cpp.o"
+  "CMakeFiles/transition_state_test.dir/transition_state_test.cpp.o.d"
+  "transition_state_test"
+  "transition_state_test.pdb"
+  "transition_state_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transition_state_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

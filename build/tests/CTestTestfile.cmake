@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_test[1]_include.cmake")
+include("/root/repo/build/tests/graph_test[1]_include.cmake")
+include("/root/repo/build/tests/topologies_test[1]_include.cmake")
+include("/root/repo/build/tests/timenet_test[1]_include.cmake")
+include("/root/repo/build/tests/transition_state_test[1]_include.cmake")
+include("/root/repo/build/tests/path_enum_test[1]_include.cmake")
+include("/root/repo/build/tests/io_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/core_test[1]_include.cmake")
+include("/root/repo/build/tests/heuristics_test[1]_include.cmake")
+include("/root/repo/build/tests/feasibility_tree_test[1]_include.cmake")
+include("/root/repo/build/tests/multi_flow_test[1]_include.cmake")
+include("/root/repo/build/tests/opt_test[1]_include.cmake")
+include("/root/repo/build/tests/baselines_test[1]_include.cmake")
+include("/root/repo/build/tests/dionysus_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/queue_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_updates_test[1]_include.cmake")

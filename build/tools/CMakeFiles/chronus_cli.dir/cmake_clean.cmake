@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chronus_cli.dir/chronus_cli.cpp.o"
+  "CMakeFiles/chronus_cli.dir/chronus_cli.cpp.o.d"
+  "chronus_cli"
+  "chronus_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chronus_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
