@@ -4,11 +4,17 @@
 // hundreds of milliseconds (NTP-or-worse); per-second counters then show at
 // which accuracy the timed schedule starts bleeding congestion.
 //
+// Control-plane faults can be layered on top (--drop, --straggler) and the
+// self-healing executor swapped in (--resilient) to see how much of the
+// degradation is timing error versus lost/late FlowMods.
+//
 //   ./bench/ablation_timing_error [--seeds=N] [--delay-ms=N]
+//       [--drop=P] [--straggler=P] [--resilient]
 #include "bench_common.hpp"
 
 #include <algorithm>
 
+#include "sim/resilient_executor.hpp"
 #include "sim/traffic.hpp"
 #include "sim/updaters.hpp"
 #include "util/stats.hpp"
@@ -38,11 +44,18 @@ int main(int argc, char** argv) {
   const auto seeds = static_cast<int>(cli.get_int("seeds", 5));
   const sim::SimTime delay_unit =
       cli.get_int("delay-ms", 300) * sim::kMillisecond;
+  sim::FaultModel faults;
+  faults.drop_rate = cli.get_double("drop", 0.0);
+  faults.straggler_rate = cli.get_double("straggler", 0.0);
+  const bool resilient = cli.get_bool("resilient", false);
   bench::reject_unknown_flags(cli);
 
   bench::print_header("Ablation", "clock-sync error vs transient congestion");
-  std::printf("Fig. 6 scenario, %d seeds per point, link delay %lld ms\n\n",
+  std::printf("Fig. 6 scenario, %d seeds per point, link delay %lld ms\n",
               seeds, static_cast<long long>(delay_unit / sim::kMillisecond));
+  std::printf("faults: drop %.0f%%, stragglers %.0f%% (10x), executor: %s\n\n",
+              faults.drop_rate * 100, faults.straggler_rate * 100,
+              resilient ? "resilient" : "naive");
 
   const auto inst = fig6_instance();
   const sim::SimTime errors[] = {1,
@@ -66,12 +79,18 @@ int main(int argc, char** argv) {
       sim::ControlChannelModel model;
       model.sync_error_stddev = err;
       sim::Controller ctrl(eq, network, rng, model);
+      sim::FaultInjector inj(faults, 700 + static_cast<std::uint64_t>(s));
+      if (faults.enabled()) ctrl.attach_fault_injector(&inj);
       sim::SimFlowSpec spec;
       spec.rate_bps = 500e6;
       sim::install_initial_rules(ctrl, inst, spec);
-      sim::run_chronus_update(ctrl, inst, spec,
-                              5 * sim::kSecond + 7 * sim::kMillisecond,
-                              delay_unit);
+      const sim::SimTime t0 = 5 * sim::kSecond + 7 * sim::kMillisecond;
+      if (resilient) {
+        sim::ResilientExecutor exec(ctrl);
+        exec.run_chronus(inst, spec, t0, delay_unit);
+      } else {
+        sim::run_chronus_update(ctrl, inst, spec, t0, delay_unit);
+      }
       ctrl.flush();
 
       sim::TrafficFlow flow;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <string>
 
 namespace chronus::sim {
 
@@ -15,49 +16,229 @@ void Controller::advance_clock(SimTime to) {
   clock_ = std::max(clock_, to);
 }
 
+void Controller::check_switch(SwitchId sw) const {
+  if (sw >= last_apply_.size()) {
+    throw std::out_of_range("Controller: SwitchId " + std::to_string(sw) +
+                            " out of range (network has " +
+                            std::to_string(last_apply_.size()) + " switches)");
+  }
+}
+
 SimTime Controller::sample_latency() {
   const double median = static_cast<double>(model_.latency_median);
   const double latency = rng_->log_normal(std::log(median), model_.latency_sigma);
   return std::max<SimTime>(1, static_cast<SimTime>(latency));
 }
 
-SimTime Controller::apply_at(SwitchId sw, SimTime at, FlowMod mod) {
-  // Per-switch FIFO: a switch applies mods in the order they arrive.
-  at = std::max(at, last_apply_[sw]);
-  last_apply_[sw] = at;
-  SimSwitch* target = &net_->sw(sw);
-  eq_->schedule_at(at, [target, at, mod = std::move(mod)] {
-    target->apply(at, mod);
-  });
-  return at;
-}
-
 void Controller::install_now(SwitchId sw, FlowEntry entry) {
+  check_switch(sw);
   FlowMod mod;
   mod.type = FlowModType::kAdd;
   mod.entry = std::move(entry);
-  apply_at(sw, clock_, std::move(mod));
+  const SimTime at = std::max(clock_, last_apply_[sw]);
+  last_apply_[sw] = at;
+  ModRecord rec;
+  rec.sw = sw;
+  rec.mod = mod;
+  rec.issued = clock_;
+  rec.arrival = at;
+  rec.applied = at;
+  SimSwitch* target = &net_->sw(sw);
+  rec.event = eq_->schedule_at(at, [target, at, mod = std::move(mod)] {
+    target->apply(at, mod);
+  });
+  mods_.push_back(std::move(rec));
+}
+
+ModId Controller::issue(SwitchId sw, FlowMod mod, SimTime execute_at,
+                        bool timed) {
+  check_switch(sw);
+  ModRecord rec;
+  rec.sw = sw;
+  rec.issued = clock_;
+  rec.requested_exec = timed ? execute_at : kNever;
+
+  // The main RNG draws (latency, then sync error for timed mods) happen in
+  // exactly the seed order; the injector draws only from its own stream.
+  SimTime latency = sample_latency();
+  FaultInjector::Decision d;
+  const bool injecting = faults_ != nullptr && faults_->enabled();
+  if (injecting) {
+    d = faults_->on_flow_mod(sw);
+    if (d.straggler) {
+      rec.straggler = true;
+      const double stretched = static_cast<double>(latency) *
+                               faults_->model().straggler_multiplier;
+      latency = std::max(latency, static_cast<SimTime>(stretched));
+    }
+  }
+  SimTime arrival = clock_ + latency;
+  if (injecting) {
+    const SimTime shaped = faults_->shape_arrival(sw, arrival);
+    rec.delayed = shaped != arrival;
+    arrival = shaped;
+  }
+  rec.arrival = arrival;
+  rec.mod = mod;
+
+  if (d.drop) {
+    rec.dropped = true;
+    rec.arrival = kNever;  // the switch never sees it
+    mods_.push_back(std::move(rec));
+    return mods_.size() - 1;
+  }
+
+  SimTime base = arrival;
+  if (timed) {
+    SimTime exec = execute_at;
+    if (model_.sync_error_stddev > 0) {
+      exec += static_cast<SimTime>(std::llround(
+          rng_->normal(0.0, static_cast<double>(model_.sync_error_stddev))));
+    }
+    if (injecting) exec += faults_->clock_drift(sw);
+    base = std::max(arrival, exec);
+  }
+
+  SimTime at;
+  if (d.reorder) {
+    // Escapes the per-switch FIFO: applies at its own instant even if
+    // earlier-sent mods are still queued behind it.
+    rec.reordered = true;
+    at = base;
+    last_apply_[sw] = std::max(last_apply_[sw], at);
+  } else {
+    at = std::max(base, last_apply_[sw]);
+    last_apply_[sw] = at;
+  }
+  rec.applied = at;
+
+  SimSwitch* target = &net_->sw(sw);
+  if (d.reject) {
+    rec.rejected = true;
+    rec.event = eq_->schedule_at(at, [target, at, m = std::move(mod)] {
+      target->reject(at, m);
+    });
+  } else {
+    rec.event = eq_->schedule_at(at, [target, at, m = mod] {
+      target->apply(at, m);
+    });
+    if (d.duplicate) {
+      rec.duplicated = true;
+      rec.duplicate_event =
+          eq_->schedule_at(at, [target, at, m = std::move(mod)] {
+            target->apply(at, m);
+          });
+    }
+  }
+  mods_.push_back(std::move(rec));
+  return mods_.size() - 1;
+}
+
+ModId Controller::issue_flow_mod(SwitchId sw, FlowMod mod) {
+  return issue(sw, std::move(mod), kNever, /*timed=*/false);
+}
+
+ModId Controller::issue_timed_flow_mod(SwitchId sw, FlowMod mod,
+                                       SimTime execute_at) {
+  return issue(sw, std::move(mod), execute_at, /*timed=*/true);
 }
 
 SimTime Controller::send_flow_mod(SwitchId sw, FlowMod mod) {
-  return apply_at(sw, clock_ + sample_latency(), std::move(mod));
+  const ModRecord& rec = mods_[issue_flow_mod(sw, std::move(mod))];
+  return rec.applied != kNever ? rec.applied : rec.issued;
 }
 
 SimTime Controller::send_timed_flow_mod(SwitchId sw, FlowMod mod,
                                         SimTime execute_at) {
-  const SimTime arrival = clock_ + sample_latency();
-  SimTime exec = execute_at;
-  if (model_.sync_error_stddev > 0) {
-    exec += static_cast<SimTime>(std::llround(
-        rng_->normal(0.0, static_cast<double>(model_.sync_error_stddev))));
+  const ModRecord& rec =
+      mods_[issue_timed_flow_mod(sw, std::move(mod), execute_at)];
+  return rec.applied != kNever ? rec.applied : std::max(rec.issued, execute_at);
+}
+
+bool Controller::cancel_mod(ModId id) {
+  ModRecord& rec = mods_.at(id);
+  if (rec.dropped || rec.cancelled || rec.applied == kNever) return false;
+  // The recall message races the scheduled execution over the control
+  // channel; it wins only if it reaches the switch first.
+  const SimTime recall_arrives = clock_ + sample_latency();
+  if (recall_arrives >= rec.applied) return false;
+  if (!eq_->cancel(rec.event)) return false;  // already executed
+  if (rec.duplicate_event != kInvalidEvent) {
+    eq_->cancel(rec.duplicate_event);
   }
-  return apply_at(sw, std::max(arrival, exec), std::move(mod));
+  rec.cancelled = true;
+  // Release the FIFO slot: the switch will never apply this mod, so later
+  // mods (a re-sent copy in particular) and barriers must not be clamped
+  // behind its apply instant.
+  if (last_apply_[rec.sw] == rec.applied) {
+    SimTime latest = 0;
+    for (const ModRecord& r : mods_) {
+      if (r.sw == rec.sw && !r.cancelled && r.applied != kNever) {
+        latest = std::max(latest, r.applied);
+      }
+    }
+    last_apply_[rec.sw] = latest;
+  }
+  return true;
+}
+
+std::optional<Action> Controller::active_action(SwitchId sw, const Match& match,
+                                                int priority) const {
+  // Latest delivered mod on the entry wins; ties on apply time resolve by
+  // issue order, matching the event queue's deterministic tie-break.
+  const ModRecord* best = nullptr;
+  for (const ModRecord& rec : mods_) {
+    if (rec.sw != sw || !rec.installed()) continue;
+    if (rec.mod.entry.priority != priority || !(rec.mod.entry.match == match)) {
+      continue;
+    }
+    if (best == nullptr || rec.applied >= best->applied) best = &rec;
+  }
+  if (best == nullptr || best->mod.type == FlowModType::kDeleteStrict) {
+    return std::nullopt;
+  }
+  return best->mod.entry.action;
+}
+
+SimTime Controller::activation_time(SwitchId sw, const FlowEntry& entry) const {
+  // Replay the delivered mods on (match, priority) in apply order and find
+  // when the entry's action last became — and stayed — installed.
+  std::vector<const ModRecord*> hits;
+  for (const ModRecord& rec : mods_) {
+    if (rec.sw != sw || !rec.installed()) continue;
+    if (rec.mod.entry.priority != entry.priority ||
+        !(rec.mod.entry.match == entry.match)) {
+      continue;
+    }
+    hits.push_back(&rec);
+  }
+  std::stable_sort(hits.begin(), hits.end(),
+                   [](const ModRecord* a, const ModRecord* b) {
+                     return a->applied < b->applied;
+                   });
+  bool active = false;
+  SimTime since = kNever;
+  for (const ModRecord* rec : hits) {
+    const bool installs = rec->mod.type != FlowModType::kDeleteStrict &&
+                          rec->mod.entry.action == entry.action;
+    if (installs && !active) since = rec->applied;
+    if (!installs) since = kNever;
+    active = installs;
+  }
+  return active ? since : kNever;
 }
 
 SimTime Controller::barrier(SwitchId sw) {
-  const SimTime request_arrives = clock_ + sample_latency();
+  check_switch(sw);
+  const bool injecting = faults_ != nullptr && faults_->enabled();
+  SimTime request_latency = sample_latency();
+  if (injecting) request_latency = faults_->shape_latency(request_latency);
+  SimTime request_arrives = clock_ + request_latency;
+  if (injecting) request_arrives = faults_->shape_arrival(sw, request_arrives);
   const SimTime done = std::max(request_arrives, last_apply_[sw]);
-  return done + sample_latency();
+  SimTime reply_latency = sample_latency();
+  if (injecting) reply_latency = faults_->shape_latency(reply_latency);
+  return done + reply_latency;
 }
 
 void Controller::flush() {

@@ -5,22 +5,46 @@
 
 namespace chronus::sim {
 
-void EventQueue::schedule_at(SimTime at, Callback cb) {
+EventId EventQueue::schedule_at(SimTime at, Callback cb) {
   if (at < now_) throw std::invalid_argument("scheduling into the past");
-  events_.push(Event{at, seq_++, std::move(cb)});
+  const EventId id = next_id_++;
+  events_.push(Event{at, id, std::move(cb)});
+  live_.insert(id);
+  return id;
 }
 
-void EventQueue::schedule_in(SimTime delay, Callback cb) {
-  schedule_at(now_ + delay, std::move(cb));
+EventId EventQueue::schedule_in(SimTime delay, Callback cb) {
+  return schedule_at(now_ + delay, std::move(cb));
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (live_.erase(id) == 0) return false;  // unknown, already ran, cancelled
+  cancelled_.insert(id);
+  return true;
+}
+
+void EventQueue::pop_cancelled() const {
+  while (!events_.empty() && cancelled_.count(events_.top().id)) {
+    cancelled_.erase(events_.top().id);
+    events_.pop();
+  }
+}
+
+SimTime EventQueue::next_event_time() const {
+  pop_cancelled();
+  return events_.empty() ? kNoEvent : events_.top().at;
 }
 
 std::size_t EventQueue::run(SimTime until) {
   std::size_t executed = 0;
-  while (!events_.empty() && events_.top().at <= until) {
+  for (;;) {
+    pop_cancelled();
+    if (events_.empty() || events_.top().at > until) break;
     // priority_queue::top is const; move via const_cast is UB — copy the
     // callback out through a temporary instead.
     Event ev = events_.top();
     events_.pop();
+    live_.erase(ev.id);
     now_ = ev.at;
     ev.cb();
     ++executed;

@@ -1,29 +1,48 @@
 // Discrete-event core: a time-ordered queue of callbacks. Ties are broken
-// by insertion order so runs are fully deterministic.
+// by insertion order so runs are fully deterministic. Events can be
+// cancelled before they run (Time4 scheduled bundles support discard; the
+// resilient executor recalls not-yet-executed timed FlowMods through this).
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/sim_time.hpp"
 
 namespace chronus::sim {
 
+/// Handle identifying a scheduled event; valid until the event runs or is
+/// cancelled.
+using EventId = std::uint64_t;
+inline constexpr EventId kInvalidEvent = static_cast<EventId>(-1);
+
+/// Sentinel returned by next_event_time() on an empty queue.
+inline constexpr SimTime kNoEvent = -1;
+
 class EventQueue {
  public:
   using Callback = std::function<void()>;
 
-  /// Schedules `cb` at absolute time `at` (>= now()).
-  void schedule_at(SimTime at, Callback cb);
+  /// Schedules `cb` at absolute time `at` (>= now()); returns its handle.
+  EventId schedule_at(SimTime at, Callback cb);
 
   /// Schedules `cb` `delay` after now().
-  void schedule_in(SimTime delay, Callback cb);
+  EventId schedule_in(SimTime delay, Callback cb);
+
+  /// Cancels a pending event. Returns true if the event was still pending
+  /// (it will not run); false if it already ran, was already cancelled, or
+  /// the id is unknown.
+  bool cancel(EventId id);
 
   SimTime now() const { return now_; }
-  bool empty() const { return events_.empty(); }
-  std::size_t pending() const { return events_.size(); }
+  bool empty() const { return pending() == 0; }
+  std::size_t pending() const { return live_.size(); }
+
+  /// Time of the earliest pending event, or kNoEvent if none.
+  SimTime next_event_time() const;
 
   /// Runs events until the queue is empty or `until` is passed; returns the
   /// number of events executed. Events exactly at `until` still run.
@@ -32,18 +51,23 @@ class EventQueue {
  private:
   struct Event {
     SimTime at;
-    std::uint64_t seq;
+    EventId id;
     Callback cb;
   };
   struct Later {
     bool operator()(const Event& a, const Event& b) const {
-      return a.at != b.at ? a.at > b.at : a.seq > b.seq;
+      return a.at != b.at ? a.at > b.at : a.id > b.id;
     }
   };
 
-  std::priority_queue<Event, std::vector<Event>, Later> events_;
+  void pop_cancelled() const;
+
+  // mutable: lazily discarding cancelled heads from const observers.
+  mutable std::priority_queue<Event, std::vector<Event>, Later> events_;
+  mutable std::unordered_set<EventId> cancelled_;
+  std::unordered_set<EventId> live_;  ///< scheduled, not yet run or cancelled
   SimTime now_ = 0;
-  std::uint64_t seq_ = 0;
+  EventId next_id_ = 0;
 };
 
 }  // namespace chronus::sim

@@ -1,0 +1,132 @@
+#include "sim/faults.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace chronus::sim {
+
+bool FaultModel::enabled() const {
+  if (drop_rate > 0 || duplicate_rate > 0 || reorder_rate > 0 ||
+      reject_rate > 0 || straggler_rate > 0 || unresponsive_rate > 0 ||
+      clock_drift_stddev > 0) {
+    return true;
+  }
+  for (const auto& [_, p] : per_switch_drop) {
+    if (p > 0) return true;
+  }
+  for (const auto& [_, n] : reject_first_n) {
+    if (n > 0) return true;
+  }
+  return !forced_outage.empty();
+}
+
+FaultStats FaultStats::operator-(const FaultStats& base) const {
+  FaultStats d;
+  d.mods_seen = mods_seen - base.mods_seen;
+  d.drops = drops - base.drops;
+  d.duplicates = duplicates - base.duplicates;
+  d.reorders = reorders - base.reorders;
+  d.rejections = rejections - base.rejections;
+  d.stragglers = stragglers - base.stragglers;
+  d.unresponsive_windows = unresponsive_windows - base.unresponsive_windows;
+  d.unresponsive_delays = unresponsive_delays - base.unresponsive_delays;
+  return d;
+}
+
+std::string FaultStats::to_string() const {
+  std::ostringstream os;
+  os << mods_seen << " mods: " << drops << " dropped, " << rejections
+     << " rejected, " << duplicates << " duplicated, " << reorders
+     << " reordered, " << stragglers << " stragglers, "
+     << unresponsive_delays << " delayed by " << unresponsive_windows
+     << " outage windows";
+  return os.str();
+}
+
+FaultInjector::FaultInjector(FaultModel model, std::uint64_t seed)
+    : model_(std::move(model)), rng_(seed) {
+  rejects_left_ = model_.reject_first_n;
+}
+
+FaultInjector::Decision FaultInjector::on_flow_mod(SwitchId sw) {
+  Decision d;
+  if (!enabled()) return d;
+  ++stats_.mods_seen;
+
+  double drop_p = model_.drop_rate;
+  if (const auto it = model_.per_switch_drop.find(sw);
+      it != model_.per_switch_drop.end()) {
+    drop_p = it->second;
+  }
+  if (drop_p > 0 && rng_.chance(drop_p)) {
+    d.drop = true;
+    ++stats_.drops;
+    return d;  // a lost mod can suffer no further fate
+  }
+
+  if (const auto it = rejects_left_.find(sw);
+      it != rejects_left_.end() && it->second > 0) {
+    --it->second;
+    d.reject = true;
+    ++stats_.rejections;
+  } else if (model_.reject_rate > 0 && rng_.chance(model_.reject_rate)) {
+    d.reject = true;
+    ++stats_.rejections;
+  }
+  if (model_.duplicate_rate > 0 && rng_.chance(model_.duplicate_rate)) {
+    d.duplicate = true;
+    ++stats_.duplicates;
+  }
+  if (model_.reorder_rate > 0 && rng_.chance(model_.reorder_rate)) {
+    d.reorder = true;
+    ++stats_.reorders;
+  }
+  if (model_.straggler_rate > 0 && rng_.chance(model_.straggler_rate)) {
+    d.straggler = true;
+    ++stats_.stragglers;
+  }
+  return d;
+}
+
+SimTime FaultInjector::shape_arrival(SwitchId sw, SimTime arrival) {
+  if (!enabled()) return arrival;
+  SimTime shaped = arrival;
+  if (const auto it = model_.forced_outage.find(sw);
+      it != model_.forced_outage.end()) {
+    const auto& [from, until] = it->second;
+    if (arrival >= from && arrival < until) shaped = until;
+  }
+  if (model_.unresponsive_rate > 0 && model_.unresponsive_duration > 0) {
+    SimTime& until = unresponsive_until_[sw];
+    if (arrival < until) {
+      shaped = std::max(shaped, until);
+    } else if (rng_.chance(model_.unresponsive_rate)) {
+      until = arrival + model_.unresponsive_duration;
+      ++stats_.unresponsive_windows;
+    }
+  }
+  if (shaped != arrival) ++stats_.unresponsive_delays;
+  return shaped;
+}
+
+SimTime FaultInjector::shape_latency(SimTime latency) {
+  if (!enabled() || model_.straggler_rate <= 0) return latency;
+  if (!rng_.chance(model_.straggler_rate)) return latency;
+  ++stats_.stragglers;
+  const double stretched =
+      static_cast<double>(latency) * model_.straggler_multiplier;
+  return std::max<SimTime>(latency, static_cast<SimTime>(stretched));
+}
+
+SimTime FaultInjector::clock_drift(SwitchId sw) {
+  if (model_.clock_drift_stddev <= 0) return 0;
+  const auto it = drift_.find(sw);
+  if (it != drift_.end()) return it->second;
+  const SimTime drift = static_cast<SimTime>(std::llround(
+      rng_.normal(0.0, static_cast<double>(model_.clock_drift_stddev))));
+  drift_[sw] = drift;
+  return drift;
+}
+
+}  // namespace chronus::sim

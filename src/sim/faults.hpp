@@ -1,0 +1,137 @@
+// Control-plane fault injection (the Time4 failure modes the paper's
+// executor assumes away): per-switch FlowMod drops, duplication, reordering
+// beyond the per-switch FIFO, rule-install rejection, straggler multipliers
+// on control latency, transient switch unresponsiveness windows, and
+// per-switch clock drift on top of the controller's per-mod sync error.
+//
+// The injector owns its own RNG stream, so enabling faults never perturbs
+// the controller's latency/sync-error draws: a faulted run and a clean run
+// from the same seed sample identical control latencies, and a FaultModel
+// with every knob at zero makes the injector a no-op that draws nothing —
+// the property the bit-identical zero-fault tests rely on.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "sim/sim_time.hpp"
+#include "sim/switch.hpp"
+#include "util/rng.hpp"
+
+namespace chronus::sim {
+
+struct FaultModel {
+  /// Probability a FlowMod is lost in the control channel (never reaches
+  /// the switch; the per-switch FIFO is unaffected, and a later barrier
+  /// does NOT wait for it — the realistic silent-loss mode).
+  double drop_rate = 0.0;
+  /// Per-switch overrides of drop_rate.
+  std::map<SwitchId, double> per_switch_drop;
+
+  /// Probability a FlowMod is delivered twice (second copy applies at the
+  /// same instant; exercises idempotency and log growth).
+  double duplicate_rate = 0.0;
+
+  /// Probability a FlowMod escapes the per-switch FIFO: it applies at its
+  /// raw arrival instant even if an earlier-sent mod is still queued.
+  double reorder_rate = 0.0;
+
+  /// Probability the switch receives a FlowMod but refuses to install it
+  /// (table full / OFPT_ERROR); the mod consumes its FIFO slot and the
+  /// controller learns of the failure after the error round-trips.
+  double reject_rate = 0.0;
+  /// Deterministic variant for tests: reject the first N mods delivered to
+  /// a switch, then behave normally. Consumed before reject_rate is drawn.
+  std::map<SwitchId, int> reject_first_n;
+
+  /// Probability a control message is a Dionysus-style straggler: its
+  /// one-way latency is multiplied by straggler_multiplier.
+  double straggler_rate = 0.0;
+  double straggler_multiplier = 10.0;
+
+  /// Probability a command finds the switch entering a transient
+  /// unresponsiveness window (control connection flap / busy CPU): every
+  /// message arriving inside the window is delayed to the window's end.
+  double unresponsive_rate = 0.0;
+  SimTime unresponsive_duration = 0;
+  /// Deterministic outage windows for tests/benchmarks: messages arriving
+  /// at switch `sw` during [from, until) are delayed to `until`.
+  std::map<SwitchId, std::pair<SimTime, SimTime>> forced_outage;
+
+  /// Per-switch constant clock offset (microseconds, drawn once per switch
+  /// from N(0, stddev)) added to every timed execution instant on top of
+  /// the controller's per-mod sync_error_stddev — models a switch whose
+  /// Time4 clock has drifted between synchronization rounds.
+  SimTime clock_drift_stddev = 0;
+
+  /// True iff any knob is set; a disabled model injects nothing and the
+  /// injector draws no randomness.
+  bool enabled() const;
+};
+
+/// Counters of everything injected; snapshot/diff these to account for the
+/// faults a single run experienced.
+struct FaultStats {
+  std::uint64_t mods_seen = 0;
+  std::uint64_t drops = 0;
+  std::uint64_t duplicates = 0;
+  std::uint64_t reorders = 0;
+  std::uint64_t rejections = 0;
+  std::uint64_t stragglers = 0;
+  std::uint64_t unresponsive_windows = 0;  ///< windows opened
+  std::uint64_t unresponsive_delays = 0;   ///< messages delayed by a window
+
+  std::uint64_t injected() const {
+    return drops + duplicates + reorders + rejections + stragglers +
+           unresponsive_delays;
+  }
+  /// Counter-wise difference (this - earlier snapshot).
+  FaultStats operator-(const FaultStats& base) const;
+  std::string to_string() const;
+};
+
+/// Stateful fault source attached to a Controller. All decisions are drawn
+/// from a dedicated RNG stream seeded at construction, so runs are
+/// reproducible and independent of the control-channel latency stream.
+class FaultInjector {
+ public:
+  /// Per-FlowMod verdict.
+  struct Decision {
+    bool drop = false;
+    bool duplicate = false;
+    bool reorder = false;
+    bool reject = false;
+    bool straggler = false;
+  };
+
+  explicit FaultInjector(FaultModel model, std::uint64_t seed = 0xFA017);
+
+  bool enabled() const { return model_.enabled(); }
+  const FaultModel& model() const { return model_; }
+  const FaultStats& stats() const { return stats_; }
+
+  /// Draws the fate of one FlowMod addressed to `sw`.
+  Decision on_flow_mod(SwitchId sw);
+
+  /// Applies unresponsiveness windows (forced and random) to a message
+  /// arriving at `sw` at `arrival`; returns the possibly-delayed arrival.
+  SimTime shape_arrival(SwitchId sw, SimTime arrival);
+
+  /// Straggler treatment for non-FlowMod control legs (barrier request /
+  /// reply): returns `latency`, multiplied if this leg straggles.
+  SimTime shape_latency(SimTime latency);
+
+  /// The switch's constant clock drift, drawn on first use.
+  SimTime clock_drift(SwitchId sw);
+
+ private:
+  FaultModel model_;
+  util::Rng rng_;
+  FaultStats stats_;
+  std::map<SwitchId, SimTime> drift_;
+  std::map<SwitchId, SimTime> unresponsive_until_;
+  std::map<SwitchId, int> rejects_left_;
+};
+
+}  // namespace chronus::sim

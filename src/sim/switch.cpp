@@ -29,6 +29,10 @@ void SimSwitch::apply(SimTime at, const FlowMod& mod) {
   peak_size_ = std::max(peak_size_, table_.size());
 }
 
+void SimSwitch::reject(SimTime at, const FlowMod& mod) {
+  rejections_.push_back(LogEntry{at, mod});
+}
+
 FlowTable SimSwitch::table_at(SimTime t) const {
   FlowTable table;
   for (const LogEntry& e : log_) {

@@ -34,6 +34,11 @@ class SimSwitch {
   /// decreasing across calls (the event queue guarantees this).
   void apply(SimTime at, const FlowMod& mod);
 
+  /// Records a FlowMod the switch received but refused to install
+  /// (fault-injected OFPT_ERROR: table full, bad table id, ...). The flow
+  /// table is untouched; only the rejection log grows.
+  void reject(SimTime at, const FlowMod& mod);
+
   /// Current (latest) table.
   const FlowTable& table() const { return table_; }
 
@@ -46,6 +51,9 @@ class SimSwitch {
 
   /// Number of FlowMods applied.
   std::size_t mods_applied() const { return log_.size(); }
+
+  /// Number of FlowMods refused (fault injection).
+  std::size_t mods_rejected() const { return rejections_.size(); }
 
   /// All (time, size) points where the table size changed.
   std::vector<std::pair<SimTime, std::size_t>> size_history() const;
@@ -65,6 +73,7 @@ class SimSwitch {
   std::string name_;
   FlowTable table_;
   std::vector<LogEntry> log_;
+  std::vector<LogEntry> rejections_;
   std::size_t peak_size_ = 0;
 };
 

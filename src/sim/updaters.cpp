@@ -4,26 +4,36 @@
 
 namespace chronus::sim {
 
-namespace {
-
-FlowEntry forwarding_entry(const SimFlowSpec& spec, PortId out_port,
-                           VlanTag match_vlan = kNoVlan) {
+FlowEntry make_forwarding_entry(const SimFlowSpec& spec, PortId out_port,
+                                VlanTag match_vlan, int priority_delta) {
   FlowEntry e;
-  e.priority = spec.rule_priority;
+  e.priority = spec.rule_priority + priority_delta;
   e.match.dst_prefix = spec.dst_prefix;
   e.match.vlan = match_vlan;
   e.action = Action::output(out_port);
   return e;
 }
 
-FlowEntry stamping_entry(const SimFlowSpec& spec, VlanTag stamp,
-                         PortId out_port) {
+FlowEntry make_stamping_entry(const SimFlowSpec& spec, VlanTag stamp,
+                              PortId out_port) {
   FlowEntry e;
   e.priority = spec.rule_priority + 10;
   e.match.in_port = kHostPort;
   e.match.dst_prefix = spec.dst_prefix;
   e.action = Action::set_vlan_output(stamp, out_port);
   return e;
+}
+
+namespace {
+
+FlowEntry forwarding_entry(const SimFlowSpec& spec, PortId out_port,
+                           VlanTag match_vlan = kNoVlan) {
+  return make_forwarding_entry(spec, out_port, match_vlan);
+}
+
+FlowEntry stamping_entry(const SimFlowSpec& spec, VlanTag stamp,
+                         PortId out_port) {
+  return make_stamping_entry(spec, stamp, out_port);
 }
 
 }  // namespace

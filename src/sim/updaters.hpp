@@ -36,6 +36,17 @@ struct SimFlowSpec {
 inline constexpr VlanTag kOldVersion = 1;
 inline constexpr VlanTag kNewVersion = 2;
 
+/// The per-flow transit rule of Table II: match the flow's destination
+/// prefix (and optionally a version tag), forward out of `out_port`.
+FlowEntry make_forwarding_entry(const SimFlowSpec& spec, PortId out_port,
+                                VlanTag match_vlan = kNoVlan,
+                                int priority_delta = 0);
+
+/// The ingress stamping rule of the two-phase scheme: match host-port
+/// ingress traffic for the flow, stamp `stamp` and forward out `out_port`.
+FlowEntry make_stamping_entry(const SimFlowSpec& spec, VlanTag stamp,
+                              PortId out_port);
+
 /// Installs the initial routing of `spec` along inst.p_init() at the
 /// controller's current clock. With `versioned` set, transit rules match
 /// kOldVersion and the ingress stamps it (two-phase style); otherwise

@@ -147,6 +147,31 @@ std::map<std::pair<net::LinkId, TimePoint>, double> link_loads(
   return load;
 }
 
+void TransitionReport::merge(const TransitionReport& other) {
+  congestion.insert(congestion.end(), other.congestion.begin(),
+                    other.congestion.end());
+  loops.insert(loops.end(), other.loops.begin(), other.loops.end());
+  blackholes.insert(blackholes.end(), other.blackholes.begin(),
+                    other.blackholes.end());
+  aborted = aborted || other.aborted;
+}
+
+UpdateSchedule schedule_from_activations(
+    const std::map<net::NodeId, std::int64_t>& activation_times,
+    std::int64_t step_unit) {
+  UpdateSchedule sched;
+  if (activation_times.empty() || step_unit <= 0) return sched;
+  std::int64_t origin = activation_times.begin()->second;
+  for (const auto& [_, t] : activation_times) origin = std::min(origin, t);
+  for (const auto& [v, t] : activation_times) {
+    const std::int64_t offset = t - origin;
+    // llround of offset/step_unit without floating point drift.
+    const std::int64_t step = (offset + step_unit / 2) / step_unit;
+    sched.set(v, static_cast<TimePoint>(step));
+  }
+  return sched;
+}
+
 std::string TransitionReport::to_string(const net::Graph& g) const {
   std::ostringstream os;
   os << (ok() ? "OK" : "VIOLATIONS") << ": " << congestion.size()

@@ -47,6 +47,10 @@ struct TransitionReport {
   /// report is then a partial under-approximation and ok() is unreliable.
   bool aborted = false;
 
+  /// Folds another report's events into this one (used by the runtime
+  /// consistency monitor to compose per-phase verifications).
+  void merge(const TransitionReport& other);
+
   bool congestion_free() const { return congestion.empty(); }
   bool loop_free() const { return loops.empty(); }
   bool blackhole_free() const { return blackholes.empty(); }
@@ -95,5 +99,15 @@ TransitionReport verify_transitions(const std::vector<FlowTransition>& flows,
 /// renderings): maps (link, enter-step) -> load.
 std::map<std::pair<net::LinkId, TimePoint>, double> link_loads(
     const net::UpdateInstance& inst, const UpdateSchedule& sched);
+
+/// Quantizes *achieved* activation instants (arbitrary integral wall-clock
+/// units, e.g. microseconds) onto the abstract schedule grid: offsets are
+/// taken relative to the earliest activation and rounded to the nearest
+/// multiple of `step_unit`. This is how the runtime consistency monitor
+/// replays what the control plane actually did — late or retried
+/// activations land on later steps and surface as verifier violations.
+UpdateSchedule schedule_from_activations(
+    const std::map<net::NodeId, std::int64_t>& activation_times,
+    std::int64_t step_unit);
 
 }  // namespace chronus::timenet

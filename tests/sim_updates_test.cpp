@@ -5,6 +5,7 @@
 
 #include "core/multi_flow.hpp"
 #include "net/generators.hpp"
+#include "sim/resilient_executor.hpp"
 #include "sim/updaters.hpp"
 
 #include <cstdlib>
@@ -265,6 +266,133 @@ TEST(MultiFlowSim, JointPlanExecutesBothFlowsCleanly) {
   EXPECT_GT(network.link(*network.link_between(5, 3))
                 .offered_bps.at(7 * kSecond),
             0.0);
+}
+
+// --- ResilientExecutor: bit-identical to the seed executors without faults.
+
+TEST(ResilientExecutor, ZeroFaultChronusMatchesSeedExecutorExactly) {
+  Bench seed(11);
+  Controller seed_ctrl(seed.eq, seed.net, seed.rng, seed.model);
+  install_initial_rules(seed_ctrl, seed.inst, seed.spec);
+  const SimTime t0 = 2 * kSecond + 10 * kMillisecond;
+  const UpdateRunResult want =
+      run_chronus_update(seed_ctrl, seed.inst, seed.spec, t0, kDelayUnit);
+
+  Bench b(11);
+  Controller ctrl(b.eq, b.net, b.rng, b.model);
+  // An attached injector with every knob at zero must change nothing.
+  FaultInjector inj((FaultModel()));
+  ctrl.attach_fault_injector(&inj);
+  install_initial_rules(ctrl, b.inst, b.spec);
+  ResilientExecutor exec(ctrl);
+  const UpdateRunReport rep = exec.run_chronus(b.inst, b.spec, t0, kDelayUnit);
+
+  EXPECT_TRUE(rep.completed);
+  EXPECT_EQ(rep.fallback, UpdateRunReport::Fallback::kNone);
+  EXPECT_EQ(rep.retries, 0);
+  EXPECT_EQ(rep.faults.injected(), 0u);
+  EXPECT_EQ(rep.result.applied, want.applied);
+  EXPECT_EQ(rep.result.start, want.start);
+  EXPECT_EQ(rep.result.finish, want.finish);
+  EXPECT_EQ(rep.result.plan_status, want.plan_status);
+  // The consistency monitor replays a clean run as the planned schedule.
+  ASSERT_TRUE(rep.verified);
+  EXPECT_TRUE(rep.verification.ok())
+      << rep.verification.to_string(b.inst.graph());
+}
+
+TEST(ResilientExecutor, ZeroFaultOrMatchesSeedExecutorExactly) {
+  Bench seed(7);
+  Controller seed_ctrl(seed.eq, seed.net, seed.rng, seed.model);
+  install_initial_rules(seed_ctrl, seed.inst, seed.spec);
+  const UpdateRunResult want =
+      run_or_update(seed_ctrl, seed.inst, seed.spec, kSecond);
+
+  Bench b(7);
+  Controller ctrl(b.eq, b.net, b.rng, b.model);
+  install_initial_rules(ctrl, b.inst, b.spec);
+  ResilientExecutor exec(ctrl);
+  const UpdateRunReport rep = exec.run_or(b.inst, b.spec, kSecond, kDelayUnit);
+
+  EXPECT_TRUE(rep.completed);
+  EXPECT_EQ(rep.retries, 0);
+  EXPECT_EQ(rep.result.applied, want.applied);
+  EXPECT_EQ(rep.result.start, want.start);
+  EXPECT_EQ(rep.result.finish, want.finish);
+}
+
+TEST(ResilientExecutor, ZeroFaultTwoPhaseMatchesSeedExecutorExactly) {
+  Bench seed(21);
+  Controller seed_ctrl(seed.eq, seed.net, seed.rng, seed.model);
+  install_initial_rules(seed_ctrl, seed.inst, seed.spec, /*versioned=*/true);
+  const UpdateRunResult want = run_two_phase_update(
+      seed_ctrl, seed.inst, seed.spec, 2 * kSecond, 3 * kSecond);
+
+  Bench b(21);
+  Controller ctrl(b.eq, b.net, b.rng, b.model);
+  install_initial_rules(ctrl, b.inst, b.spec, /*versioned=*/true);
+  ResilientExecutor exec(ctrl);
+  const UpdateRunReport rep =
+      exec.run_two_phase(b.inst, b.spec, 2 * kSecond, 3 * kSecond, kDelayUnit);
+
+  EXPECT_TRUE(rep.completed);
+  EXPECT_EQ(rep.retries, 0);
+  EXPECT_EQ(rep.result.applied, want.applied);
+  EXPECT_EQ(rep.result.flip_time, want.flip_time);
+  EXPECT_EQ(rep.result.start, want.start);
+  EXPECT_EQ(rep.result.finish, want.finish);
+  ASSERT_TRUE(rep.verified);
+  EXPECT_TRUE(rep.verification.ok())
+      << rep.verification.to_string(b.inst.graph());
+}
+
+// --- ResilientExecutor: recovery under the ISSUE's fault envelope
+// (drops <= 10%, stragglers up to 10x) leaves zero post-hoc violations.
+
+TEST(ResilientExecutor, RecoversFromDropsAndStragglers) {
+  for (std::uint64_t seed = 301; seed <= 303; ++seed) {
+    Bench b(seed);
+    FaultModel m;
+    m.drop_rate = 0.10;
+    m.straggler_rate = 0.20;
+    m.straggler_multiplier = 10.0;
+    FaultInjector inj(m, /*seed=*/seed * 13);
+    Controller ctrl(b.eq, b.net, b.rng, b.model);
+    ctrl.attach_fault_injector(&inj);
+    install_initial_rules(ctrl, b.inst, b.spec);
+
+    RetryPolicy pol;
+    pol.max_attempts = 5;
+    ResilientExecutor exec(ctrl, pol);
+    const SimTime t0 = 4 * kSecond + 10 * kMillisecond;
+    const UpdateRunReport rep =
+        exec.run_chronus(b.inst, b.spec, t0, kDelayUnit);
+
+    EXPECT_TRUE(rep.completed) << "seed " << seed;
+    EXPECT_EQ(rep.result.applied.size(), 5u) << "seed " << seed;
+    ASSERT_TRUE(rep.verified);
+    EXPECT_TRUE(rep.verification.ok())
+        << "seed " << seed << ": "
+        << rep.verification.to_string(b.inst.graph());
+    // Full accounting: every drop of a planned mod forced a re-send.
+    if (rep.faults.drops > 0) {
+      EXPECT_GT(rep.retries, 0) << "seed " << seed;
+    }
+    EXPECT_EQ(rep.faults.drops + rep.faults.stragglers +
+                  rep.faults.duplicates + rep.faults.reorders +
+                  rep.faults.rejections + rep.faults.unresponsive_delays,
+              rep.faults.injected());
+    ctrl.flush();
+    // The data plane agrees: the flow ends on p_fin and stays clean.
+    TraceOptions opts;
+    opts.t_begin = 0;
+    opts.t_end = rep.result.finish + 5 * kSecond;
+    opts.quantum = 20 * kMillisecond;
+    const TrafficReport traffic =
+        trace_traffic(b.net, {flow_of(b.spec, b.inst.source())}, opts);
+    EXPECT_TRUE(traffic.loops.empty()) << "seed " << seed;
+    EXPECT_TRUE(traffic.drops.empty()) << "seed " << seed;
+  }
 }
 
 }  // namespace
