@@ -6,10 +6,12 @@
 #pragma once
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
 #include "net/generators.hpp"
 #include "util/cli.hpp"
+#include "util/json_writer.hpp"
 #include "util/rng.hpp"
 
 namespace chronus::bench {
@@ -23,6 +25,16 @@ inline net::UpdateInstance random_instance_for(std::size_t n, util::Rng& rng) {
 
 inline void print_header(const char* figure, const char* what) {
   std::printf("=== %s: %s ===\n", figure, what);
+}
+
+/// Opens the machine-readable mirror when --json=<path> is given; returns
+/// null otherwise (callers guard row emission on the pointer). Consume the
+/// flag before reject_unknown_flags.
+inline std::unique_ptr<util::JsonWriter> json_from_cli(const util::Cli& cli,
+                                                       const char* bench) {
+  const std::string path = cli.get("json", "");
+  if (path.empty()) return nullptr;
+  return std::make_unique<util::JsonWriter>(path, bench);
 }
 
 inline void reject_unknown_flags(const util::Cli& cli) {

@@ -1,12 +1,15 @@
 // Extension — scheduling several concurrent flows (the paper formulates
 // program (3) over a flow set F but evaluates a single dynamic flow; this
-// bench exercises our sequential multi-flow scheduler).
+// bench compares our sequential and joint multi-flow schedulers side by
+// side).
 //
-// k flows share a WAN; each is rerouted at once. Reported per k: how often
-// a jointly congestion- and loop-free plan exists under tight vs slack
-// contested links, and the total span of the combined plan.
+// k flows share a WAN; each is rerouted at once. Reported per k, for both
+// compositions: how often a jointly congestion- and loop-free plan exists
+// under tight vs slack contested links, and the total span of the combined
+// plan.
 //
 //   ./bench/ext_multiflow [--instances=N] [--seed=N] [--max-flows=N]
+//                         [--json=PATH]
 #include "bench_common.hpp"
 
 #include "core/multi_flow.hpp"
@@ -55,9 +58,15 @@ int main(int argc, char** argv) {
   const auto instances = static_cast<int>(cli.get_int("instances", 20));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   const auto max_flows = static_cast<int>(cli.get_int("max-flows", 5));
+  auto json = bench::json_from_cli(cli, "ext_multiflow");
   bench::reject_unknown_flags(cli);
+  if (json) {
+    json->meta("instances", static_cast<std::int64_t>(instances));
+    json->meta("seed", static_cast<std::int64_t>(seed));
+    json->meta("max_flows", static_cast<std::int64_t>(max_flows));
+  }
 
-  bench::print_header("Extension", "multi-flow sequential scheduling");
+  bench::print_header("Extension", "multi-flow sequential vs joint");
   std::printf("%d instances per point, seed=%llu; the new contested link "
               "holds k flows (slack) or only k-1 (tight)\n\n",
               instances, static_cast<unsigned long long>(seed));
@@ -104,6 +113,18 @@ int main(int argc, char** argv) {
                    joint_spans.empty() ? "-" : util::fmt(joint_spans.mean(), 1),
                    util::fmt(100.0 * tight_seq / instances, 1),
                    util::fmt(100.0 * tight_joint / instances, 1)});
+    if (json) {
+      json->begin_row();
+      json->field("flows", static_cast<std::int64_t>(k));
+      json->field("seq_feasible", 1.0 * seq_ok / instances);
+      json->field("seq_span_mean", seq_spans.empty() ? 0.0 : seq_spans.mean());
+      json->field("joint_feasible", 1.0 * joint_ok / instances);
+      json->field("joint_span_mean",
+                  joint_spans.empty() ? 0.0 : joint_spans.mean());
+      json->field("tight_seq_feasible", 1.0 * tight_seq / instances);
+      json->field("tight_joint_feasible", 1.0 * tight_joint / instances);
+      json->end_row();
+    }
   }
   std::printf("%s", table.to_string().c_str());
   std::printf("\n(with headroom for every flow both compositions succeed, "

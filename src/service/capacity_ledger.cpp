@@ -1,0 +1,109 @@
+#include "service/capacity_ledger.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace chronus::service {
+
+namespace {
+
+// Reservations are compared against headroom with a small epsilon so that
+// repeated add/subtract round-trips (release after reserve) cannot starve
+// an exactly-fitting footprint through floating-point drift.
+constexpr double kEps = 1e-9;
+
+}  // namespace
+
+Footprint transition_footprint(const net::Graph& g, const net::Path& p_init,
+                               const net::Path& p_fin, double demand) {
+  Footprint fp;
+  for (const net::LinkId id : net::path_links(g, p_init)) fp[id] += demand;
+  for (const net::LinkId id : net::path_links(g, p_fin)) fp[id] += demand;
+  return fp;
+}
+
+CapacityLedger::CapacityLedger(const net::Graph& g)
+    : capacity_(g.link_count()), committed_(g.link_count(), 0.0) {
+  for (net::LinkId id = 0; id < g.link_count(); ++id) {
+    capacity_[id] = g.link(id).capacity;
+  }
+}
+
+double CapacityLedger::capacity(net::LinkId id) const {
+  return capacity_.at(id);
+}
+
+double CapacityLedger::committed(net::LinkId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return committed_.at(id);
+}
+
+double CapacityLedger::headroom(net::LinkId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const double room = capacity_.at(id) - committed_.at(id);
+  return room > 0.0 ? room : 0.0;
+}
+
+bool CapacityLedger::fits(const Footprint& fp) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, amount] : fp) {
+    if (committed_.at(id) + amount > capacity_.at(id) + kEps) return false;
+  }
+  return true;
+}
+
+bool CapacityLedger::try_reserve(const Footprint& fp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, amount] : fp) {
+    if (amount < 0.0) {
+      throw std::invalid_argument("negative reservation on link " +
+                                  std::to_string(id));
+    }
+    if (committed_.at(id) + amount > capacity_.at(id) + kEps) return false;
+  }
+  for (const auto& [id, amount] : fp) {
+    committed_[id] += amount;
+    const double util = committed_[id] / capacity_[id];
+    if (util > peak_) peak_ = util;
+  }
+  return true;
+}
+
+void CapacityLedger::release(const Footprint& fp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [id, amount] : fp) {
+    if (committed_.at(id) + kEps < amount) {
+      throw std::logic_error("release of " + std::to_string(amount) +
+                             " exceeds commitment on link " +
+                             std::to_string(id));
+    }
+  }
+  for (const auto& [id, amount] : fp) {
+    committed_[id] -= amount;
+    if (committed_[id] < 0.0) committed_[id] = 0.0;  // absorb fp drift
+  }
+}
+
+net::Graph CapacityLedger::restricted_graph(const net::Graph& g,
+                                            const Footprint& fp) const {
+  net::Graph out = g;
+  for (const auto& [id, amount] : fp) {
+    out.mutable_link(id).capacity = amount;
+  }
+  return out;
+}
+
+double CapacityLedger::peak_utilization() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return peak_;
+}
+
+bool CapacityLedger::idle() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const double c : committed_) {
+    if (c > kEps) return false;
+  }
+  return true;
+}
+
+}  // namespace chronus::service

@@ -1,0 +1,140 @@
+#include "service/request.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace chronus::service {
+
+const char* to_string(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::kPending:
+      return "pending";
+    case RequestStatus::kCompleted:
+      return "completed";
+    case RequestStatus::kRejectedInfeasible:
+      return "rejected-infeasible";
+    case RequestStatus::kRejectedDeadline:
+      return "rejected-deadline";
+    case RequestStatus::kRejectedCapacity:
+      return "rejected-capacity";
+    case RequestStatus::kFailed:
+      return "failed";
+  }
+  return "?";
+}
+
+void ServiceReport::finalize() {
+  completed = failed = 0;
+  rejected_infeasible = rejected_deadline = rejected_capacity = 0;
+  violations = 0;
+  makespan = 0;
+  for (const RequestRecord& r : records) {
+    switch (r.status) {
+      case RequestStatus::kCompleted:
+        ++completed;
+        break;
+      case RequestStatus::kFailed:
+        ++failed;
+        break;
+      case RequestStatus::kRejectedInfeasible:
+        ++rejected_infeasible;
+        break;
+      case RequestStatus::kRejectedDeadline:
+        ++rejected_deadline;
+        break;
+      case RequestStatus::kRejectedCapacity:
+        ++rejected_capacity;
+        break;
+      case RequestStatus::kPending:
+        break;
+    }
+    violations += r.violations;
+    makespan = std::max(makespan, r.completed);
+  }
+}
+
+double ServiceReport::throughput_hz() const {
+  if (makespan <= 0) return 0.0;
+  return static_cast<double>(completed) /
+         (static_cast<double>(makespan) / static_cast<double>(sim::kSecond));
+}
+
+double ServiceReport::mean_latency() const {
+  util::Summary s;
+  for (const RequestRecord& r : records) {
+    if (r.status == RequestStatus::kCompleted) {
+      s.add(static_cast<double>(r.latency()));
+    }
+  }
+  return s.empty() ? 0.0 : s.mean();
+}
+
+double ServiceReport::latency_percentile(double p) const {
+  util::Summary s;
+  for (const RequestRecord& r : records) {
+    if (r.status == RequestStatus::kCompleted) {
+      s.add(static_cast<double>(r.latency()));
+    }
+  }
+  return s.empty() ? 0.0 : s.percentile(p);
+}
+
+std::string ServiceReport::to_string() const {
+  std::ostringstream out;
+  out << "requests " << total() << ": " << completed << " completed, "
+      << failed << " failed, " << rejected() << " rejected ("
+      << rejected_infeasible << " infeasible, " << rejected_deadline
+      << " deadline, " << rejected_capacity << " capacity)\n";
+  out << "joint batches " << joint_batches << ", admission rounds "
+      << admission_rounds << ", peak link utilization "
+      << util::fmt(100.0 * peak_utilization, 1) << "%\n";
+  out << "makespan " << util::fmt(static_cast<double>(makespan) / sim::kSecond,
+                                  3)
+      << " s, throughput " << util::fmt(throughput_hz(), 2)
+      << " req/s, latency mean " << util::fmt(mean_latency() / sim::kSecond, 3)
+      << " s / p95 " << util::fmt(latency_percentile(95) / sim::kSecond, 3)
+      << " s\n";
+  out << "verifier violations " << violations << "\n";
+
+  util::Table table({"id", "status", "arrival ms", "wait ms", "latency ms",
+                     "defers", "mode", "span", "retries", "verified"});
+  for (const RequestRecord& r : records) {
+    const bool done = r.status == RequestStatus::kCompleted ||
+                      r.status == RequestStatus::kFailed;
+    table.add_row(
+        {std::to_string(r.id), service::to_string(r.status),
+         util::fmt(static_cast<double>(r.arrival) / sim::kMillisecond, 1),
+         done ? util::fmt(static_cast<double>(r.wait()) / sim::kMillisecond, 1)
+              : "-",
+         done ? util::fmt(static_cast<double>(r.latency()) / sim::kMillisecond,
+                          1)
+              : "-",
+         std::to_string(r.defers),
+         done ? (r.joint ? "joint#" + std::to_string(r.batch) : "single") : "-",
+         done ? std::to_string(r.plan_span) : "-",
+         done ? std::to_string(r.exec_retries) : "-",
+         done ? (r.plan_verified && r.run_verified ? "clean" : "VIOLATION")
+              : "-"});
+  }
+  out << table.to_string();
+  return out.str();
+}
+
+std::string ServiceReport::digest() const {
+  std::ostringstream out;
+  for (const RequestRecord& r : records) {
+    out << r.id << '|' << service::to_string(r.status) << '|' << r.arrival
+        << '|' << r.admitted << '|' << r.completed << '|' << r.defers << '|'
+        << r.joint << '|' << r.batch << '|' << r.plan_span << '|'
+        << r.exec_duration << '|' << r.exec_retries << '|' << r.plan_verified
+        << '|' << r.run_verified << '|' << r.violations << '\n';
+  }
+  out << "batches=" << joint_batches << " rounds=" << admission_rounds
+      << " violations=" << violations << '\n';
+  return out.str();
+}
+
+}  // namespace chronus::service

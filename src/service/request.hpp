@@ -1,0 +1,124 @@
+// The request/response vocabulary of the online update service.
+//
+// The offline planners take one pre-assembled instance (or flow set); the
+// service instead receives a *stream* of UpdateRequests — "move flow f from
+// p_init to p_fin, demand d, before this deadline" — arriving over virtual
+// time, and answers each with a RequestRecord describing what happened to
+// it: admitted (alone or in a joint batch), deferred-then-admitted,
+// rejected by the admission controller, or failed in execution. A
+// ServiceReport aggregates the per-request records into the service-level
+// metrics (throughput, latency percentiles, rejection breakdown).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/path.hpp"
+#include "sim/sim_time.hpp"
+
+namespace chronus::service {
+
+/// One reroute request: transition a flow of `demand` units from `p_init`
+/// to `p_fin` on the service's shared base graph.
+struct UpdateRequest {
+  std::uint64_t id = 0;
+  std::string name;        ///< flow label; defaults to "r<id>" when empty
+  net::Path p_init;
+  net::Path p_fin;
+  double demand = 1.0;
+  sim::SimTime arrival = 0;   ///< virtual arrival instant (microseconds)
+  sim::SimTime deadline = 0;  ///< absolute virtual deadline; 0 = none
+  int priority = 0;           ///< higher is served first within a round
+};
+
+enum class RequestStatus {
+  kPending,             ///< not yet decided (only seen mid-run)
+  kCompleted,           ///< planned, executed, commitments released
+  kRejectedInfeasible,  ///< demand exceeds a link's raw capacity
+  kRejectedDeadline,    ///< deadline passed while queued
+  kRejectedCapacity,    ///< gave up after max_defers admission rounds
+  kFailed,              ///< admitted but planning/execution failed
+};
+
+const char* to_string(RequestStatus s);
+
+/// Everything the service learned about one request.
+struct RequestRecord {
+  std::uint64_t id = 0;
+  RequestStatus status = RequestStatus::kPending;
+
+  sim::SimTime arrival = 0;
+  sim::SimTime admitted = 0;    ///< admission round that reserved capacity
+  sim::SimTime completed = 0;   ///< virtual completion (release) instant
+  int defers = 0;               ///< admission rounds spent waiting
+
+  bool joint = false;           ///< planned via schedule_flows_jointly
+  std::uint64_t batch = 0;      ///< joint batch id (joint records only)
+
+  std::int64_t plan_span = 0;       ///< schedule steps of the plan
+  sim::SimTime exec_duration = 0;   ///< simulated execution wall time
+  int exec_retries = 0;             ///< resilient-executor interventions
+
+  /// Re-verification verdicts: the plan under the ledger-restricted
+  /// capacities (the reservation bound) and the achieved activations under
+  /// the original capacities.
+  bool plan_verified = false;
+  bool run_verified = false;
+  int violations = 0;  ///< total verifier events across both checks
+
+  std::string message;
+
+  sim::SimTime latency() const { return completed - arrival; }
+  sim::SimTime wait() const { return admitted - arrival; }
+  bool accepted() const {
+    return status == RequestStatus::kCompleted ||
+           status == RequestStatus::kFailed;
+  }
+};
+
+/// Service-level outcome of one trace run.
+struct ServiceReport {
+  std::vector<RequestRecord> records;  ///< one per request, by request id
+
+  sim::SimTime makespan = 0;     ///< virtual time until the last release
+  std::size_t completed = 0;
+  std::size_t failed = 0;
+  std::size_t rejected_infeasible = 0;
+  std::size_t rejected_deadline = 0;
+  std::size_t rejected_capacity = 0;
+  std::size_t joint_batches = 0;
+  std::size_t admission_rounds = 0;
+  int violations = 0;            ///< verifier events across all records
+  double peak_utilization = 0.0; ///< max over links of committed/capacity
+
+  std::size_t total() const { return records.size(); }
+  std::size_t rejected() const {
+    return rejected_infeasible + rejected_deadline + rejected_capacity;
+  }
+  double rejection_rate() const {
+    return records.empty()
+               ? 0.0
+               : static_cast<double>(rejected()) /
+                     static_cast<double>(records.size());
+  }
+  /// Completed requests per virtual second.
+  double throughput_hz() const;
+  /// Mean / percentile completion latency (microseconds) over completed
+  /// requests; 0 when none completed. `p` is in [0, 100] (95 = p95).
+  double mean_latency() const;
+  double latency_percentile(double p) const;
+
+  /// Aggregates the per-record fields above; call once after the records
+  /// are final.
+  void finalize();
+
+  /// Human-readable summary table plus one line per rejected request.
+  std::string to_string() const;
+
+  /// Canonical one-line digest of every record, for determinism checks:
+  /// two runs are considered identical iff their digests match.
+  std::string digest() const;
+};
+
+}  // namespace chronus::service

@@ -1,0 +1,55 @@
+#include "service/worker_pool.hpp"
+
+namespace chronus::service {
+
+WorkerPool::WorkerPool(int workers) {
+  const int n = workers < 1 ? 1 : workers;
+  threads_.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::submit(std::function<void()> job) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    jobs_.push_back(std::move(job));
+  }
+  work_cv_.notify_one();
+}
+
+void WorkerPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return jobs_.empty() && active_ == 0; });
+}
+
+void WorkerPool::worker_loop() {
+  for (;;) {
+    std::function<void()> job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || !jobs_.empty(); });
+      if (jobs_.empty()) return;  // stop_ set and queue drained
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+      ++active_;
+    }
+    job();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --active_;
+      if (jobs_.empty() && active_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace chronus::service

@@ -1,0 +1,55 @@
+// A fixed-size worker thread pool for the service's planning and execution
+// jobs.
+//
+// Jobs are pure with respect to shared service state: they read an
+// immutable snapshot (instance + restricted graph + seed) and write only
+// their own result slot, so the pool adds wall-clock parallelism without
+// adding nondeterminism — the dispatcher commits results in request order
+// regardless of which worker finished first. `wait_idle` is the barrier the
+// epoch loop uses between the parallel phase and the deterministic commit
+// phase.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace chronus::service {
+
+class WorkerPool {
+ public:
+  /// Spawns `workers` threads (at least 1).
+  explicit WorkerPool(int workers);
+
+  /// Drains outstanding jobs, then joins the threads.
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int size() const { return static_cast<int>(threads_.size()); }
+
+  /// Enqueues a job. Jobs must not throw (std::terminate otherwise) and
+  /// must not touch shared mutable state except through their own slot.
+  void submit(std::function<void()> job);
+
+  /// Blocks until every submitted job has finished.
+  void wait_idle();
+
+ private:
+  void worker_loop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // signals workers: job or stop
+  std::condition_variable idle_cv_;   // signals waiters: all drained
+  std::deque<std::function<void()>> jobs_;
+  std::size_t active_ = 0;  ///< jobs currently running on a worker
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace chronus::service

@@ -1,0 +1,58 @@
+// Deterministic arrival-process driver for the online update service.
+//
+// make_workload builds a reroute workload over a two-rail core topology:
+// every source/destination pair can route through the shared core rails
+// (A->B old, C->D new) or through its own private rails. Each generated
+// request reroutes one pair's flow between two of its rails; with
+// probability `conflict_density` the request contests the shared core, so
+// the knob directly controls how often independent requests collide on the
+// ledger (and hence how much admission deferral and joint batching the
+// service performs). Inter-arrival times are exponential with the given
+// rate. Everything is drawn from util::Rng, so a (options, seed) pair
+// always yields the identical trace — the property the determinism tests
+// and the bench sweeps rely on.
+#pragma once
+
+#include <cstdint>
+
+#include "service/service.hpp"
+#include "util/rng.hpp"
+
+namespace chronus::service {
+
+struct WorkloadOptions {
+  int requests = 200;
+  double arrival_rate_hz = 40.0;  ///< mean arrivals per virtual second
+  int pairs = 8;                  ///< distinct src/dst pairs
+  /// Probability a request routes over the shared core rails instead of
+  /// its pair-private rails.
+  double conflict_density = 0.5;
+  double demand_min = 0.5;
+  double demand_max = 1.5;
+  /// Relative deadline added to each arrival; 0 disables deadlines.
+  sim::SimTime deadline = 60 * sim::kSecond;
+  int priorities = 3;  ///< priorities drawn uniformly from [0, priorities)
+  /// Probability of an oversized request (demand above the core capacity;
+  /// the admission controller must reject it as statically infeasible).
+  double oversize_prob = 0.0;
+
+  double core_capacity = 4.0;     ///< shared rails (the contested links)
+  double private_capacity = 2.0;  ///< per-pair rails
+  double edge_capacity = 64.0;    ///< access links (never the bottleneck)
+
+  /// Number of joint-rescue sites. Each site is a private contested link
+  /// sized for ~1.25 flows and a trio of requests: an enterer that takes
+  /// the link first, then — while it is still in flight — a vacater and a
+  /// second enterer. The second enterer cannot fit until the vacater
+  /// leaves, which is exactly the conflict the admission controller
+  /// resolves with a joint batch (vacate before enter in one window). Each
+  /// site consumes three slots of `requests`.
+  int rescue_sites = 0;
+
+  std::uint64_t seed = 1;
+};
+
+/// The generated topology plus request stream.
+ServiceTrace make_workload(const WorkloadOptions& opt);
+
+}  // namespace chronus::service

@@ -6,11 +6,17 @@
 //   chronus_cli verify --instance=fig1.inst --schedule=fig1.sched
 //   chronus_cli or-plan --instance=fig1.inst
 //   chronus_cli dot --instance=fig1.inst [--schedule=fig1.sched]
+//   chronus_cli trace --requests=200 [--rate=40] [--conflict=0.5] > w.trace
+//   chronus_cli serve --trace=w.trace [--workers=4] [--json=report.json]
 //
 // Algorithms for `schedule`: greedy (Algorithm 2, verifier-guarded),
 // pure (paper-literal Algorithm 2), chain (longest-chain-first), restart
 // (best of N randomized restarts), sweep (Algorithm 1 witness), opt
 // (branch-and-bound under --timeout seconds).
+//
+// `serve` drives the online update service (src/service) over a request
+// trace: admission, ledger reservation, worker-pool planning and timed
+// execution; exits non-zero if any accepted plan failed re-verification.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -20,11 +26,14 @@
 #include "core/heuristics.hpp"
 #include "io/dot.hpp"
 #include "io/instance_io.hpp"
+#include "io/trace_io.hpp"
 #include "net/generators.hpp"
 #include "opt/mutp_bnb.hpp"
 #include "opt/order_bnb.hpp"
+#include "service/workload.hpp"
 #include "timenet/verifier.hpp"
 #include "util/cli.hpp"
+#include "util/json_writer.hpp"
 
 using namespace chronus;
 
@@ -39,7 +48,12 @@ int usage() {
                "  schedule-flows --instance=FILE [--mode=joint|seq]\n"
                "  verify   --instance=FILE --schedule=FILE\n"
                "  or-plan  --instance=FILE\n"
-               "  dot      --instance=FILE [--schedule=FILE]\n");
+               "  dot      --instance=FILE [--schedule=FILE]\n"
+               "  trace    [--requests=N] [--rate=HZ] [--conflict=P]"
+               " [--pairs=N] [--rescue=N] [--seed=N] [--out=FILE]\n"
+               "  serve    --trace=FILE [--workers=N] [--epoch-ms=N]"
+               " [--step-ms=N] [--seed=N]\n"
+               "           [--max-defers=N] [--plan-only] [--json=FILE]\n");
   return 2;
 }
 
@@ -172,6 +186,73 @@ int cmd_or_plan(const util::Cli& cli) {
   return 0;
 }
 
+int cmd_trace(const util::Cli& cli) {
+  service::WorkloadOptions opt;
+  opt.requests = static_cast<int>(cli.get_int("requests", 200));
+  opt.arrival_rate_hz = cli.get_double("rate", 40.0);
+  opt.conflict_density = cli.get_double("conflict", 0.5);
+  opt.pairs = static_cast<int>(cli.get_int("pairs", 8));
+  opt.oversize_prob = cli.get_double("oversize", 0.0);
+  opt.rescue_sites = static_cast<int>(cli.get_int("rescue", 0));
+  opt.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  const std::string out = cli.get("out", "");
+  if (out.empty()) {
+    io::write_trace(std::cout, service::make_workload(opt));
+  } else {
+    std::ofstream file(out);
+    if (!file) throw std::runtime_error("cannot open " + out);
+    io::write_trace(file, service::make_workload(opt));
+  }
+  return 0;
+}
+
+int cmd_serve(const util::Cli& cli) {
+  const std::string path = cli.get("trace", "");
+  if (path.empty()) throw std::runtime_error("--trace is required");
+  const service::ServiceTrace trace = io::read_trace_file(path);
+
+  service::ServiceOptions opts;
+  opts.workers = static_cast<int>(cli.get_int("workers", 4));
+  opts.epoch = cli.get_int("epoch-ms", 50) * sim::kMillisecond;
+  opts.step_unit = cli.get_int("step-ms", 50) * sim::kMillisecond;
+  opts.seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
+  opts.execute = !cli.get_bool("plan-only", false);
+  opts.admission.max_defers =
+      static_cast<int>(cli.get_int("max-defers", opts.admission.max_defers));
+  const std::string json_path = cli.get("json", "");
+
+  service::UpdateService svc(trace.graph, opts);
+  const service::ServiceReport report = svc.run(trace);
+  std::printf("%s", report.to_string().c_str());
+
+  if (!json_path.empty()) {
+    util::JsonWriter json(json_path, "serve");
+    json.meta("trace", path);
+    json.meta("workers", static_cast<std::int64_t>(opts.workers));
+    json.meta("seed", static_cast<std::int64_t>(opts.seed));
+    for (const service::RequestRecord& r : report.records) {
+      json.begin_row();
+      json.field("id", r.id);
+      json.field("status", std::string(service::to_string(r.status)));
+      json.field("arrival_us", r.arrival);
+      json.field("admitted_us", r.admitted);
+      json.field("completed_us", r.completed);
+      json.field("defers", static_cast<std::int64_t>(r.defers));
+      json.field("joint", r.joint);
+      json.field("plan_span", r.plan_span);
+      json.field("exec_duration_us", r.exec_duration);
+      json.field("retries", static_cast<std::int64_t>(r.exec_retries));
+      json.field("violations", static_cast<std::int64_t>(r.violations));
+      json.end_row();
+    }
+  }
+  if (report.violations != 0) {
+    std::fprintf(stderr, "# %d verifier violation(s)\n", report.violations);
+    return 1;
+  }
+  return 0;
+}
+
 int cmd_dot(const util::Cli& cli) {
   const auto inst = load_instance(cli);
   const std::string spath = cli.get("schedule", "");
@@ -198,6 +279,8 @@ int main(int argc, char** argv) {
     if (command == "schedule-flows") return cmd_schedule_flows(cli);
     if (command == "verify") return cmd_verify(cli);
     if (command == "or-plan") return cmd_or_plan(cli);
+    if (command == "trace") return cmd_trace(cli);
+    if (command == "serve") return cmd_serve(cli);
     if (command == "dot") return cmd_dot(cli);
     return usage();
   } catch (const std::exception& e) {
