@@ -23,7 +23,9 @@ double Summary::sum() const {
   return s;
 }
 
-double Summary::mean() const { return samples_.empty() ? 0.0 : sum() / count(); }
+double Summary::mean() const {
+  return samples_.empty() ? 0.0 : sum() / static_cast<double>(count());
+}
 
 double Summary::stddev() const {
   if (samples_.size() < 2) return 0.0;
