@@ -31,22 +31,22 @@ std::vector<net::UpdateInstance> backbone_flows(int k, double old_cap,
   const net::NodeId b = g.add_node("B");
   const net::NodeId c = g.add_node("C");
   const net::NodeId d = g.add_node("D");
-  g.add_link(a, b, old_cap, 1 + rng.uniform_int(0, 2));
-  g.add_link(c, d, new_cap, 1 + rng.uniform_int(0, 2));
+  g.add_link(a, b, net::Capacity{old_cap}, 1 + rng.uniform_int(0, 2));
+  g.add_link(c, d, net::Capacity{new_cap}, 1 + rng.uniform_int(0, 2));
   std::vector<std::pair<net::NodeId, net::NodeId>> endpoints;
   for (int i = 0; i < k; ++i) {
     const net::NodeId s = g.add_node("s" + std::to_string(i));
     const net::NodeId t = g.add_node("t" + std::to_string(i));
-    g.add_link(s, a, 2.0, 1);
-    g.add_link(b, t, 2.0, 1);
-    g.add_link(s, c, 2.0, 1 + rng.uniform_int(0, 2));
-    g.add_link(d, t, 2.0, 1);
+    g.add_link(s, a, net::Capacity{2.0}, 1);
+    g.add_link(b, t, net::Capacity{2.0}, 1);
+    g.add_link(s, c, net::Capacity{2.0}, 1 + rng.uniform_int(0, 2));
+    g.add_link(d, t, net::Capacity{2.0}, 1);
     endpoints.emplace_back(s, t);
   }
   std::vector<net::UpdateInstance> flows;
   for (const auto& [s, t] : endpoints) {
     flows.push_back(net::UpdateInstance::from_paths(
-        g, net::Path{s, a, b, t}, net::Path{s, c, d, t}, 1.0));
+        g, net::Path{s, a, b, t}, net::Path{s, c, d, t}, net::Demand{1.0}));
   }
   return flows;
 }

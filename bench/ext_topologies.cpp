@@ -65,10 +65,10 @@ int main(int argc, char** argv) {
   std::printf("%d instances per family, seed=%llu\n\n", instances,
               static_cast<unsigned long long>(seed));
 
-  const net::FatTree ft = net::fat_tree(4, 1.0);
+  const net::FatTree ft = net::fat_tree(4, net::Capacity{1.0});
   net::WaxmanOptions wopt;
   wopt.n = 24;
-  wopt.capacity = 1.0;  // tight links; slack comes from the 0.5-cap mix
+  wopt.capacity = net::Capacity{1.0};  // tight links; slack comes from the 0.5-cap mix
   util::Rng topo_rng(seed);
   const net::Graph wax = net::waxman(wopt, topo_rng);
 
@@ -84,7 +84,7 @@ int main(int argc, char** argv) {
          const auto& e = ft.edge;
          const auto src = e[rng.index(2)][rng.index(e[0].size())];
          const auto dst = e[2 + rng.index(2)][rng.index(e[0].size())];
-         return net::random_reroute(ft.graph, src, dst, 1.0, rng);
+         return net::random_reroute(ft.graph, src, dst, net::Demand{1.0}, rng);
        }},
       {"Waxman n=24, shortest-path reroute",
        [&wax](util::Rng& rng) -> std::optional<net::UpdateInstance> {
@@ -93,7 +93,7 @@ int main(int argc, char** argv) {
          while (dst == src) {
            dst = static_cast<net::NodeId>(rng.index(wax.node_count()));
          }
-         return net::random_reroute(wax, src, dst, 0.5, rng);
+         return net::random_reroute(wax, src, dst, net::Demand{0.5}, rng);
        }},
   };
 

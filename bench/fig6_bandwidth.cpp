@@ -30,14 +30,14 @@ namespace {
 net::UpdateInstance fig6_instance() {
   net::Graph g;
   for (int i = 1; i <= 10; ++i) g.add_node("v" + std::to_string(i));
-  for (net::NodeId v = 0; v + 1 < 10; ++v) g.add_link(v, v + 1, 1.0, 1);
-  g.add_link(0, 3, 1.0, 1);  // v1 -> v4
-  g.add_link(3, 2, 1.0, 1);  // v4 -> v3
-  g.add_link(2, 1, 1.0, 1);  // v3 -> v2
-  g.add_link(1, 9, 1.0, 1);  // v2 -> v10
+  for (net::NodeId v = 0; v + 1 < 10; ++v) g.add_link(v, v + 1, net::Capacity{1.0}, 1);
+  g.add_link(0, 3, net::Capacity{1.0}, 1);  // v1 -> v4
+  g.add_link(3, 2, net::Capacity{1.0}, 1);  // v4 -> v3
+  g.add_link(2, 1, net::Capacity{1.0}, 1);  // v3 -> v2
+  g.add_link(1, 9, net::Capacity{1.0}, 1);  // v2 -> v10
   return net::UpdateInstance::from_paths(
       std::move(g), net::Path{0, 1, 2, 3, 4, 5, 6, 7, 8, 9},
-      net::Path{0, 3, 2, 1, 9}, 1.0);
+      net::Path{0, 3, 2, 1, 9}, net::Demand{1.0});
 }
 
 struct SchemeRun {

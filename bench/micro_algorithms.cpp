@@ -46,9 +46,9 @@ BENCHMARK(BM_DependencySet)->Arg(10)->Arg(100)->Arg(1000);
 void BM_ExactLoopCheck(benchmark::State& state) {
   const auto inst = net::fig1_instance();
   timenet::UpdateSchedule sched;
-  sched.set(1, 0);
+  sched.set(1, timenet::TimePoint{0});
   for (auto _ : state) {
-    benchmark::DoNotOptimize(core::exact_loop_check(inst, sched, 2, 1));
+    benchmark::DoNotOptimize(core::exact_loop_check(inst, sched, 2, timenet::TimePoint{1}));
   }
 }
 BENCHMARK(BM_ExactLoopCheck);
@@ -60,7 +60,7 @@ void BM_Algorithm4Batched(benchmark::State& state) {
   ctx.begin_step({}, sched);
   const auto to_update = inst.switches_to_update();
   for (auto _ : state) {
-    for (const auto v : to_update) benchmark::DoNotOptimize(ctx.loops(v, 0));
+    for (const auto v : to_update) benchmark::DoNotOptimize(ctx.loops(v, timenet::TimePoint{0}));
   }
 }
 BENCHMARK(BM_Algorithm4Batched)->Arg(100)->Arg(1000);

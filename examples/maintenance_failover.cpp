@@ -20,22 +20,22 @@ using namespace chronus;
 int main() {
   // m1 .. m8 in a line; bypass m3 -> m6 avoids the routers under
   // maintenance (m4, m5). All links 500 Mbps, the flow fills them.
-  net::Graph g = net::line_topology(8, 1.0, 1);
+  net::Graph g = net::line_topology(8, net::Capacity{1.0}, 1);
   const net::NodeId m3 = 2, m6 = 5;
   // The bypass haul takes as long as the drained segment: were it faster,
   // rerouted traffic would overtake the in-flight drain on the shared tail
   // and no congestion-free schedule could exist (the scheduler refuses
   // exactly that if you set the delay to 2).
-  g.add_link(m3, m6, 1.0, 3);
+  g.add_link(m3, m6, net::Capacity{1.0}, 3);
   const auto inst = net::UpdateInstance::from_paths(
-      g, net::Path{0, 1, 2, 3, 4, 5, 6, 7}, net::Path{0, 1, 2, 5, 6, 7}, 1.0);
+      g, net::Path{0, 1, 2, 3, 4, 5, 6, 7}, net::Path{0, 1, 2, 5, 6, 7}, net::Demand{1.0});
 
   const core::ScheduleResult plan = core::greedy_schedule(inst);
   std::printf("Drain plan for m4/m5: %s\n",
               plan.feasible() ? "feasible" : plan.message.c_str());
   if (!plan.feasible()) return 1;
   for (const auto& [t, sw] : plan.schedule.by_time()) {
-    std::printf("  t%lld:", static_cast<long long>(t));
+    std::printf("  t%lld:", static_cast<long long>(t.count()));
     for (const auto v : sw) std::printf(" %s", g.name(v).c_str());
     std::printf("\n");
   }

@@ -38,20 +38,20 @@ int main() {
 
   // (a) All at once: three in-flight classes revisit switches (Fig. 2a).
   timenet::UpdateSchedule all_at_once;
-  for (const auto v : inst.switches_to_update()) all_at_once.set(v, 0);
+  for (const auto v : inst.switches_to_update()) all_at_once.set(v, timenet::TimePoint{0});
   show("(a) update everything at t0 (Fig. 2a):", inst, all_at_once);
 
   // A concrete looping trajectory: the class injected two units before t0.
-  const auto trace = timenet::trace_class(inst, all_at_once, -2);
+  const auto trace = timenet::trace_class(inst, all_at_once, timenet::TimePoint{-2});
   std::printf("    e.g. %s\n\n", timenet::to_string(g, trace).c_str());
 
   // (b) {v1,v2}@t0 then the rest at t1: congestion (Fig. 2b).
   timenet::UpdateSchedule plausible;
-  plausible.set(0, 0);  // v1
-  plausible.set(1, 0);  // v2
-  plausible.set(2, 1);  // v3
-  plausible.set(3, 1);  // v4
-  plausible.set(4, 1);  // v5
+  plausible.set(0, timenet::TimePoint{0});  // v1
+  plausible.set(1, timenet::TimePoint{0});  // v2
+  plausible.set(2, timenet::TimePoint{1});  // v3
+  plausible.set(3, timenet::TimePoint{1});  // v4
+  plausible.set(4, timenet::TimePoint{1});  // v5
   show("(b) {v1,v2}@t0, {v3,v4,v5}@t1 (Fig. 2b):", inst, plausible);
 
   // (c) Chronus: dependency sets per step (Fig. 5) and the safe sequence.
@@ -59,7 +59,7 @@ int main() {
   const core::ScheduleResult plan = core::greedy_schedule(inst);
   for (const auto& step : plan.steps) {
     std::printf("  t%lld: dependency set %s\n",
-                static_cast<long long>(step.time),
+                static_cast<long long>(step.time.count()),
                 step.dependencies.to_string(g).c_str());
     std::printf("        update:");
     if (step.updated.empty()) std::printf(" (wait)");
@@ -72,12 +72,16 @@ int main() {
   std::printf("  time-extended link loads during the transition:\n");
   for (const auto& [key, load] : timenet::link_loads(inst, plan.schedule)) {
     const auto& [link_id, enter] = key;
-    if (enter < 0 || enter > plan.schedule.last_time() + 2) continue;
+    if (enter < timenet::TimePoint{0} ||
+        enter > plan.schedule.last_time() + 2) {
+      continue;
+    }
     const net::Link& l = g.link(link_id);
     std::printf("    %s(t%lld) -> %s(t%lld): %.0f / %.0f\n",
-                g.name(l.src).c_str(), static_cast<long long>(enter),
+                g.name(l.src).c_str(), static_cast<long long>(enter.count()),
                 g.name(l.dst).c_str(),
-                static_cast<long long>(enter + l.delay), load, l.capacity);
+                static_cast<long long>((enter + l.delay).count()), load.value(),
+                l.capacity.value());
   }
   return 0;
 }

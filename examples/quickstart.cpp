@@ -42,7 +42,7 @@ int main() {
   }
   std::printf("Timed update schedule (abstract time units):\n");
   for (const auto& [t, switches] : plan.schedule.by_time()) {
-    std::printf("  t%lld:", static_cast<long long>(t));
+    std::printf("  t%lld:", static_cast<long long>(t.count()));
     for (const auto v : switches) std::printf(" %s", inst.graph().name(v).c_str());
     std::printf("\n");
   }

@@ -25,7 +25,7 @@ int main(int argc, char** argv) {
 
   timenet::UpdateSchedule schedule;
   if (all_at_once) {
-    for (const auto v : inst.switches_to_update()) schedule.set(v, 0);
+    for (const auto v : inst.switches_to_update()) schedule.set(v, timenet::TimePoint{0});
     std::printf("Schedule: everything at t0 (the unsafe Fig. 2(a) plan)\n\n");
   } else {
     const auto plan = core::greedy_schedule(inst);
@@ -35,14 +35,14 @@ int main(int argc, char** argv) {
 
   // Occupancy grid: rows = links, columns = entry time steps.
   const auto loads = timenet::link_loads(inst, schedule);
-  constexpr timenet::TimePoint kFrom = -4;
-  constexpr timenet::TimePoint kTo = 8;
+  constexpr timenet::TimePoint kFrom{-4};
+  constexpr timenet::TimePoint kTo{8};
   std::printf("time-extended link loads (entry steps t%lld..t%lld; '#'=in "
               "use, '!'=over capacity, '.'=idle):\n\n",
-              static_cast<long long>(kFrom), static_cast<long long>(kTo));
+              static_cast<long long>(kFrom.count()), static_cast<long long>(kTo.count()));
   std::printf("%-10s", "link");
   for (timenet::TimePoint t = kFrom; t <= kTo; ++t) {
-    std::printf("%4lld", static_cast<long long>(t));
+    std::printf("%4lld", static_cast<long long>(t.count()));
   }
   std::printf("\n");
   for (net::LinkId id = 0; id < g.link_count(); ++id) {
@@ -50,8 +50,8 @@ int main(int argc, char** argv) {
     std::printf("%-10s", (g.name(l.src) + ">" + g.name(l.dst)).c_str());
     for (timenet::TimePoint t = kFrom; t <= kTo; ++t) {
       const auto it = loads.find({id, t});
-      const double x = it == loads.end() ? 0.0 : it->second;
-      std::printf("%4s", x <= 0.0         ? "."
+      const net::Demand x = it == loads.end() ? net::Demand{} : it->second;
+      std::printf("%4s", x <= net::Demand{} ? "."
                          : x > l.capacity ? "!"
                                           : "#");
     }

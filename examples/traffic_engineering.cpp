@@ -22,16 +22,16 @@ constexpr net::NodeId SEA = 0, SNV = 1, LAX = 2, SLC = 3, DEN = 4, KSC = 5,
                       HOU = 6, IND = 8, ATL = 9, NYC = 10;
 
 std::vector<net::UpdateInstance> swap_scenario(double contested_capacity) {
-  net::Graph g = net::wan_topology(contested_capacity);
+  net::Graph g = net::wan_topology(net::Capacity{contested_capacity});
   std::vector<net::UpdateInstance> flows;
   // Aggregate A moves from the northern route onto the southern route.
   flows.push_back(net::UpdateInstance::from_paths(
       g, net::Path{SEA, DEN, KSC, IND, 7 /*CHI*/, NYC},
-      net::Path{SEA, SNV, LAX, HOU, ATL, NYC}, 1.0));
+      net::Path{SEA, SNV, LAX, HOU, ATL, NYC}, net::Demand{1.0}));
   // Aggregate B moves the other way, onto A's old corridor.
   flows.push_back(net::UpdateInstance::from_paths(
       g, net::Path{SNV, LAX, HOU, ATL},
-      net::Path{SNV, SLC, DEN, KSC, IND, ATL}, 1.0));
+      net::Path{SNV, SLC, DEN, KSC, IND, ATL}, net::Demand{1.0}));
   return flows;
 }
 
@@ -55,7 +55,7 @@ int main(int argc, char** argv) {
                   net::to_string(flows[k].graph(), flows[k].p_fin()).c_str());
       for (const auto& [v, t] : res.schedules[k].entries()) {
         std::printf("    %s @ t%lld\n", flows[k].graph().name(v).c_str(),
-                    static_cast<long long>(t));
+                    static_cast<long long>(t.count()));
       }
     }
   }

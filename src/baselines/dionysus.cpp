@@ -19,7 +19,7 @@ DionysusExecution dionysus_execute(const net::UpdateInstance& inst,
       opts.stall_limit > 0 ? opts.stall_limit : max_latency + 2;
 
   // Capacity ledger: the old path carries the flow, everything else free.
-  std::map<net::LinkId, double> free_cap;
+  std::map<net::LinkId, net::Capacity> free_cap;
   for (net::LinkId id = 0; id < g.link_count(); ++id) {
     free_cap[id] = g.link(id).capacity;
   }
@@ -34,7 +34,7 @@ DionysusExecution dionysus_execute(const net::UpdateInstance& inst,
   std::map<timenet::TimePoint, std::vector<net::NodeId>> completions;
 
   constexpr double kEps = 1e-9;
-  timenet::TimePoint t = 0;
+  timenet::TimePoint t{};
   std::int64_t stall = 0;
   while (!pending.empty() || !in_flight.empty()) {
     bool progressed = false;
@@ -65,7 +65,7 @@ DionysusExecution dionysus_execute(const net::UpdateInstance& inst,
       const auto on = inst.old_next(v);
       const net::LinkId target = *g.find_link(v, *nn);
       const bool needs_capacity = !on || *on != *nn;
-      if (needs_capacity && free_cap[target] + kEps < inst.demand()) {
+      if (needs_capacity && free_cap[target] + net::Demand{kEps} < inst.demand()) {
         ++it;
         continue;
       }

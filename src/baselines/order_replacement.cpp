@@ -12,7 +12,7 @@ OrExecution execute_order_replacement(const net::UpdateInstance& inst,
   const std::int64_t max_latency =
       opts.max_latency > 0 ? opts.max_latency : 3 * inst.graph().max_delay();
 
-  timenet::TimePoint t = 0;
+  timenet::TimePoint t{};
   for (const auto& round : plan.rounds) {
     exec.round_starts.push_back(t);
     timenet::TimePoint round_end = t;

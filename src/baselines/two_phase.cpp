@@ -41,12 +41,12 @@ TwoPhaseReport two_phase_update(const net::UpdateInstance& inst,
   for (const net::LinkId id : net::path_links(g, inst.p_fin())) {
     if (!init_links.count(id)) continue;
     const net::Link& l = g.link(id);
-    if (l.capacity + 1e-9 < 2.0 * inst.demand()) {
+    if (l.capacity + net::Demand{1e-9} < 2.0 * inst.demand()) {
       rep.vulnerable_links.push_back(id);
     }
   }
 
-  rep.flip_time = 0;
+  rep.flip_time = timenet::TimePoint{};
   // All switches nominally flip at the ingress re-stamping instant; the
   // verifier interprets this per packet via per_packet_flip.
   for (const net::NodeId v : inst.touched_nodes()) {

@@ -51,7 +51,7 @@ struct TwoPhaseReport {
   /// versioning makes the data plane behave as if all switches flipped
   /// atomically for new packets), which the exact verifier can replay.
   timenet::UpdateSchedule as_schedule;
-  timenet::TimePoint flip_time = 0;
+  timenet::TimePoint flip_time{};
 };
 
 TwoPhaseReport two_phase_update(const net::UpdateInstance& inst,

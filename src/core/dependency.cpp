@@ -36,7 +36,7 @@ DependencySet find_dependencies(const net::UpdateInstance& inst,
                                 const std::set<net::NodeId>& pending) {
   DependencySet out;
   const net::Path& p_init = inst.p_init();
-  const double need = 2.0 * inst.demand();
+  const net::Demand need = 2.0 * inst.demand();
 
   // Position index over p_init: O(1) solid-line neighbour lookups keep the
   // whole pass O(|pending|) (Fig. 10 runs this at 6000 switches).
@@ -67,7 +67,9 @@ DependencySet find_dependencies(const net::UpdateInstance& inst,
     if (v_bar == vi) continue;
     // Once v_bar is updated its solid link into v is no longer drawn.
     if (updated.count(v_bar) || !pending.count(v_bar)) continue;
-    if (inst.graph().capacity(v, v_tilde) + 1e-9 >= need) continue;
+    if (inst.graph().capacity(v, v_tilde) + net::Demand{1e-9} >= need) {
+      continue;
+    }
     precedes[vi] = v_bar;
     included.insert(vi);
     included.insert(v_bar);

@@ -36,8 +36,8 @@ bool place_segment(timenet::TransitionState& state, const Segment& seg,
 FeasibilityResult tree_feasibility_check(const net::UpdateInstance& inst) {
   FeasibilityResult res;
   const net::Graph& g = inst.graph();
-  const timenet::TimePoint drain_bound =
-      static_cast<timenet::TimePoint>(g.node_count() + 2) * g.max_delay() + 2;
+  const std::int64_t drain_bound =
+      static_cast<std::int64_t>(g.node_count() + 2) * g.max_delay() + 2;
 
   std::set<net::NodeId> pending;
   std::set<net::NodeId> updated;
@@ -88,8 +88,8 @@ FeasibilityResult tree_feasibility_check(const net::UpdateInstance& inst) {
   };
 
   timenet::TransitionState state(inst);
-  timenet::TimePoint t = 0;
-  timenet::TimePoint stall = 0;
+  timenet::TimePoint t{};
+  std::int64_t stall = 0;
   while (!pending.empty()) {
     bool placed = false;
     for (const Segment& seg : candidates()) {

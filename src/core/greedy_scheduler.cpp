@@ -5,6 +5,7 @@
 #include "core/loop_check.hpp"
 #include "timenet/transition_state.hpp"
 #include "timenet/verifier.hpp"
+#include "util/contracts.hpp"
 
 namespace chronus::core {
 
@@ -59,7 +60,7 @@ ScheduleResult greedy_schedule(const net::UpdateInstance& inst,
           : static_cast<std::int64_t>(g.node_count() + 2) * g.max_delay() + 2;
 
   std::set<net::NodeId> updated;
-  timenet::TimePoint t = 0;
+  timenet::TimePoint t{};
   std::int64_t stall = 0;
   Algorithm4Context alg4(inst);          // batched checks for the pure mode
   timenet::TransitionState state(inst);  // incremental checks, guarded mode
@@ -83,7 +84,7 @@ ScheduleResult greedy_schedule(const net::UpdateInstance& inst,
 
     if (deps.has_cycle) {
       if (opts.record_steps) res.steps.push_back(std::move(log));
-      return fail("dependency cycle at t=" + std::to_string(t));
+      return fail("dependency cycle at t=" + std::to_string(t.count()));
     }
 
     std::vector<net::NodeId> heads = deps.heads();
@@ -119,6 +120,17 @@ ScheduleResult greedy_schedule(const net::UpdateInstance& inst,
   }
 
   res.status = ScheduleStatus::kFeasible;
+  CHRONUS_ENSURES(res.schedule.size() == inst.switches_to_update().size(),
+                  "a feasible plan schedules every switch exactly once");
+  CHRONUS_ENSURES(res.schedule.first_time() >= timenet::TimePoint{0} &&
+                      res.schedule.last_time() <= t,
+                  "greedy schedule stays within the steps it walked");
+  // Guarded mode proved every step clean incrementally; under audit builds
+  // re-verify the whole transition from scratch.
+  CHRONUS_AUDIT_ENSURES(
+      !opts.guard_with_verifier ||
+          timenet::verify_transition(inst, res.schedule).ok(),
+      "guarded greedy emitted a schedule the verifier rejects");
   return res;
 }
 

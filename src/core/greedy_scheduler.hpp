@@ -34,7 +34,7 @@ enum class ScheduleStatus {
 
 /// Per-step diagnostics: the Fig. 5 view of one time step.
 struct StepLog {
-  timenet::TimePoint time = 0;
+  timenet::TimePoint time{};
   DependencySet dependencies;
   std::vector<net::NodeId> updated;  ///< switches updated at this step
 };

@@ -36,7 +36,7 @@ ScheduleResult greedy_with_order(
   std::set<net::NodeId> updated;
   timenet::TransitionState state(inst);
   Algorithm4Context alg4(inst);
-  timenet::TimePoint t = 0;
+  timenet::TimePoint t{};
   std::int64_t stall = 0;
 
   while (!pending.empty()) {
@@ -132,7 +132,9 @@ timenet::UpdateSchedule tighten_schedule(const net::UpdateInstance& inst,
   timenet::UpdateSchedule current;
   if (sched.empty()) return current;
   const timenet::TimePoint base = sched.first_time();
-  for (const auto& [v, t] : sched.entries()) current.set(v, t - base);
+  for (const auto& [v, t] : sched.entries()) {
+    current.set(v, timenet::TimePoint{t - base});
+  }
 
   // Pull each switch to its earliest safe slot, ascending by current time;
   // moving one switch earlier can unlock another, so iterate to fixpoint.
@@ -148,7 +150,7 @@ timenet::UpdateSchedule tighten_schedule(const net::UpdateInstance& inst,
     changed = false;
     for (const auto& [t, switches] : current.by_time()) {
       for (const net::NodeId v : switches) {
-        for (timenet::TimePoint earlier = 0; earlier < t; ++earlier) {
+        for (timenet::TimePoint earlier{}; earlier < t; ++earlier) {
           timenet::UpdateSchedule candidate = current;
           candidate.set(v, earlier);
           if (clean(candidate)) {

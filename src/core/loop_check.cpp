@@ -15,8 +15,8 @@ bool exact_loop_check(const net::UpdateInstance& inst,
   tentative.set(v, t);
 
   const net::Graph& g = inst.graph();
-  const timenet::TimePoint span =
-      static_cast<timenet::TimePoint>(g.node_count() + 2) * g.max_delay();
+  const std::int64_t span =
+      static_cast<std::int64_t>(g.node_count() + 2) * g.max_delay();
   // Classes injected before t - span pass every switch before t and are
   // unaffected by this update; classes injected at >= t all see the same
   // (final, static) configuration, so tracing one representative suffices.

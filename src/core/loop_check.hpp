@@ -68,7 +68,7 @@ class Algorithm4Context {
 
  private:
   const net::UpdateInstance* inst_;
-  std::vector<timenet::TimePoint> init_prefix_delay_;  // D(i) per position
+  std::vector<net::Delay> init_prefix_delay_;  // D(i) per position
   std::unordered_map<net::NodeId, std::size_t> init_pos_;
   std::unordered_map<net::NodeId, std::size_t> cur_pos_;  // current path
   // tau_max_prefix_[i] = min over scheduled ancestors k < i of

@@ -19,7 +19,7 @@ void subtract_static_load(net::Graph& g, const net::UpdateInstance& other,
   const net::Path& p = transitioned ? other.p_fin() : other.p_init();
   for (const net::LinkId id : net::path_links(g, p)) {
     net::Link& l = g.mutable_link(id);
-    l.capacity = std::max(l.capacity - other.demand(), 1e-6);
+    l.capacity = std::max(l.capacity - other.demand(), net::Capacity{1e-6});
   }
 }
 
@@ -58,7 +58,7 @@ MultiFlowResult schedule_flows_jointly(
     remaining += pending[f].size();
   }
 
-  timenet::TimePoint t = 0;
+  timenet::TimePoint t{};
   std::int64_t stall = 0;
   while (remaining > 0) {
     bool progressed = false;
@@ -90,8 +90,8 @@ MultiFlowResult schedule_flows_jointly(
     }
   }
 
-  timenet::TimePoint lo = 0;
-  timenet::TimePoint hi = 0;
+  timenet::TimePoint lo{};
+  timenet::TimePoint hi{};
   bool any = false;
   for (std::size_t f = 0; f < flows.size(); ++f) {
     res.schedules[f] = state.schedule(f);
@@ -125,11 +125,10 @@ MultiFlowResult schedule_flows_sequentially(
     }
   }
 
-  const timenet::TimePoint drain =
-      static_cast<timenet::TimePoint>(base.node_count() + 2) *
-          base.max_delay() + 2;
+  const std::int64_t drain =
+      static_cast<std::int64_t>(base.node_count() + 2) * base.max_delay() + 2;
 
-  timenet::TimePoint offset = 0;
+  timenet::TimePoint offset{};
   for (std::size_t k = 0; k < flows.size(); ++k) {
     net::Graph reduced = flows[k].graph();
     for (std::size_t j = 0; j < flows.size(); ++j) {
@@ -170,8 +169,8 @@ MultiFlowResult schedule_flows_sequentially(
     return res;
   }
 
-  timenet::TimePoint lo = 0;
-  timenet::TimePoint hi = 0;
+  timenet::TimePoint lo{};
+  timenet::TimePoint hi{};
   bool any = false;
   for (const auto& s : res.schedules) {
     if (s.empty()) continue;

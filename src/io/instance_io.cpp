@@ -8,7 +8,9 @@
 
 namespace chronus::io {
 
+using net::Capacity;
 using net::Delay;
+using net::Demand;
 using net::Graph;
 using net::Link;
 using net::LinkId;
@@ -31,7 +33,7 @@ std::pair<std::string, std::string> split_kv(const std::string& token) {
 
 struct FlowBlock {
   std::string name;
-  double demand = 1.0;
+  Demand demand{1.0};
   std::vector<NodeId> init_nodes;
   std::vector<NodeId> fin_nodes;
   std::vector<std::pair<NodeId, NodeId>> redirects;
@@ -96,7 +98,7 @@ std::vector<UpdateInstance> read_flows(std::istream& in) {
       const NodeId u = node_of(from);
       const NodeId v = node_of(to);
       try {
-        g.add_link(u, v, cap, delay);
+        g.add_link(u, v, Capacity{cap}, delay);
       } catch (const std::exception& e) {
         fail(line_no, e.what());
       }
@@ -108,7 +110,7 @@ std::vector<UpdateInstance> read_flows(std::istream& in) {
         const auto [key, value] = split_kv(token);
         if (key != "demand") fail(line_no, "unknown flow attribute: " + token);
         try {
-          block.demand = std::stod(value);
+          block.demand = Demand{std::stod(value)};
         } catch (const std::invalid_argument&) {
           fail(line_no, "bad number in: " + token);
         }
@@ -120,7 +122,9 @@ std::vector<UpdateInstance> read_flows(std::istream& in) {
       }
       blocks.push_back(std::move(block));
     } else if (cmd == "demand") {
-      if (!(line >> current().demand)) fail(line_no, "demand needs a number");
+      double amount = 0.0;
+      if (!(line >> amount)) fail(line_no, "demand needs a number");
+      current().demand = Demand{amount};
     } else if (cmd == "init" || cmd == "fin") {
       std::vector<NodeId>& nodes =
           cmd == "init" ? current().init_nodes : current().fin_nodes;
@@ -227,11 +231,11 @@ timenet::UpdateSchedule read_schedule(std::istream& in,
     if (!(line >> cmd)) continue;
     if (cmd != "update") fail(line_no, "expected 'update', got " + cmd);
     std::string name;
-    timenet::TimePoint t = 0;
+    std::int64_t t = 0;
     if (!(line >> name >> t)) fail(line_no, "update needs <switch> <time>");
     const auto it = by_name.find(name);
     if (it == by_name.end()) fail(line_no, "unknown switch: " + name);
-    sched.set(it->second, t);
+    sched.set(it->second, timenet::TimePoint{t});
   }
   return sched;
 }

@@ -10,7 +10,9 @@
 
 namespace chronus::io {
 
+using net::Capacity;
 using net::Delay;
+using net::Demand;
 using net::Graph;
 using net::Link;
 using net::LinkId;
@@ -82,7 +84,7 @@ ServiceTrace read_trace(std::istream& in) {
       const NodeId u = node_of(from);
       const NodeId v = node_of(to);
       try {
-        g.add_link(u, v, cap, delay);
+        g.add_link(u, v, Capacity{cap}, delay);
       } catch (const std::exception& e) {
         fail(line_no, e.what());
       }
@@ -101,7 +103,7 @@ ServiceTrace read_trace(std::istream& in) {
           if (key == "arrival") {
             req.arrival = std::stoll(value);
           } else if (key == "demand") {
-            req.demand = std::stod(value);
+            req.demand = Demand{std::stod(value)};
           } else if (key == "deadline") {
             req.deadline = std::stoll(value);
           } else if (key == "priority") {
@@ -126,7 +128,7 @@ ServiceTrace read_trace(std::istream& in) {
       while (line >> token) nodes.push_back(node_of(token));
       if (nodes.size() < 2) fail(line_no, "fin needs at least two switches");
       req.p_fin = Path(std::move(nodes));
-      if (req.demand <= 0) fail(line_no, "demand must be positive");
+      if (req.demand <= Demand{}) fail(line_no, "demand must be positive");
       if (req.arrival < 0) fail(line_no, "arrival must be >= 0");
       trace.requests.push_back(std::move(req));
     } else {

@@ -10,20 +10,20 @@ UpdateInstance fig1_instance() {
   for (int i = 1; i <= 6; ++i) g.add_node("v" + std::to_string(i));
   const NodeId v1 = 0, v2 = 1, v3 = 2, v4 = 3, v5 = 4, v6 = 5;
   // Solid (initial) path links.
-  g.add_link(v1, v2, 1.0, 1);
-  g.add_link(v2, v3, 1.0, 1);
-  g.add_link(v3, v4, 1.0, 1);
-  g.add_link(v4, v5, 1.0, 1);
-  g.add_link(v5, v6, 1.0, 1);
+  g.add_link(v1, v2, Capacity{1.0}, 1);
+  g.add_link(v2, v3, Capacity{1.0}, 1);
+  g.add_link(v3, v4, Capacity{1.0}, 1);
+  g.add_link(v4, v5, Capacity{1.0}, 1);
+  g.add_link(v5, v6, Capacity{1.0}, 1);
   // Dashed (final) links.
-  g.add_link(v1, v4, 1.0, 1);
-  g.add_link(v4, v3, 1.0, 1);
-  g.add_link(v3, v2, 1.0, 1);
-  g.add_link(v2, v6, 1.0, 1);
-  g.add_link(v5, v2, 1.0, 1);  // redirect rule for in-flight old traffic
+  g.add_link(v1, v4, Capacity{1.0}, 1);
+  g.add_link(v4, v3, Capacity{1.0}, 1);
+  g.add_link(v3, v2, Capacity{1.0}, 1);
+  g.add_link(v2, v6, Capacity{1.0}, 1);
+  g.add_link(v5, v2, Capacity{1.0}, 1);  // redirect rule for in-flight old traffic
 
   auto inst = UpdateInstance::from_paths(std::move(g), Path{v1, v2, v3, v4, v5, v6},
-                                         Path{v1, v4, v3, v2, v6}, 1.0);
+                                         Path{v1, v4, v3, v2, v6}, Demand{1.0});
   inst.set_new_next(v5, v2);
   return inst;
 }
@@ -54,7 +54,8 @@ UpdateInstance random_instance(const RandomInstanceOptions& opt,
   auto rand_capacity = [&] {
     // Tight links admit only the flow itself; slack links admit old and new
     // flow simultaneously, like SWAN's slack assumption on a per-link basis.
-    return rng.chance(opt.slack_prob) ? 2.0 * opt.demand : opt.demand;
+    return rng.chance(opt.slack_prob) ? util::capacity_for(opt.demand, 2.0)
+                                      : util::capacity_for(opt.demand);
   };
 
   // Initial path: the fixed line.

@@ -24,7 +24,7 @@ Graph line_topology(std::size_t n, Capacity capacity, Delay delay);
 
 struct RandomInstanceOptions {
   std::size_t n = 10;           ///< number of switches (>= 4)
-  double demand = 1.0;          ///< dynamic-flow demand d
+  Demand demand{1.0};           ///< dynamic-flow demand d
   double slack_prob = 0.3;      ///< P[link capacity >= 2d] (else exactly d)
   Delay delay_min = 1;          ///< uniform integral link delays
   Delay delay_max = 3;

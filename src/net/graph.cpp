@@ -24,7 +24,7 @@ LinkId Graph::add_link(NodeId u, NodeId v, Capacity cap, Delay delay) {
   check_node(u);
   check_node(v);
   if (u == v) throw std::invalid_argument("self-loop link");
-  if (cap <= 0.0) throw std::invalid_argument("link capacity must be positive");
+  if (cap <= Capacity{}) throw std::invalid_argument("link capacity must be positive");
   if (delay < 1) throw std::invalid_argument("link delay must be >= 1");
   if (has_link(u, v)) throw std::invalid_argument("duplicate link");
   const auto id = static_cast<LinkId>(links_.size());

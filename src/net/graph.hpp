@@ -12,12 +12,19 @@
 #include <string>
 #include <vector>
 
+#include "util/strong_types.hpp"
+
 namespace chronus::net {
 
 using NodeId = std::uint32_t;
 using LinkId = std::uint32_t;
 using Delay = std::int64_t;
-using Capacity = double;
+// Unit-safe quantities (src/util/strong_types.hpp): construction is
+// explicit and cross-axis arithmetic is restricted to the physically
+// meaningful operations, so mixing a capacity into a demand (or either
+// into a time) is a compile error.
+using Capacity = util::Capacity;
+using Demand = util::Demand;
 
 inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
 inline constexpr LinkId kInvalidLink = static_cast<LinkId>(-1);
@@ -25,7 +32,7 @@ inline constexpr LinkId kInvalidLink = static_cast<LinkId>(-1);
 struct Link {
   NodeId src = kInvalidNode;
   NodeId dst = kInvalidNode;
-  Capacity capacity = 0.0;
+  Capacity capacity{};
   Delay delay = 1;
 };
 

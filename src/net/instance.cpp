@@ -7,7 +7,7 @@
 namespace chronus::net {
 
 UpdateInstance UpdateInstance::from_paths(Graph g, Path p_init, Path p_fin,
-                                          double demand) {
+                                          Demand demand) {
   if (p_init.size() < 2 || p_fin.size() < 2) {
     throw std::invalid_argument("paths need at least two nodes");
   }
@@ -20,7 +20,9 @@ UpdateInstance UpdateInstance::from_paths(Graph g, Path p_init, Path p_fin,
   if (!path_exists_in(g, p_init) || !path_exists_in(g, p_fin)) {
     throw std::invalid_argument("path links missing in graph");
   }
-  if (demand <= 0.0) throw std::invalid_argument("demand must be positive");
+  if (demand <= Demand{}) {
+    throw std::invalid_argument("demand must be positive");
+  }
 
   UpdateInstance inst;
   inst.graph_ = std::move(g);

@@ -24,11 +24,11 @@ class UpdateInstance {
   /// Switches only on p_init keep their old rule (no update needed) unless
   /// redirects are added afterwards via `set_new_next`.
   static UpdateInstance from_paths(Graph g, Path p_init, Path p_fin,
-                                   double demand);
+                                   Demand demand);
 
   const Graph& graph() const { return graph_; }
   Graph& mutable_graph() { return graph_; }
-  double demand() const { return demand_; }
+  Demand demand() const { return demand_; }
   const Path& p_init() const { return p_init_; }
   const Path& p_fin() const { return p_fin_; }
 
@@ -64,7 +64,7 @@ class UpdateInstance {
   UpdateInstance() = default;
 
   Graph graph_;
-  double demand_ = 1.0;
+  Demand demand_{1.0};
   Path p_init_;
   Path p_fin_;
   std::unordered_map<NodeId, NodeId> old_next_;

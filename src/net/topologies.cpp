@@ -149,7 +149,7 @@ std::optional<Path> shortest_path(const Graph& g, NodeId src, NodeId dst) {
 }
 
 std::optional<UpdateInstance> random_reroute(const Graph& g, NodeId src,
-                                             NodeId dst, double demand,
+                                             NodeId dst, Demand demand,
                                              util::Rng& rng,
                                              const RerouteOptions& opt) {
   const auto init = shortest_path(g, src, dst);

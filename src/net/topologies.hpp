@@ -32,7 +32,7 @@ struct WaxmanOptions {
   std::size_t n = 20;
   double alpha = 0.7;
   double beta = 0.25;
-  Capacity capacity = 2.0;
+  Capacity capacity{2.0};
   Delay max_delay = 3;
 };
 Graph waxman(const WaxmanOptions& opt, util::Rng& rng);
@@ -58,7 +58,7 @@ struct RerouteOptions {
 /// biased along shortest paths. Returns nullopt when no distinct simple
 /// final path could be sampled (e.g. src->dst is a bridge).
 std::optional<UpdateInstance> random_reroute(const Graph& g, NodeId src,
-                                             NodeId dst, double demand,
+                                             NodeId dst, Demand demand,
                                              util::Rng& rng,
                                              const RerouteOptions& opt = {});
 

@@ -28,7 +28,7 @@ struct Search {
   timenet::TransitionState* state = nullptr;
   util::Deadline deadline{0};
   int max_candidates = 16;
-  timenet::TimePoint drain = 0;
+  std::int64_t drain = 0;
 
   std::int64_t incumbent = std::numeric_limits<std::int64_t>::max();
   timenet::UpdateSchedule best;
@@ -66,7 +66,8 @@ void Search::dfs(timenet::TimePoint t, std::set<net::NodeId>& pending) {
   ++nodes;
   const timenet::UpdateSchedule& sched = state->schedule();
   if (pending.empty()) {
-    const std::int64_t makespan = sched.empty() ? 0 : sched.last_time() + 1;
+    const std::int64_t makespan =
+        sched.empty() ? 0 : sched.last_time().count() + 1;
     if (makespan < incumbent) {
       incumbent = makespan;
       best = sched;
@@ -75,7 +76,7 @@ void Search::dfs(timenet::TimePoint t, std::set<net::NodeId>& pending) {
     return;
   }
   // Any completion still updates a switch at >= t, so makespan >= t + 1.
-  if (t + 1 >= incumbent) return;
+  if (t.count() + 1 >= incumbent) return;
 
   const std::string key = state_key(t, sched, pending);
   const auto it = memo.find(key);
@@ -142,7 +143,7 @@ MutpResult solve_mutp(const net::UpdateInstance& inst,
   s.inst = &inst;
   s.deadline = util::Deadline(opts.timeout_sec);
   s.max_candidates = opts.max_candidates_exact;
-  s.drain = static_cast<timenet::TimePoint>(g.node_count() + 2) * g.max_delay();
+  s.drain = static_cast<std::int64_t>(g.node_count() + 2) * g.max_delay();
 
   // Greedy incumbent: bounds the search and survives timeouts. The pure
   // (unguarded) greedy is tried first — it is the only variant that scales
@@ -168,7 +169,8 @@ MutpResult solve_mutp(const net::UpdateInstance& inst,
       (fast_clean || is_clean(inst, greedy.schedule, validate_budget))) {
     s.found = true;
     s.best = greedy.schedule;
-    s.incumbent = greedy.schedule.empty() ? 0 : greedy.schedule.last_time() + 1;
+    s.incumbent =
+        greedy.schedule.empty() ? 0 : greedy.schedule.last_time().count() + 1;
   } else {
     // Horizon cap: beyond this every in-flight class has drained twice over;
     // a schedule longer than it gains nothing.
@@ -181,7 +183,7 @@ MutpResult solve_mutp(const net::UpdateInstance& inst,
   if (s.deadline.expired()) {
     s.timed_out = true;  // the incumbent phase already consumed the budget
   } else {
-    s.dfs(0, pending);
+    s.dfs(timenet::TimePoint{0}, pending);
   }
 
   res.timed_out = s.timed_out;
@@ -189,7 +191,7 @@ MutpResult solve_mutp(const net::UpdateInstance& inst,
   if (s.found) {
     res.status = core::ScheduleStatus::kFeasible;
     res.schedule = s.best;
-    res.makespan = s.best.empty() ? 0 : s.best.last_time() + 1;
+    res.makespan = s.best.empty() ? 0 : s.best.last_time().count() + 1;
     res.proved_optimal = !s.timed_out && !s.truncated;
     if (s.truncated) res.message = "branching truncated (candidate cap)";
     if (s.timed_out) res.message = "deadline hit; incumbent returned";
@@ -204,7 +206,7 @@ MutpResult solve_mutp(const net::UpdateInstance& inst,
     forced.force_complete = true;
     const core::ScheduleResult be = core::greedy_schedule(inst, forced);
     res.schedule = be.schedule;
-    res.makespan = be.schedule.empty() ? 0 : be.schedule.last_time() + 1;
+    res.makespan = be.schedule.empty() ? 0 : be.schedule.last_time().count() + 1;
     res.status = core::ScheduleStatus::kBestEffort;
   }
   return res;

@@ -43,7 +43,7 @@ AdmissionController::AdmissionController(const net::Graph& base,
 
 bool AdmissionController::statically_feasible(const Footprint& fp) const {
   for (const auto& [id, amount] : fp) {
-    if (amount > base_->link(id).capacity + 1e-9) return false;
+    if (amount > base_->link(id).capacity + net::Demand{1e-9}) return false;
   }
   return true;
 }
@@ -151,12 +151,12 @@ AdmissionRound AdmissionController::decide(
     Footprint reservation;
     bool starved = false;
     for (const auto& [link, amount] : combined) {
-      const double room = ledger.headroom(link);
-      if (room <= 1e-9) {
+      const net::Capacity room = ledger.headroom(link);
+      if (room <= net::Capacity{1e-9}) {
         starved = true;
         break;
       }
-      reservation[link] = std::min(amount, room);
+      reservation[link] = std::min(amount, room.as_demand());
     }
     // No joint plan can need less than the members' combined loads in the
     // shared start and end states, so a reservation that cannot carry those
@@ -176,7 +176,7 @@ AdmissionRound AdmissionController::decide(
       }
       for (const Footprint* state : {&start, &end}) {
         for (const auto& [link, need] : *state) {
-          if (need > reservation[link] + 1e-9) {
+          if (need > reservation[link] + net::Demand{1e-9}) {
             starved = true;
             break;
           }

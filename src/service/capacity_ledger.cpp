@@ -3,6 +3,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "util/contracts.hpp"
+
 namespace chronus::service {
 
 namespace {
@@ -10,12 +12,14 @@ namespace {
 // Reservations are compared against headroom with a small epsilon so that
 // repeated add/subtract round-trips (release after reserve) cannot starve
 // an exactly-fitting footprint through floating-point drift.
-constexpr double kEps = 1e-9;
+constexpr net::Demand kEps{1e-9};
 
 }  // namespace
 
 Footprint transition_footprint(const net::Graph& g, const net::Path& p_init,
-                               const net::Path& p_fin, double demand) {
+                               const net::Path& p_fin, net::Demand demand) {
+  CHRONUS_EXPECTS(demand >= net::Demand{},
+                  "transition footprints carry non-negative demand");
   Footprint fp;
   for (const net::LinkId id : net::path_links(g, p_init)) fp[id] += demand;
   for (const net::LinkId id : net::path_links(g, p_fin)) fp[id] += demand;
@@ -23,25 +27,25 @@ Footprint transition_footprint(const net::Graph& g, const net::Path& p_init,
 }
 
 CapacityLedger::CapacityLedger(const net::Graph& g)
-    : capacity_(g.link_count()), committed_(g.link_count(), 0.0) {
+    : capacity_(g.link_count()), committed_(g.link_count()) {
   for (net::LinkId id = 0; id < g.link_count(); ++id) {
     capacity_[id] = g.link(id).capacity;
   }
 }
 
-double CapacityLedger::capacity(net::LinkId id) const {
+net::Capacity CapacityLedger::capacity(net::LinkId id) const {
   return capacity_.at(id);
 }
 
-double CapacityLedger::committed(net::LinkId id) const {
+net::Demand CapacityLedger::committed(net::LinkId id) const {
   std::lock_guard<std::mutex> lock(mu_);
   return committed_.at(id);
 }
 
-double CapacityLedger::headroom(net::LinkId id) const {
+net::Capacity CapacityLedger::headroom(net::LinkId id) const {
   std::lock_guard<std::mutex> lock(mu_);
-  const double room = capacity_.at(id) - committed_.at(id);
-  return room > 0.0 ? room : 0.0;
+  const net::Capacity room = capacity_.at(id) - committed_.at(id);
+  return room > net::Capacity{} ? room : net::Capacity{};
 }
 
 bool CapacityLedger::fits(const Footprint& fp) const {
@@ -55,7 +59,7 @@ bool CapacityLedger::fits(const Footprint& fp) const {
 bool CapacityLedger::try_reserve(const Footprint& fp) {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [id, amount] : fp) {
-    if (amount < 0.0) {
+    if (amount < net::Demand{}) {
       throw std::invalid_argument("negative reservation on link " +
                                   std::to_string(id));
     }
@@ -63,6 +67,10 @@ bool CapacityLedger::try_reserve(const Footprint& fp) {
   }
   for (const auto& [id, amount] : fp) {
     committed_[id] += amount;
+    // Reserve/release balance: a successful reserve never drives a link
+    // past its raw capacity (beyond float drift).
+    CHRONUS_ENSURES(committed_[id] <= capacity_[id] + kEps,
+                    "ledger commitment exceeds raw capacity");
     const double util = committed_[id] / capacity_[id];
     if (util > peak_) peak_ = util;
   }
@@ -73,14 +81,17 @@ void CapacityLedger::release(const Footprint& fp) {
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [id, amount] : fp) {
     if (committed_.at(id) + kEps < amount) {
-      throw std::logic_error("release of " + std::to_string(amount) +
+      throw std::logic_error("release of " + std::to_string(amount.value()) +
                              " exceeds commitment on link " +
                              std::to_string(id));
     }
   }
   for (const auto& [id, amount] : fp) {
     committed_[id] -= amount;
-    if (committed_[id] < 0.0) committed_[id] = 0.0;  // absorb fp drift
+    if (committed_[id] < net::Demand{}) committed_[id] = net::Demand{};
+    // Balance invariant: a release can only return to (or toward) idle.
+    CHRONUS_ENSURES(committed_[id] >= net::Demand{},
+                    "ledger commitment went negative");
   }
 }
 
@@ -88,7 +99,7 @@ net::Graph CapacityLedger::restricted_graph(const net::Graph& g,
                                             const Footprint& fp) const {
   net::Graph out = g;
   for (const auto& [id, amount] : fp) {
-    out.mutable_link(id).capacity = amount;
+    out.mutable_link(id).capacity = util::capacity_for(amount);
   }
   return out;
 }
@@ -100,7 +111,7 @@ double CapacityLedger::peak_utilization() const {
 
 bool CapacityLedger::idle() const {
   std::lock_guard<std::mutex> lock(mu_);
-  for (const double c : committed_) {
+  for (const net::Demand c : committed_) {
     if (c > kEps) return false;
   }
   return true;

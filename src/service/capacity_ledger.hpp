@@ -30,13 +30,13 @@
 namespace chronus::service {
 
 /// Demand committed per link; the unit of reservation and release.
-using Footprint = std::map<net::LinkId, double>;
+using Footprint = std::map<net::LinkId, net::Demand>;
 
 /// The footprint of one old-path -> new-path transition: `demand` per
 /// occurrence of a link on either path (shared links count twice). Throws
 /// std::invalid_argument if a path uses a link absent from `g`.
 Footprint transition_footprint(const net::Graph& g, const net::Path& p_init,
-                               const net::Path& p_fin, double demand);
+                               const net::Path& p_fin, net::Demand demand);
 
 class CapacityLedger {
  public:
@@ -45,20 +45,21 @@ class CapacityLedger {
   std::size_t link_count() const { return capacity_.size(); }
 
   /// Raw capacity of a link (fixed at construction).
-  double capacity(net::LinkId id) const;
+  net::Capacity capacity(net::LinkId id) const;
 
   /// Capacity currently committed to in-flight transitions.
-  double committed(net::LinkId id) const;
+  net::Demand committed(net::LinkId id) const;
 
   /// capacity - committed, never negative.
-  double headroom(net::LinkId id) const;
+  net::Capacity headroom(net::LinkId id) const;
 
   /// True iff the whole footprint fits the current headroom (advisory: a
   /// concurrent reserve may invalidate it; use try_reserve to commit).
   bool fits(const Footprint& fp) const;
 
   /// Atomically commits the footprint; returns false (ledger unchanged)
-  /// if any link lacks headroom.
+  /// if any link lacks headroom. Negative reservations are a contract
+  /// violation (always a caller bug).
   bool try_reserve(const Footprint& fp);
 
   /// Returns the reserved amounts; throws std::logic_error if any entry
@@ -79,8 +80,8 @@ class CapacityLedger {
 
  private:
   mutable std::mutex mu_;
-  std::vector<double> capacity_;
-  std::vector<double> committed_;
+  std::vector<net::Capacity> capacity_;
+  std::vector<net::Demand> committed_;
   double peak_ = 0.0;
 };
 

@@ -26,7 +26,7 @@ struct UpdateRequest {
   std::string name;        ///< flow label; defaults to "r<id>" when empty
   net::Path p_init;
   net::Path p_fin;
-  double demand = 1.0;
+  net::Demand demand{1.0};
   sim::SimTime arrival = 0;   ///< virtual arrival instant (microseconds)
   sim::SimTime deadline = 0;  ///< absolute virtual deadline; 0 = none
   int priority = 0;           ///< higher is served first within a round

@@ -121,7 +121,7 @@ void exec_job(const net::Graph& base, const UpdateRequest& req,
 
     sim::SimFlowSpec spec;
     spec.name = req.name.empty() ? "r" + std::to_string(req.id) : req.name;
-    spec.rate_bps = req.demand * opts.bps_per_unit;
+    spec.rate_bps = req.demand.value() * opts.bps_per_unit;
     sim::install_initial_rules(ctrl, inst, spec);
 
     sim::ResilientExecutor executor(

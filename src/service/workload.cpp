@@ -83,8 +83,10 @@ ServiceTrace make_workload(const WorkloadOptions& opt) {
         opt.oversize_prob > 0.0 && rng.chance(opt.oversize_prob);
     const bool core = oversize || rng.chance(opt.conflict_density);
     const bool swap = rng.chance(0.5);
-    req.demand = oversize ? opt.core_capacity + 1.0 + rng.uniform01()
-                          : rng.uniform(opt.demand_min, opt.demand_max);
+    req.demand =
+        oversize
+            ? net::Demand{opt.core_capacity.value() + 1.0 + rng.uniform01()}
+            : net::Demand{rng.uniform(opt.demand_min.value(), opt.demand_max.value())};
     net::Path one, two;
     if (core) {
       one = net::Path{pr.s, a, b, pr.t};
@@ -113,8 +115,9 @@ ServiceTrace make_workload(const WorkloadOptions& opt) {
     const net::NodeId x = g.add_node("x" + suffix);
     const net::NodeId y = g.add_node("y" + suffix);
     const net::NodeId z = g.add_node("z" + suffix);
-    const double demand = rng.uniform(opt.demand_min, opt.demand_max);
-    g.add_link(m, n, 1.25 * demand, 1);  // the contested link
+    const net::Demand demand{
+        rng.uniform(opt.demand_min.value(), opt.demand_max.value())};
+    g.add_link(m, n, util::capacity_for(demand, 1.25), 1);  // contested link
     g.add_link(e, m, opt.edge_capacity, 1);
     g.add_link(n, f, opt.edge_capacity, 1);
     for (const net::NodeId alt : {x, y, z}) {

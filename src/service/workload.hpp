@@ -27,8 +27,8 @@ struct WorkloadOptions {
   /// Probability a request routes over the shared core rails instead of
   /// its pair-private rails.
   double conflict_density = 0.5;
-  double demand_min = 0.5;
-  double demand_max = 1.5;
+  net::Demand demand_min{0.5};
+  net::Demand demand_max{1.5};
   /// Relative deadline added to each arrival; 0 disables deadlines.
   sim::SimTime deadline = 60 * sim::kSecond;
   int priorities = 3;  ///< priorities drawn uniformly from [0, priorities)
@@ -36,9 +36,9 @@ struct WorkloadOptions {
   /// the admission controller must reject it as statically infeasible).
   double oversize_prob = 0.0;
 
-  double core_capacity = 4.0;     ///< shared rails (the contested links)
-  double private_capacity = 2.0;  ///< per-pair rails
-  double edge_capacity = 64.0;    ///< access links (never the bottleneck)
+  net::Capacity core_capacity{4.0};     ///< shared rails (contested links)
+  net::Capacity private_capacity{2.0};  ///< per-pair rails
+  net::Capacity edge_capacity{64.0};    ///< access links (not a bottleneck)
 
   /// Number of joint-rescue sites. Each site is a private contested link
   /// sized for ~1.25 flows and a trio of requests: an enterer that takes

@@ -22,7 +22,7 @@ Network::Network(const net::Graph& g, SimTime delay_unit, double bps_per_unit)
     sl.src = l.src;
     sl.dst = l.dst;
     sl.delay = l.delay * delay_unit;
-    sl.capacity_bps = l.capacity * bps_per_unit;
+    sl.capacity_bps = l.capacity.value() * bps_per_unit;
     sl.src_port = next_port[l.src]++;
     by_port_[{sl.src, sl.src_port}] = id;
   }

@@ -22,6 +22,7 @@ struct SimLink {
   PortId src_port = kNoPort;  ///< egress port on src
   PortId dst_port = kNoPort;  ///< ingress port on dst
   SimTime delay = 0;          ///< microseconds
+  // chronus-lint: allow(raw-unit) physical bit/s rate, not an abstract Capacity
   double capacity_bps = 0.0;
 
   /// Offered load in bit/s over time, filled in by the traffic tracer. The

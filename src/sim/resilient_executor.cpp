@@ -147,7 +147,7 @@ ResilientExecutor::TimedOutcome ResilientExecutor::execute_timed_once(
   // Phase A — dispatch every Time4 bundle ahead of t0 (the seed dispatch
   // order, so a fault-free run draws identically).
   for (const auto& [step, switches] : schedule.by_time()) {
-    const SimTime exec_at = t0 + step * step_unit;
+    const SimTime exec_at = t0 + step.count() * step_unit;
     for (const net::NodeId v : switches) {
       PlannedMod p;
       p.v = v;
@@ -169,7 +169,7 @@ ResilientExecutor::TimedOutcome ResilientExecutor::execute_timed_once(
     std::vector<PlannedMod*> broken;
     for (PlannedMod& p : planned) {
       const ModRecord& rec = ctrl_->record(p.id);
-      const SimTime exec_at = t0 + p.step * step_unit;
+      const SimTime exec_at = t0 + p.step.count() * step_unit;
       const bool undelivered = rec.dropped || rec.cancelled;
       const bool late = rec.faulted() && !rec.rejected &&
                         rec.arrival != kNever && rec.arrival > exec_at;
@@ -220,7 +220,7 @@ ResilientExecutor::TimedOutcome ResilientExecutor::execute_timed_once(
         ++rep.recalls;
       }
       ++rep.retries;
-      const SimTime exec_at = t0 + p->step * step_unit;
+      const SimTime exec_at = t0 + p->step.count() * step_unit;
       p->id = ctrl_->issue_timed_flow_mod(static_cast<SwitchId>(p->v),
                                           add_mod(p->entry), exec_at);
       const ModRecord& fresh = ctrl_->record(p->id);
@@ -235,7 +235,7 @@ ResilientExecutor::TimedOutcome ResilientExecutor::execute_timed_once(
   std::map<timenet::TimePoint, std::vector<PlannedMod*>> steps;
   for (PlannedMod& p : planned) steps[p.step].push_back(&p);
   for (auto& [step, mods] : steps) {
-    const SimTime deadline = t0 + (step + 1) * step_unit;
+    const SimTime deadline = t0 + (step.count() + 1) * step_unit;
     ctrl_->advance_clock(deadline);
     for (PlannedMod* p : mods) {
       finish = std::max(finish, ctrl_->barrier(static_cast<SwitchId>(p->v)));
@@ -449,7 +449,7 @@ bool ResilientExecutor::two_phase_overlay(const net::UpdateInstance& inst,
   timenet::FlowTransition ft;
   ft.instance = &pre_flip;
   ft.schedule = &empty;
-  ft.per_packet_flip = 0;
+  ft.per_packet_flip = timenet::TimePoint{0};
   rep.verification.merge(timenet::verify_transitions({ft}, {}));
   rep.verified = true;
   return true;
@@ -643,7 +643,7 @@ UpdateRunReport ResilientExecutor::run_two_phase(const net::UpdateInstance& inst
                                                  const SimFlowSpec& spec,
                                                  SimTime t0,
                                                  SimTime drain_margin,
-                                                 SimTime step_unit) {
+                                                 [[maybe_unused]] SimTime step_unit) {
   UpdateRunReport rep;
   const FaultStats before = fault_snapshot();
   ctrl_->advance_clock(t0);
@@ -749,7 +749,7 @@ UpdateRunReport ResilientExecutor::run_two_phase(const net::UpdateInstance& inst
   timenet::FlowTransition ft;
   ft.instance = &inst;
   ft.schedule = &empty;
-  ft.per_packet_flip = 0;
+  ft.per_packet_flip = timenet::TimePoint{0};
   rep.verification = timenet::verify_transitions({ft}, {});
   rep.verified = true;
   rep.faults = fault_snapshot() - before;

@@ -136,7 +136,7 @@ class ResilientExecutor {
  private:
   struct PlannedMod {
     net::NodeId v = net::kInvalidNode;
-    timenet::TimePoint step = 0;
+    timenet::TimePoint step{};
     FlowEntry entry;
     ModId id = 0;
   };

@@ -1,6 +1,9 @@
 #include "sim/updaters.hpp"
 
 #include <algorithm>
+#include <limits>
+
+#include "util/contracts.hpp"
 
 namespace chronus::sim {
 
@@ -66,8 +69,14 @@ UpdateRunResult run_timed_schedule(Controller& ctrl,
   // Time4: all timed bundles are dispatched ahead of t0 and fire at their
   // scheduled instants (subject to clock-sync error).
   SimTime finish = ctrl.clock();
+  timenet::TimePoint prev_step{std::numeric_limits<std::int64_t>::min()};
   for (const auto& [step, switches] : schedule.by_time()) {
-    const SimTime exec_at = t0 + step * step_unit;
+    // by_time() walks ascending; the wall-clock instants we program into
+    // the switches must follow the same order or Time4 semantics break.
+    CHRONUS_INVARIANT(step > prev_step,
+                      "timed bundles must be dispatched in schedule order");
+    prev_step = step;
+    const SimTime exec_at = t0 + step.count() * step_unit;
     for (const net::NodeId v : switches) {
       const auto next = inst.new_next(v);
       FlowMod mod;
@@ -84,7 +93,7 @@ UpdateRunResult run_timed_schedule(Controller& ctrl,
   // flow's dispatch past its own execution instants.
   if (confirm_with_barriers) {
     for (const auto& [step, switches] : schedule.by_time()) {
-      ctrl.advance_clock(t0 + (step + 1) * step_unit);
+      ctrl.advance_clock(t0 + (step.count() + 1) * step_unit);
       for (const net::NodeId v : switches) {
         finish = std::max(finish, ctrl.barrier(v));
       }

@@ -26,7 +26,7 @@ struct EnumerateOptions {
   /// Stop after this many paths (the set grows exponentially).
   std::size_t max_paths = 10000;
   /// Ignore paths arriving at the destination after this time.
-  TimePoint t_end = 0;
+  TimePoint t_end{};
 };
 
 /// All loop-free timed paths from src(t0) to dst, arrivals <= opts.t_end.

@@ -9,10 +9,13 @@
 #include <vector>
 
 #include "net/graph.hpp"
+#include "util/contracts.hpp"
 
 namespace chronus::timenet {
 
-using TimePoint = std::int64_t;
+// A point on the abstract schedule grid (unit-safe; durations are plain
+// std::int64_t step counts — see src/util/strong_types.hpp).
+using TimePoint = util::TimeStep;
 
 class UpdateSchedule {
  public:
@@ -54,7 +57,9 @@ class UpdateSchedule {
 };
 
 inline TimePoint UpdateSchedule::first_time() const {
-  TimePoint best = 0;
+  CHRONUS_EXPECTS(!times_.empty(),
+                  "first_time() requires a non-empty schedule");
+  TimePoint best{};
   bool first = true;
   for (const auto& [_, t] : times_) {
     if (first || t < best) best = t;
@@ -64,7 +69,9 @@ inline TimePoint UpdateSchedule::first_time() const {
 }
 
 inline TimePoint UpdateSchedule::last_time() const {
-  TimePoint best = 0;
+  CHRONUS_EXPECTS(!times_.empty(),
+                  "last_time() requires a non-empty schedule");
+  TimePoint best{};
   bool first = true;
   for (const auto& [_, t] : times_) {
     if (first || t > best) best = t;

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/contracts.hpp"
+
 namespace chronus::timenet {
 
 TimeExtendedNetwork::TimeExtendedNetwork(const net::Graph& g, TimePoint t_begin,
@@ -32,6 +34,12 @@ std::size_t TimeExtendedNetwork::node_copies() const {
 }
 
 std::size_t TimeExtendedNetwork::slot(net::NodeId v, TimePoint t) const {
+  // Public accessors filter out-of-window queries before reaching here, so
+  // a violation means an internal indexing bug, not caller misuse.
+  CHRONUS_EXPECTS(t >= t_begin_ && t <= t_end_,
+                  "time-extended slot outside [t_begin, t_end]");
+  CHRONUS_EXPECTS(v < base_->node_count(),
+                  "time-extended slot for unknown node");
   return static_cast<std::size_t>(t - t_begin_) * base_->node_count() + v;
 }
 
@@ -53,8 +61,8 @@ std::optional<TimedLink> TimeExtendedNetwork::link_at(net::NodeId u,
 }
 
 std::string TimeExtendedNetwork::to_string(const TimedLink& l) const {
-  return base_->name(l.from.node) + "(t" + std::to_string(l.from.time) +
-         ") -> " + base_->name(l.to.node) + "(t" + std::to_string(l.to.time) +
+  return base_->name(l.from.node) + "(t" + std::to_string(l.from.time.count()) +
+         ") -> " + base_->name(l.to.node) + "(t" + std::to_string(l.to.time.count()) +
          ")";
 }
 

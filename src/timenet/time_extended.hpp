@@ -19,14 +19,14 @@ namespace chronus::timenet {
 
 struct TimedNode {
   net::NodeId node = net::kInvalidNode;
-  TimePoint time = 0;
+  TimePoint time{};
   bool operator==(const TimedNode&) const = default;
 };
 
 struct TimedLink {
   TimedNode from;
   TimedNode to;
-  net::Capacity capacity = 0.0;
+  net::Capacity capacity{};
   net::LinkId base_link = net::kInvalidLink;
 };
 

@@ -76,7 +76,7 @@ std::string to_string(const net::Graph& g, const Trace& trace) {
   std::string out;
   for (std::size_t i = 0; i < trace.hops.size(); ++i) {
     if (i) out += " -> ";
-    out += g.name(trace.hops[i].node) + "@" + std::to_string(trace.hops[i].arrival);
+    out += g.name(trace.hops[i].node) + "@" + std::to_string(trace.hops[i].arrival.count());
   }
   switch (trace.end) {
     case TraceEnd::kDelivered: out += " [delivered]"; break;

@@ -30,11 +30,11 @@ enum class TraceEnd {
 
 struct TraceHop {
   net::NodeId node = net::kInvalidNode;
-  TimePoint arrival = 0;  ///< time the class reaches `node`
+  TimePoint arrival{};  ///< time the class reaches `node`
 };
 
 struct Trace {
-  TimePoint injected = 0;
+  TimePoint injected{};
   std::vector<TraceHop> hops;  ///< first hop is the source at `injected`
   TraceEnd end = TraceEnd::kDelivered;
   net::NodeId fault_node = net::kInvalidNode;  ///< blackhole/hop-limit switch
@@ -57,7 +57,7 @@ struct FlowView {
   const net::Graph* graph = nullptr;
   const net::UpdateInstance* instance = nullptr;  ///< rule source
   const UpdateSchedule* schedule = nullptr;
-  double demand = 1.0;
+  net::Demand demand{1.0};
 
   /// Two-phase (per-packet versioned) semantics: when set, a class uses the
   /// old rules everywhere iff it was injected before the flip and the new

@@ -4,12 +4,14 @@
 #include <limits>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
+
 namespace chronus::timenet {
 
 namespace {
 constexpr double kEps = 1e-9;
 // "Since forever": the tail of a flow that was never updated.
-constexpr TimePoint kAlways = std::numeric_limits<TimePoint>::min() / 4;
+constexpr TimePoint kAlways{std::numeric_limits<TimePoint::rep>::min() / 4};
 }  // namespace
 
 TransitionState::TransitionState(const net::UpdateInstance& inst)
@@ -25,14 +27,15 @@ TransitionState::TransitionState(
       throw std::invalid_argument("flows must share one graph layout");
     }
   }
-  d_ = static_cast<TimePoint>(graph_->node_count() + 2) * graph_->max_delay();
+  d_ = static_cast<std::int64_t>(graph_->node_count() + 2) *
+       graph_->max_delay();
   flows_.resize(flows.size());
   for (std::size_t f = 0; f < flows.size(); ++f) {
     FlowState& fs = flows_[f];
     fs.inst = flows[f];
     // Unscheduled flows are one steady stream on their old path; the
     // tail's start is "always" so its load applies at every entry step.
-    fs.steady_shape = trace_class(*fs.inst, fs.sched, 0);
+    fs.steady_shape = trace_class(*fs.inst, fs.sched, TimePoint{0});
     fs.steady_from = kAlways;
     for (std::size_t i = 0; i + 1 < fs.steady_shape.hops.size(); ++i) {
       const auto link = graph_->find_link(fs.steady_shape.hops[i].node,
@@ -43,7 +46,7 @@ TransitionState::TransitionState(
 }
 
 bool TransitionState::initial_state_valid() const {
-  std::map<net::LinkId, double> static_load;
+  std::map<net::LinkId, net::Demand> static_load;
   for (const FlowState& fs : flows_) {
     for (const net::LinkId id :
          net::path_links(*graph_, fs.inst->p_init())) {
@@ -51,12 +54,12 @@ bool TransitionState::initial_state_valid() const {
     }
   }
   for (const auto& [id, x] : static_load) {
-    if (x > graph_->link(id).capacity + kEps) return false;
+    if (x > graph_->link(id).capacity + net::Demand{kEps}) return false;
   }
   return true;
 }
 
-void TransitionState::add_loads(const Trace& trace, double demand,
+void TransitionState::add_loads(const Trace& trace, net::Demand demand,
                                 double sign) {
   for (std::size_t i = 0; i + 1 < trace.hops.size(); ++i) {
     const auto link =
@@ -65,8 +68,9 @@ void TransitionState::add_loads(const Trace& trace, double demand,
   }
 }
 
-double TransitionState::steady_load(net::LinkId link, TimePoint entry) const {
-  double x = 0.0;
+net::Demand TransitionState::steady_load(net::LinkId link,
+                                          TimePoint entry) const {
+  net::Demand x{};
   for (const FlowState& fs : flows_) {
     const auto it = fs.steady_entry.find(link);
     if (it != fs.steady_entry.end() && entry >= it->second) {
@@ -115,21 +119,23 @@ bool TransitionState::refresh_steady(std::size_t flow) {
   if (bad) return false;
 
   for (const auto& [link, start] : fs.steady_entry) {
-    const double cap = graph_->link(link).capacity;
+    const net::Capacity cap = graph_->link(link).capacity;
     // Tail-vs-tail: every tail containing this link enters it once per
     // step from its start on, so from max(starts) onward they all share
     // the link forever.
-    double tails = 0.0;
+    net::Demand tails{};
     for (const FlowState& other : flows_) {
       if (other.steady_entry.count(link)) tails += other.inst->demand();
     }
-    if (tails > cap + kEps) return false;
+    if (tails > cap + net::Demand{kEps}) return false;
     // Tail-vs-transitional: any traced load at or past the tail's start
     // collides with it (plus any other tail active there).
     const auto lit = load_.find(link);
     if (lit == load_.end()) continue;
     for (auto e = lit->second.lower_bound(start); e != lit->second.end(); ++e) {
-      if (e->second + steady_load(link, e->first) > cap + kEps) return false;
+      if (e->second + steady_load(link, e->first) > cap + net::Demand{kEps}) {
+        return false;
+      }
     }
   }
   return true;
@@ -171,8 +177,8 @@ void TransitionState::extend_windows_down(TimePoint want_lo) {
   UndoRecord* host = undo_stack_.empty() ? &base_ : &undo_stack_.back();
   if (host->prev_lo.empty()) {
     // The base record never rolls back; give it window placeholders.
-    host->prev_lo.assign(flows_.size(), 0);
-    host->prev_hi.assign(flows_.size(), -1);
+    host->prev_lo.assign(flows_.size(), TimePoint{});
+    host->prev_hi.assign(flows_.size(), TimePoint{-1});
   }
   for (std::size_t f = 0; f < flows_.size(); ++f) {
     FlowState& fs = flows_[f];
@@ -187,7 +193,10 @@ void TransitionState::extend_windows_down(TimePoint want_lo) {
 
 bool TransitionState::try_update(std::size_t flow, net::NodeId v,
                                  TimePoint t) {
+  CHRONUS_EXPECTS(flow < flows_.size(), "try_update on unknown flow index");
   FlowState& fs = flows_.at(flow);
+  CHRONUS_EXPECTS(v < fs.inst->graph().node_count(),
+                  "try_update on a node outside the flow's graph");
   if (fs.sched.contains(v)) {
     throw std::logic_error("switch already scheduled for this flow");
   }
@@ -255,8 +264,8 @@ bool TransitionState::try_update(std::size_t flow, net::NodeId v,
   // can compensate for another arriving on it).
   if (!bad) {
     for (const auto& [link, entry] : touched) {
-      const double x = load_[link][entry] + steady_load(link, entry);
-      if (x > graph_->link(link).capacity + kEps) {
+      const net::Demand x = load_[link][entry] + steady_load(link, entry);
+      if (x > graph_->link(link).capacity + net::Demand{kEps}) {
         bad = true;
         break;
       }

@@ -80,12 +80,12 @@ class TransitionState {
     const net::UpdateInstance* inst = nullptr;
     UpdateSchedule sched;
     std::map<TimePoint, Trace> traces;  // transitional classes
-    TimePoint lo = 0;
-    TimePoint hi = -1;  // traced range [lo, hi]; empty when hi < lo
+    TimePoint lo{};
+    TimePoint hi{-1};  // traced range [lo, hi]; empty when hi < lo
     // Steady tail: trajectory of every class injected >= steady_from.
     Trace steady_shape;
     std::map<net::LinkId, TimePoint> steady_entry;
-    TimePoint steady_from = 0;
+    TimePoint steady_from{};
   };
 
   struct UndoRecord {
@@ -99,7 +99,7 @@ class TransitionState {
     std::vector<TimePoint> prev_lo;
     std::vector<TimePoint> prev_hi;
     std::optional<Trace> prev_steady_shape;
-    TimePoint prev_steady_from = 0;
+    TimePoint prev_steady_from{};
   };
 
   /// (Re)traces transitional class tau of `flow` under its current
@@ -108,10 +108,10 @@ class TransitionState {
                std::vector<LoadKey>* touched);
 
   void rollback(UndoRecord& rec);
-  void add_loads(const Trace& trace, double demand, double sign);
+  void add_loads(const Trace& trace, net::Demand demand, double sign);
 
   /// Combined steady-tail load of every flow on (link, entry-step).
-  double steady_load(net::LinkId link, TimePoint entry) const;
+  net::Demand steady_load(net::LinkId link, TimePoint entry) const;
 
   /// Recomputes `flow`'s steady tail; false when the tail loops,
   /// blackholes, or collides with traced loads or other tails.
@@ -122,11 +122,11 @@ class TransitionState {
   void extend_windows_down(TimePoint want_lo);
 
   const net::Graph* graph_ = nullptr;
-  TimePoint d_ = 0;  // trajectory duration bound
+  std::int64_t d_ = 0;  // trajectory duration bound (in steps)
 
   std::vector<FlowState> flows_;
   // Per-link entry-step loads from transitional classes, all flows.
-  std::map<net::LinkId, std::map<TimePoint, double>> load_;
+  std::map<net::LinkId, std::map<TimePoint, net::Demand>> load_;
 
   std::vector<UndoRecord> undo_stack_;
   UndoRecord base_;  // window extensions under empty schedules

@@ -11,21 +11,21 @@ namespace chronus::timenet {
 namespace {
 
 /// Upper bound on the duration of any single trajectory.
-TimePoint trajectory_bound(const net::Graph& g) {
-  return static_cast<TimePoint>(g.node_count() + 2) * g.max_delay();
+std::int64_t trajectory_bound(const net::Graph& g) {
+  return static_cast<std::int64_t>(g.node_count() + 2) * g.max_delay();
 }
 
 struct Window {
-  TimePoint trace_begin = 0;  ///< first injected class
-  TimePoint trace_end = 0;    ///< last injected class (inclusive)
-  TimePoint eval_begin = 0;   ///< congestion evaluated for entries >= this
-  TimePoint eval_end = 0;     ///< ... and <= this
+  TimePoint trace_begin{};  ///< first injected class
+  TimePoint trace_end{};    ///< last injected class (inclusive)
+  TimePoint eval_begin{};   ///< congestion evaluated for entries >= this
+  TimePoint eval_end{};     ///< ... and <= this
 };
 
 Window make_window(const net::Graph& g,
                    const std::vector<FlowTransition>& flows) {
-  TimePoint min_t = 0;
-  TimePoint max_t = 0;
+  TimePoint min_t{};
+  TimePoint max_t{};
   bool any = false;
   for (const auto& f : flows) {
     for (const auto& [_, t] : f.schedule->entries()) {
@@ -39,7 +39,7 @@ Window make_window(const net::Graph& g,
       any = true;
     }
   }
-  const TimePoint d = trajectory_bound(g);
+  const std::int64_t d = trajectory_bound(g);
   Window w;
   w.eval_begin = min_t - d;
   w.eval_end = max_t + d;
@@ -62,7 +62,7 @@ TransitionReport verify_transitions(const std::vector<FlowTransition>& flows,
   const util::Deadline deadline(opts.deadline_sec);
 
   // Per time-extended link loads, summed over flows.
-  std::map<std::pair<net::LinkId, TimePoint>, double> load;
+  std::map<std::pair<net::LinkId, TimePoint>, net::Demand> load;
   std::set<net::NodeId> loop_nodes_seen;
   std::set<net::NodeId> blackhole_nodes_seen;
 
@@ -75,7 +75,7 @@ TransitionReport verify_transitions(const std::vector<FlowTransition>& flows,
     view.per_packet_flip = f.per_packet_flip;
 
     for (TimePoint tau = w.trace_begin; tau <= w.trace_end; ++tau) {
-      if ((tau & 0xff) == 0 && deadline.expired()) {
+      if ((tau.count() & 0xff) == 0 && deadline.expired()) {
         report.aborted = true;
         return report;
       }
@@ -106,8 +106,8 @@ TransitionReport verify_transitions(const std::vector<FlowTransition>& flows,
   for (const auto& [key, x] : load) {
     const auto& [link_id, enter] = key;
     if (enter < w.eval_begin || enter > w.eval_end) continue;
-    const double cap = g.link(link_id).capacity;
-    if (x > cap + kEps) {
+    const net::Capacity cap = g.link(link_id).capacity;
+    if (x > cap + net::Demand{kEps}) {
       report.congestion.push_back(CongestionEvent{link_id, enter, x, cap});
       if (opts.first_violation_only) return report;
     }
@@ -124,14 +124,14 @@ TransitionReport verify_transition(const net::UpdateInstance& inst,
   return verify_transitions({ft}, opts);
 }
 
-std::map<std::pair<net::LinkId, TimePoint>, double> link_loads(
+std::map<std::pair<net::LinkId, TimePoint>, net::Demand> link_loads(
     const net::UpdateInstance& inst, const UpdateSchedule& sched) {
   const net::Graph& g = inst.graph();
   FlowTransition ft;
   ft.instance = &inst;
   ft.schedule = &sched;
   Window w = make_window(g, {ft});
-  std::map<std::pair<net::LinkId, TimePoint>, double> load;
+  std::map<std::pair<net::LinkId, TimePoint>, net::Demand> load;
   FlowView view;
   view.graph = &g;
   view.instance = &inst;
@@ -167,7 +167,7 @@ UpdateSchedule schedule_from_activations(
     const std::int64_t offset = t - origin;
     // llround of offset/step_unit without floating point drift.
     const std::int64_t step = (offset + step_unit / 2) / step_unit;
-    sched.set(v, static_cast<TimePoint>(step));
+    sched.set(v, TimePoint{step});
   }
   return sched;
 }

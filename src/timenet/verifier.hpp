@@ -23,18 +23,18 @@ namespace chronus::timenet {
 
 struct CongestionEvent {
   net::LinkId link = net::kInvalidLink;
-  TimePoint enter_time = 0;  ///< departure step of the time-extended link
-  double load = 0.0;
-  double capacity = 0.0;
+  TimePoint enter_time{};  ///< departure step of the time-extended link
+  net::Demand load{};
+  net::Capacity capacity{};
 };
 
 struct LoopEvent {
-  TimePoint injected = 0;
+  TimePoint injected{};
   net::NodeId node = net::kInvalidNode;  ///< switch visited twice
 };
 
 struct BlackholeEvent {
-  TimePoint injected = 0;
+  TimePoint injected{};
   net::NodeId node = net::kInvalidNode;
 };
 
@@ -97,7 +97,7 @@ TransitionReport verify_transitions(const std::vector<FlowTransition>& flows,
 
 /// Load per time-extended link for one flow (diagnostics and Fig. 2-style
 /// renderings): maps (link, enter-step) -> load.
-std::map<std::pair<net::LinkId, TimePoint>, double> link_loads(
+std::map<std::pair<net::LinkId, TimePoint>, net::Demand> link_loads(
     const net::UpdateInstance& inst, const UpdateSchedule& sched);
 
 /// Quantizes *achieved* activation instants (arbitrary integral wall-clock

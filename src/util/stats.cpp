@@ -5,6 +5,8 @@
 #include <cstdio>
 #include <stdexcept>
 
+#include "util/contracts.hpp"
+
 namespace chronus::util {
 
 void Summary::add(double x) {
@@ -44,20 +46,20 @@ void Summary::ensure_sorted() const {
 }
 
 double Summary::min() const {
-  if (samples_.empty()) throw std::logic_error("Summary::min on empty set");
+  CHRONUS_EXPECTS(!samples_.empty(), "Summary::min on empty set");
   ensure_sorted();
   return sorted_.front();
 }
 
 double Summary::max() const {
-  if (samples_.empty()) throw std::logic_error("Summary::max on empty set");
+  CHRONUS_EXPECTS(!samples_.empty(), "Summary::max on empty set");
   ensure_sorted();
   return sorted_.back();
 }
 
 double Summary::percentile(double p) const {
-  if (samples_.empty()) throw std::logic_error("Summary::percentile on empty set");
-  if (p < 0.0 || p > 100.0) throw std::invalid_argument("percentile out of range");
+  CHRONUS_EXPECTS(!samples_.empty(), "Summary::percentile on empty set");
+  CHRONUS_EXPECTS(p >= 0.0 && p <= 100.0, "percentile out of [0, 100]");
   ensure_sorted();
   if (sorted_.size() == 1) return sorted_[0];
   const double rank = p / 100.0 * static_cast<double>(sorted_.size() - 1);

@@ -1,0 +1,294 @@
+// Unit-safe strong types for the quantities Chronus reasons about.
+//
+// The paper's invariants mix three incompatible axes — schedule time
+// (integral steps / link-delay units), traffic demand (flow units) and
+// link capacity (the budget demands are charged against). Raw `double` and
+// `std::int64_t` aliases let the axes interconvert silently, so a slot
+// index can masquerade as a time step and a capacity can be added to a
+// demand without any diagnostic. These wrappers make each axis a distinct
+// type with explicit construction and only the physically meaningful
+// operations:
+//
+//   TimeStep  — a *point* on the abstract schedule grid. Durations are
+//               plain std::int64_t: point ± duration -> point,
+//               point - point -> duration. point + point does not compile.
+//   Demand    — flow volume. Closed under +/-, scalable by dimensionless
+//               factors; Demand/Demand -> double (a ratio).
+//   Capacity  — a link's budget. Closed under +/-, and chargeable:
+//               Capacity - Demand -> Capacity (remaining headroom).
+//               Demands compare against capacities (load <= cap), but a
+//               capacity never implicitly becomes a demand or vice versa.
+//
+// Everything is constexpr and the representation is exactly the raw value
+// (no tag bytes), so the types cost nothing at runtime; `.count()` /
+// `.value()` are the audited escape hatches to the representation.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <ostream>
+
+namespace chronus::util {
+
+// ---------------------------------------------------------------------------
+// TimeStep: integral time point on the schedule grid.
+
+class TimeStep {
+ public:
+  using rep = std::int64_t;
+
+  constexpr TimeStep() = default;
+  constexpr explicit TimeStep(rep v) : v_(v) {}
+
+  /// The underlying step index (durations and raw arithmetic).
+  constexpr rep count() const { return v_; }
+
+  constexpr auto operator<=>(const TimeStep&) const = default;
+
+  constexpr TimeStep& operator+=(rep d) {
+    v_ += d;
+    return *this;
+  }
+  constexpr TimeStep& operator-=(rep d) {
+    v_ -= d;
+    return *this;
+  }
+  constexpr TimeStep& operator++() {
+    ++v_;
+    return *this;
+  }
+  constexpr TimeStep operator++(int) {
+    TimeStep old = *this;
+    ++v_;
+    return old;
+  }
+  constexpr TimeStep& operator--() {
+    --v_;
+    return *this;
+  }
+  constexpr TimeStep operator--(int) {
+    TimeStep old = *this;
+    --v_;
+    return old;
+  }
+
+ private:
+  rep v_ = 0;
+};
+
+constexpr TimeStep operator+(TimeStep t, TimeStep::rep d) {
+  return TimeStep{t.count() + d};
+}
+constexpr TimeStep operator+(TimeStep::rep d, TimeStep t) {
+  return TimeStep{d + t.count()};
+}
+constexpr TimeStep operator-(TimeStep t, TimeStep::rep d) {
+  return TimeStep{t.count() - d};
+}
+/// Point minus point is a duration in steps.
+constexpr TimeStep::rep operator-(TimeStep a, TimeStep b) {
+  return a.count() - b.count();
+}
+
+inline std::ostream& operator<<(std::ostream& os, TimeStep t) {
+  return os << t.count();
+}
+
+// ---------------------------------------------------------------------------
+// Demand: flow volume in demand units.
+
+class Demand {
+ public:
+  constexpr Demand() = default;
+  constexpr explicit Demand(double v) : v_(v) {}
+
+  constexpr double value() const { return v_; }
+
+  constexpr auto operator<=>(const Demand&) const = default;
+
+  constexpr Demand operator-() const { return Demand{-v_}; }
+  constexpr Demand& operator+=(Demand o) {
+    v_ += o.v_;
+    return *this;
+  }
+  constexpr Demand& operator-=(Demand o) {
+    v_ -= o.v_;
+    return *this;
+  }
+  constexpr Demand& operator*=(double s) {
+    v_ *= s;
+    return *this;
+  }
+
+ private:
+  double v_ = 0.0;
+};
+
+constexpr Demand operator+(Demand a, Demand b) {
+  return Demand{a.value() + b.value()};
+}
+constexpr Demand operator-(Demand a, Demand b) {
+  return Demand{a.value() - b.value()};
+}
+constexpr Demand operator*(Demand d, double s) { return Demand{d.value() * s}; }
+constexpr Demand operator*(double s, Demand d) { return Demand{s * d.value()}; }
+constexpr Demand operator/(Demand d, double s) { return Demand{d.value() / s}; }
+/// Ratio of two demands is dimensionless.
+constexpr double operator/(Demand a, Demand b) { return a.value() / b.value(); }
+
+inline std::ostream& operator<<(std::ostream& os, Demand d) {
+  return os << d.value();
+}
+
+// ---------------------------------------------------------------------------
+// Capacity: a link's budget, chargeable by demands.
+
+class Capacity {
+ public:
+  constexpr Capacity() = default;
+  constexpr explicit Capacity(double v) : v_(v) {}
+
+  constexpr double value() const { return v_; }
+
+  /// The largest demand this budget can absorb (an explicit, audited
+  /// crossing between the axes — e.g. ledger headroom handed to a planner).
+  constexpr Demand as_demand() const { return Demand{v_}; }
+
+  constexpr auto operator<=>(const Capacity&) const = default;
+
+  constexpr Capacity& operator+=(Capacity o) {
+    v_ += o.v_;
+    return *this;
+  }
+  constexpr Capacity& operator-=(Capacity o) {
+    v_ -= o.v_;
+    return *this;
+  }
+  constexpr Capacity& operator-=(Demand d) {
+    v_ -= d.value();
+    return *this;
+  }
+  constexpr Capacity& operator+=(Demand d) {
+    v_ += d.value();
+    return *this;
+  }
+
+ private:
+  double v_ = 0.0;
+};
+
+constexpr Capacity operator+(Capacity a, Capacity b) {
+  return Capacity{a.value() + b.value()};
+}
+constexpr Capacity operator-(Capacity a, Capacity b) {
+  return Capacity{a.value() - b.value()};
+}
+/// Charging / refunding a demand against a budget stays a budget.
+constexpr Capacity operator-(Capacity c, Demand d) {
+  return Capacity{c.value() - d.value()};
+}
+constexpr Capacity operator+(Capacity c, Demand d) {
+  return Capacity{c.value() + d.value()};
+}
+constexpr Capacity operator*(Capacity c, double s) {
+  return Capacity{c.value() * s};
+}
+constexpr Capacity operator*(double s, Capacity c) {
+  return Capacity{s * c.value()};
+}
+constexpr Capacity operator/(Capacity c, double s) {
+  return Capacity{c.value() / s};
+}
+/// Ratio of two capacities is dimensionless.
+constexpr double operator/(Capacity a, Capacity b) {
+  return a.value() / b.value();
+}
+/// Utilization: committed demand over capacity.
+constexpr double operator/(Demand d, Capacity c) {
+  return d.value() / c.value();
+}
+
+// Loads compare against budgets (the congestion-freedom check), in both
+// spellings; the mixed comparison never constructs a temporary of the
+// other axis.
+constexpr bool operator<(Demand d, Capacity c) { return d.value() < c.value(); }
+constexpr bool operator<=(Demand d, Capacity c) {
+  return d.value() <= c.value();
+}
+constexpr bool operator>(Demand d, Capacity c) { return d.value() > c.value(); }
+constexpr bool operator>=(Demand d, Capacity c) {
+  return d.value() >= c.value();
+}
+constexpr bool operator<(Capacity c, Demand d) { return c.value() < d.value(); }
+constexpr bool operator<=(Capacity c, Demand d) {
+  return c.value() <= d.value();
+}
+constexpr bool operator>(Capacity c, Demand d) { return c.value() > d.value(); }
+constexpr bool operator>=(Capacity c, Demand d) {
+  return c.value() >= d.value();
+}
+
+inline std::ostream& operator<<(std::ostream& os, Capacity c) {
+  return os << c.value();
+}
+
+/// Sizing a budget from a demand (topology generators and workloads): a
+/// capacity that holds `flows` concurrent flows of demand `d`. Like
+/// Capacity::as_demand, an explicit, greppable crossing between the axes.
+constexpr Capacity capacity_for(Demand d, double flows = 1.0) {
+  return Capacity{d.value() * flows};
+}
+
+}  // namespace chronus::util
+
+template <>
+struct std::hash<chronus::util::TimeStep> {
+  std::size_t operator()(chronus::util::TimeStep t) const noexcept {
+    return std::hash<std::int64_t>{}(t.count());
+  }
+};
+
+// Without these specializations the primary std::numeric_limits template
+// matches and silently yields a value-initialized (zero) bound from
+// min()/max() instead of an extreme one. Forward the representations'
+// limits.
+template <>
+struct std::numeric_limits<chronus::util::TimeStep> {
+  static constexpr bool is_specialized = true;
+  static constexpr chronus::util::TimeStep min() noexcept {
+    return chronus::util::TimeStep{std::numeric_limits<std::int64_t>::min()};
+  }
+  static constexpr chronus::util::TimeStep max() noexcept {
+    return chronus::util::TimeStep{std::numeric_limits<std::int64_t>::max()};
+  }
+  static constexpr chronus::util::TimeStep lowest() noexcept { return min(); }
+};
+
+template <>
+struct std::numeric_limits<chronus::util::Demand> {
+  static constexpr bool is_specialized = true;
+  static constexpr chronus::util::Demand min() noexcept {
+    return chronus::util::Demand{std::numeric_limits<double>::min()};
+  }
+  static constexpr chronus::util::Demand max() noexcept {
+    return chronus::util::Demand{std::numeric_limits<double>::max()};
+  }
+  static constexpr chronus::util::Demand lowest() noexcept {
+    return chronus::util::Demand{std::numeric_limits<double>::lowest()};
+  }
+};
+
+template <>
+struct std::numeric_limits<chronus::util::Capacity> {
+  static constexpr bool is_specialized = true;
+  static constexpr chronus::util::Capacity min() noexcept {
+    return chronus::util::Capacity{std::numeric_limits<double>::min()};
+  }
+  static constexpr chronus::util::Capacity max() noexcept {
+    return chronus::util::Capacity{std::numeric_limits<double>::max()};
+  }
+  static constexpr chronus::util::Capacity lowest() noexcept {
+    return chronus::util::Capacity{std::numeric_limits<double>::lowest()};
+  }
+};

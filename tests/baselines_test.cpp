@@ -114,12 +114,12 @@ TEST(TwoPhase, VulnerableLinksAreSharedTightLinks) {
   // Shared tight tail link b->t: flagged.
   net::Graph g;
   g.add_nodes(4);
-  g.add_link(0, 1, 1.0, 1);
-  g.add_link(1, 2, 1.0, 1);
-  g.add_link(2, 3, 1.0, 1);
-  g.add_link(0, 2, 1.0, 1);
+  g.add_link(0, 1, net::Capacity{1.0}, 1);
+  g.add_link(1, 2, net::Capacity{1.0}, 1);
+  g.add_link(2, 3, net::Capacity{1.0}, 1);
+  g.add_link(0, 2, net::Capacity{1.0}, 1);
   const auto inst =
-      net::UpdateInstance::from_paths(g, Path{0, 1, 2, 3}, Path{0, 2, 3}, 1.0);
+      net::UpdateInstance::from_paths(g, Path{0, 1, 2, 3}, Path{0, 2, 3}, net::Demand{1.0});
   const TwoPhaseReport rep = two_phase_update(inst);
   ASSERT_EQ(rep.vulnerable_links.size(), 1u);
   const net::Link& l = g.link(rep.vulnerable_links[0]);

@@ -1,0 +1,193 @@
+// Tests for the invariant firewall: the contract macros themselves, the
+// preconditions seeded through the library, and the unit-safe strong types.
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <limits>
+#include <sstream>
+
+#include "service/capacity_ledger.hpp"
+#include "timenet/schedule.hpp"
+#include "timenet/transition_state.hpp"
+#include "net/generators.hpp"
+#include "util/contracts.hpp"
+#include "util/stats.hpp"
+#include "util/strong_types.hpp"
+
+namespace chronus {
+namespace {
+
+using timenet::TimePoint;
+using util::Capacity;
+using util::ContractViolation;
+using util::Demand;
+using util::TimeStep;
+
+// ---------------------------------------------------------------------------
+// The macro machinery itself.
+
+TEST(ContractMacros, PassingContractsAreSilent) {
+  EXPECT_NO_THROW(CHRONUS_EXPECTS(1 + 1 == 2));
+  EXPECT_NO_THROW(CHRONUS_ENSURES(true, "never shown"));
+  EXPECT_NO_THROW(CHRONUS_INVARIANT(2 > 1));
+}
+
+#if CHRONUS_CONTRACT_LEVEL >= 1
+TEST(ContractMacros, ViolationCarriesKindExprAndLocation) {
+  try {
+    CHRONUS_EXPECTS(1 > 2, "math still works");
+    FAIL() << "violation did not throw";
+  } catch (const ContractViolation& e) {
+    EXPECT_STREQ(e.kind(), "precondition");
+    EXPECT_STREQ(e.expr(), "1 > 2");
+    EXPECT_NE(std::string(e.file()).find("contracts_test"), std::string::npos);
+    EXPECT_NE(std::string(e.what()).find("math still works"),
+              std::string::npos);
+  }
+}
+
+TEST(ContractMacros, ViolationIsALogicError) {
+  // Pre-contract call sites that throw std::logic_error keep working when
+  // converted: the violation type is a subclass.
+  EXPECT_THROW(CHRONUS_INVARIANT(false), std::logic_error);
+}
+
+TEST(ContractMacros, MessageOnlyEvaluatedOnFailure) {
+  int evaluations = 0;
+  const auto message = [&] {
+    ++evaluations;
+    return std::string("boom");
+  };
+  CHRONUS_EXPECTS(true, message());
+  EXPECT_EQ(evaluations, 0);
+  EXPECT_THROW(CHRONUS_EXPECTS(false, message()), ContractViolation);
+  EXPECT_EQ(evaluations, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Seeded preconditions across the library (the firewall in action). These
+// only fire at contract level >= 1, which is the default build.
+
+TEST(SeededContracts, EmptyScheduleFirstTimeViolates) {
+  const timenet::UpdateSchedule empty;
+  EXPECT_THROW(empty.first_time(), ContractViolation);
+}
+
+TEST(SeededContracts, EmptyScheduleLastTimeViolates) {
+  const timenet::UpdateSchedule empty;
+  EXPECT_THROW(empty.last_time(), ContractViolation);
+}
+
+TEST(SeededContracts, NegativeTransitionFootprintDemandViolates) {
+  const auto inst = net::fig1_instance();
+  EXPECT_THROW(service::transition_footprint(inst.graph(), inst.p_init(),
+                                             inst.p_fin(), Demand{-1.0}),
+               ContractViolation);
+}
+
+TEST(SeededContracts, TryUpdateOnUnknownFlowViolates) {
+  const auto inst = net::fig1_instance();
+  timenet::TransitionState state(inst);
+  EXPECT_THROW(state.try_update(7, 0, TimePoint{0}), ContractViolation);
+}
+
+TEST(SeededContracts, TryUpdateOnNodeOutsideGraphViolates) {
+  const auto inst = net::fig1_instance();
+  timenet::TransitionState state(inst);
+  EXPECT_THROW(state.try_update(0, 999, TimePoint{0}), ContractViolation);
+}
+
+TEST(SeededContracts, SummaryPercentileRangeViolates) {
+  util::Summary s;
+  s.add(1.0);
+  EXPECT_THROW(s.percentile(-1.0), ContractViolation);
+  EXPECT_THROW(s.percentile(101.0), ContractViolation);
+}
+
+TEST(SeededContracts, LedgerOverReleaseStillThrowsLogicError) {
+  // The ledger keeps its documented std::logic_error for over-release; the
+  // ENSURES added alongside must not change that behavior.
+  service::CapacityLedger ledger(net::fig1_instance().graph());
+  service::Footprint fp{{0, Demand{0.5}}};
+  ASSERT_TRUE(ledger.try_reserve(fp));
+  ledger.release(fp);
+  EXPECT_THROW(ledger.release(fp), std::logic_error);
+}
+#endif  // CHRONUS_CONTRACT_LEVEL >= 1
+
+// ---------------------------------------------------------------------------
+// Strong types: the arithmetic that must work, and the representation
+// guarantees the rollout relies on.
+
+TEST(StrongTypes, TimeStepPointAndDurationAlgebra) {
+  TimeStep t{5};
+  EXPECT_EQ((t + 3).count(), 8);
+  EXPECT_EQ((3 + t).count(), 8);
+  EXPECT_EQ((t - 2).count(), 3);
+  EXPECT_EQ(TimeStep{9} - t, 4);  // point - point -> duration
+  t += 10;
+  EXPECT_EQ(t.count(), 15);
+  t -= 5;
+  EXPECT_EQ(t.count(), 10);
+  EXPECT_EQ((++t).count(), 11);
+  EXPECT_EQ((t++).count(), 11);
+  EXPECT_EQ(t.count(), 12);
+  EXPECT_LT(TimeStep{1}, TimeStep{2});
+}
+
+TEST(StrongTypes, DemandArithmetic) {
+  const Demand a{2.0};
+  const Demand b{0.5};
+  EXPECT_DOUBLE_EQ((a + b).value(), 2.5);
+  EXPECT_DOUBLE_EQ((a - b).value(), 1.5);
+  EXPECT_DOUBLE_EQ((a * 3.0).value(), 6.0);
+  EXPECT_DOUBLE_EQ((0.5 * a).value(), 1.0);
+  EXPECT_DOUBLE_EQ((a / 4.0).value(), 0.5);
+  EXPECT_DOUBLE_EQ(a / b, 4.0);  // ratio is dimensionless
+  EXPECT_DOUBLE_EQ((-b).value(), -0.5);
+}
+
+TEST(StrongTypes, CapacityChargesAndRefundsDemand) {
+  Capacity c{10.0};
+  const Demand d{4.0};
+  EXPECT_DOUBLE_EQ((c - d).value(), 6.0);
+  EXPECT_DOUBLE_EQ((c + d).value(), 14.0);
+  c -= d;
+  EXPECT_DOUBLE_EQ(c.value(), 6.0);
+  c += d;
+  EXPECT_DOUBLE_EQ(c.value(), 10.0);
+  EXPECT_DOUBLE_EQ(d / c, 0.4);  // utilization
+  EXPECT_TRUE(d <= c);
+  EXPECT_TRUE(c > d);
+  EXPECT_FALSE(Demand{11.0} <= c);
+}
+
+TEST(StrongTypes, ExplicitAxisCrossings) {
+  const Capacity headroom{3.0};
+  EXPECT_DOUBLE_EQ(headroom.as_demand().value(), 3.0);
+  EXPECT_DOUBLE_EQ(util::capacity_for(Demand{2.0}, 1.5).value(), 3.0);
+}
+
+TEST(StrongTypes, NumericLimitsAreExtremeNotZero) {
+  // The primary std::numeric_limits template silently value-initializes for
+  // unspecialized types; these must forward the representation's limits.
+  EXPECT_EQ(std::numeric_limits<TimeStep>::max().count(),
+            std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(std::numeric_limits<TimeStep>::min().count(),
+            std::numeric_limits<std::int64_t>::min());
+  EXPECT_GT(std::numeric_limits<Demand>::max().value(), 1e300);
+  EXPECT_LT(std::numeric_limits<Demand>::lowest().value(), -1e300);
+  EXPECT_GT(std::numeric_limits<Capacity>::max().value(), 1e300);
+  EXPECT_LT(std::numeric_limits<Capacity>::lowest().value(), -1e300);
+}
+
+TEST(StrongTypes, StreamsAndHash) {
+  std::ostringstream os;
+  os << TimeStep{7} << " " << Demand{1.5} << " " << Capacity{2.5};
+  EXPECT_EQ(os.str(), "7 1.5 2.5");
+  EXPECT_EQ(std::hash<TimeStep>{}(TimeStep{42}),
+            std::hash<TimeStep>{}(TimeStep{42}));
+}
+
+}  // namespace
+}  // namespace chronus

@@ -114,7 +114,7 @@ TEST(Dependency, SlackCapacityRemovesRelations) {
   // With all capacities >= 2d no dependency is needed.
   auto inst = net::fig1_instance();
   for (net::LinkId id = 0; id < inst.graph().link_count(); ++id) {
-    inst.mutable_graph().mutable_link(id).capacity = 2.0;
+    inst.mutable_graph().mutable_link(id).capacity = net::Capacity{2.0};
   }
   const DependencySet deps = find_dependencies(inst, {}, all_pending());
   EXPECT_EQ(deps.chains.size(), 5u);  // everything is a singleton
@@ -131,29 +131,29 @@ TEST(Dependency, ToStringRendersChains) {
 TEST(LoopCheck, ExactRejectsV3AtT0) {
   const auto inst = net::fig1_instance();
   UpdateSchedule sched;
-  sched.set(v2, 0);
-  EXPECT_TRUE(exact_loop_check(inst, sched, v3, 0));
-  EXPECT_FALSE(exact_loop_check(inst, sched, v3, 1));
+  sched.set(v2, timenet::TimePoint{0});
+  EXPECT_TRUE(exact_loop_check(inst, sched, v3, timenet::TimePoint{0}));
+  EXPECT_FALSE(exact_loop_check(inst, sched, v3, timenet::TimePoint{1}));
 }
 
 TEST(LoopCheck, ExactRejectsV4UntilT2) {
   const auto inst = net::fig1_instance();
   UpdateSchedule sched;
-  sched.set(v2, 0);
-  sched.set(v3, 1);
-  EXPECT_TRUE(exact_loop_check(inst, sched, v4, 1));
-  EXPECT_FALSE(exact_loop_check(inst, sched, v4, 2));
+  sched.set(v2, timenet::TimePoint{0});
+  sched.set(v3, timenet::TimePoint{1});
+  EXPECT_TRUE(exact_loop_check(inst, sched, v4, timenet::TimePoint{1}));
+  EXPECT_FALSE(exact_loop_check(inst, sched, v4, timenet::TimePoint{2}));
 }
 
 TEST(LoopCheck, Algorithm4AgreesOnFig1) {
   const auto inst = net::fig1_instance();
   UpdateSchedule sched;
-  sched.set(v2, 0);
-  EXPECT_TRUE(algorithm4_loop_check(inst, sched, {v2}, v3, 0));
-  EXPECT_FALSE(algorithm4_loop_check(inst, sched, {v2}, v3, 1));
-  sched.set(v3, 1);
-  EXPECT_TRUE(algorithm4_loop_check(inst, sched, {v2, v3}, v4, 1));
-  EXPECT_FALSE(algorithm4_loop_check(inst, sched, {v2, v3}, v4, 2));
+  sched.set(v2, timenet::TimePoint{0});
+  EXPECT_TRUE(algorithm4_loop_check(inst, sched, {v2}, v3, timenet::TimePoint{0}));
+  EXPECT_FALSE(algorithm4_loop_check(inst, sched, {v2}, v3, timenet::TimePoint{1}));
+  sched.set(v3, timenet::TimePoint{1});
+  EXPECT_TRUE(algorithm4_loop_check(inst, sched, {v2, v3}, v4, timenet::TimePoint{1}));
+  EXPECT_FALSE(algorithm4_loop_check(inst, sched, {v2, v3}, v4, timenet::TimePoint{2}));
 }
 
 TEST(LoopCheck, StructuralUpstreamRule) {
@@ -212,9 +212,9 @@ TEST(Greedy, NoStepsWhenRequested) {
 }
 
 TEST(Greedy, NothingToUpdate) {
-  net::Graph g = net::line_topology(3, 1.0, 1);
+  net::Graph g = net::line_topology(3, net::Capacity{1.0}, 1);
   const auto inst =
-      net::UpdateInstance::from_paths(g, Path{0, 1, 2}, Path{0, 1, 2}, 1.0);
+      net::UpdateInstance::from_paths(g, Path{0, 1, 2}, Path{0, 1, 2}, net::Demand{1.0});
   const ScheduleResult res = greedy_schedule(inst);
   EXPECT_EQ(res.status, ScheduleStatus::kFeasible);
   EXPECT_TRUE(res.schedule.empty());
@@ -223,7 +223,7 @@ TEST(Greedy, NothingToUpdate) {
 TEST(Greedy, SlackCapacityUpdatesFasterThanTight) {
   auto inst = net::fig1_instance();
   for (net::LinkId id = 0; id < inst.graph().link_count(); ++id) {
-    inst.mutable_graph().mutable_link(id).capacity = 2.0;
+    inst.mutable_graph().mutable_link(id).capacity = net::Capacity{2.0};
   }
   const ScheduleResult res = greedy_schedule(inst);
   ASSERT_EQ(res.status, ScheduleStatus::kFeasible);
@@ -238,12 +238,12 @@ TEST(Greedy, InfeasibleOvertakingInstance) {
   // b->t: the new flow always catches the old drain; no schedule exists.
   net::Graph g;
   g.add_nodes(4);
-  g.add_link(0, 1, 1.0, 2);
-  g.add_link(1, 2, 1.0, 2);
-  g.add_link(2, 3, 1.0, 2);
-  g.add_link(0, 2, 1.0, 1);
+  g.add_link(0, 1, net::Capacity{1.0}, 2);
+  g.add_link(1, 2, net::Capacity{1.0}, 2);
+  g.add_link(2, 3, net::Capacity{1.0}, 2);
+  g.add_link(0, 2, net::Capacity{1.0}, 1);
   const auto inst =
-      net::UpdateInstance::from_paths(g, Path{0, 1, 2, 3}, Path{0, 2, 3}, 1.0);
+      net::UpdateInstance::from_paths(g, Path{0, 1, 2, 3}, Path{0, 2, 3}, net::Demand{1.0});
   const ScheduleResult res = greedy_schedule(inst);
   EXPECT_EQ(res.status, ScheduleStatus::kInfeasible);
 }
@@ -251,12 +251,12 @@ TEST(Greedy, InfeasibleOvertakingInstance) {
 TEST(Greedy, ForceCompleteAlwaysFinishes) {
   net::Graph g;
   g.add_nodes(4);
-  g.add_link(0, 1, 1.0, 2);
-  g.add_link(1, 2, 1.0, 2);
-  g.add_link(2, 3, 1.0, 2);
-  g.add_link(0, 2, 1.0, 1);
+  g.add_link(0, 1, net::Capacity{1.0}, 2);
+  g.add_link(1, 2, net::Capacity{1.0}, 2);
+  g.add_link(2, 3, net::Capacity{1.0}, 2);
+  g.add_link(0, 2, net::Capacity{1.0}, 1);
   const auto inst =
-      net::UpdateInstance::from_paths(g, Path{0, 1, 2, 3}, Path{0, 2, 3}, 1.0);
+      net::UpdateInstance::from_paths(g, Path{0, 1, 2, 3}, Path{0, 2, 3}, net::Demand{1.0});
   GreedyOptions opts;
   opts.force_complete = true;
   const ScheduleResult res = greedy_schedule(inst, opts);
@@ -274,12 +274,12 @@ TEST(Greedy, WaitsOutDrainWhenNeeded) {
   // feasible, but only by letting the old traffic drain first.
   net::Graph g;
   g.add_nodes(4);
-  g.add_link(0, 1, 1.0, 1);
-  g.add_link(1, 2, 1.0, 1);
-  g.add_link(2, 3, 1.0, 1);
-  g.add_link(0, 2, 1.0, 2);  // equal total prefix delay
+  g.add_link(0, 1, net::Capacity{1.0}, 1);
+  g.add_link(1, 2, net::Capacity{1.0}, 1);
+  g.add_link(2, 3, net::Capacity{1.0}, 1);
+  g.add_link(0, 2, net::Capacity{1.0}, 2);  // equal total prefix delay
   const auto inst =
-      net::UpdateInstance::from_paths(g, Path{0, 1, 2, 3}, Path{0, 2, 3}, 1.0);
+      net::UpdateInstance::from_paths(g, Path{0, 1, 2, 3}, Path{0, 2, 3}, net::Demand{1.0});
   const ScheduleResult res = greedy_schedule(inst);
   ASSERT_EQ(res.status, ScheduleStatus::kFeasible) << res.message;
   EXPECT_TRUE(timenet::verify_transition(inst, res.schedule).ok());

@@ -40,19 +40,19 @@ TEST(Dionysus, RespectsCapacityAtIssueGranularity) {
   for (const auto& [v, t] : exec.realized.entries()) confirms[t].push_back(v);
   std::map<net::LinkId, double> free_cap;
   for (net::LinkId id = 0; id < g.link_count(); ++id) {
-    free_cap[id] = g.link(id).capacity;
+    free_cap[id] = g.link(id).capacity.value();
   }
   for (const auto id : net::path_links(g, inst.p_init())) {
-    free_cap[id] -= inst.demand();
+    free_cap[id] -= inst.demand().value();
   }
   timenet::TimePoint horizon = exec.realized.last_time();
-  for (timenet::TimePoint t = 0; t <= horizon; ++t) {
+  for (timenet::TimePoint t{}; t <= horizon; ++t) {
     for (const NodeId v : confirms[t]) {
-      free_cap[*g.find_link(v, *inst.old_next(v))] += inst.demand();
+      free_cap[*g.find_link(v, *inst.old_next(v))] += inst.demand().value();
     }
     for (const NodeId v : issues[t]) {
       auto& c = free_cap[*g.find_link(v, *inst.new_next(v))];
-      c -= inst.demand();
+      c -= inst.demand().value();
       EXPECT_GE(c, -1e-9);
     }
   }
@@ -65,12 +65,12 @@ TEST(Dionysus, DetectsCapacityDeadlock) {
   // the flow a new out-link with zero headroom held by the *old* path.
   net::Graph g;
   g.add_nodes(4);  // s a b t
-  g.add_link(0, 1, 1.0, 1);
-  g.add_link(1, 3, 1.0, 1);
-  g.add_link(0, 2, 1.0, 1);
-  g.add_link(2, 1, 1.0, 1);  // new route rejoins at a; a->t stays shared
+  g.add_link(0, 1, net::Capacity{1.0}, 1);
+  g.add_link(1, 3, net::Capacity{1.0}, 1);
+  g.add_link(0, 2, net::Capacity{1.0}, 1);
+  g.add_link(2, 1, net::Capacity{1.0}, 1);  // new route rejoins at a; a->t stays shared
   const auto inst = net::UpdateInstance::from_paths(
-      g, Path{0, 1, 3}, Path{0, 2, 1, 3}, 1.0);
+      g, Path{0, 1, 3}, Path{0, 2, 1, 3}, net::Demand{1.0});
   util::Rng rng(53);
   // Here every link needed is either free or released in time: completes.
   const auto exec = dionysus_execute(inst, rng);

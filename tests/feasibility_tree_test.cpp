@@ -26,21 +26,21 @@ TEST(FeasibilityTree, Fig1IsFeasibleWithWitness) {
 TEST(FeasibilityTree, OvertakingIsInfeasible) {
   net::Graph g;
   g.add_nodes(4);
-  g.add_link(0, 1, 1.0, 2);
-  g.add_link(1, 2, 1.0, 2);
-  g.add_link(2, 3, 1.0, 2);
-  g.add_link(0, 2, 1.0, 1);
+  g.add_link(0, 1, net::Capacity{1.0}, 2);
+  g.add_link(1, 2, net::Capacity{1.0}, 2);
+  g.add_link(2, 3, net::Capacity{1.0}, 2);
+  g.add_link(0, 2, net::Capacity{1.0}, 1);
   const auto inst =
-      net::UpdateInstance::from_paths(g, Path{0, 1, 2, 3}, Path{0, 2, 3}, 1.0);
+      net::UpdateInstance::from_paths(g, Path{0, 1, 2, 3}, Path{0, 2, 3}, net::Demand{1.0});
   const FeasibilityResult res = tree_feasibility_check(inst);
   EXPECT_FALSE(res.feasible);
   EXPECT_EQ(res.failed_switch, 0u);  // the source cannot ever be moved
 }
 
 TEST(FeasibilityTree, NothingToUpdateIsFeasible) {
-  net::Graph g = net::line_topology(3, 1.0, 1);
+  net::Graph g = net::line_topology(3, net::Capacity{1.0}, 1);
   const auto inst =
-      net::UpdateInstance::from_paths(g, Path{0, 1, 2}, Path{0, 1, 2}, 1.0);
+      net::UpdateInstance::from_paths(g, Path{0, 1, 2}, Path{0, 1, 2}, net::Demand{1.0});
   EXPECT_TRUE(tree_feasibility_check(inst).feasible);
 }
 

@@ -13,10 +13,10 @@ namespace {
 Graph small_graph() {
   Graph g;
   g.add_nodes(4);
-  g.add_link(0, 1, 1.0, 1);
-  g.add_link(1, 2, 2.0, 2);
-  g.add_link(2, 3, 1.0, 3);
-  g.add_link(0, 2, 1.5, 1);
+  g.add_link(0, 1, net::Capacity{1.0}, 1);
+  g.add_link(1, 2, net::Capacity{2.0}, 2);
+  g.add_link(2, 3, net::Capacity{1.0}, 3);
+  g.add_link(0, 2, net::Capacity{1.5}, 1);
   return g;
 }
 
@@ -43,7 +43,7 @@ TEST(Graph, FindLink) {
 
 TEST(Graph, CapacityAndDelayAccessors) {
   const Graph g = small_graph();
-  EXPECT_DOUBLE_EQ(g.capacity(1, 2), 2.0);
+  EXPECT_DOUBLE_EQ(g.capacity(1, 2).value(), 2.0);
   EXPECT_EQ(g.delay(2, 3), 3);
   EXPECT_THROW(g.capacity(3, 0), std::invalid_argument);
 }
@@ -64,12 +64,12 @@ TEST(Graph, MaxDelay) {
 TEST(Graph, RejectsInvalidLinks) {
   Graph g;
   g.add_nodes(2);
-  EXPECT_THROW(g.add_link(0, 0, 1.0, 1), std::invalid_argument);  // self loop
-  EXPECT_THROW(g.add_link(0, 1, 0.0, 1), std::invalid_argument);  // no capacity
-  EXPECT_THROW(g.add_link(0, 1, 1.0, 0), std::invalid_argument);  // zero delay
-  EXPECT_THROW(g.add_link(0, 5, 1.0, 1), std::out_of_range);      // bad node
-  g.add_link(0, 1, 1.0, 1);
-  EXPECT_THROW(g.add_link(0, 1, 2.0, 1), std::invalid_argument);  // duplicate
+  EXPECT_THROW(g.add_link(0, 0, net::Capacity{1.0}, 1), std::invalid_argument);  // self loop
+  EXPECT_THROW(g.add_link(0, 1, net::Capacity{0.0}, 1), std::invalid_argument);  // no capacity
+  EXPECT_THROW(g.add_link(0, 1, net::Capacity{1.0}, 0), std::invalid_argument);  // zero delay
+  EXPECT_THROW(g.add_link(0, 5, net::Capacity{1.0}, 1), std::out_of_range);      // bad node
+  g.add_link(0, 1, net::Capacity{1.0}, 1);
+  EXPECT_THROW(g.add_link(0, 1, net::Capacity{2.0}, 1), std::invalid_argument);  // duplicate
 }
 
 TEST(Path, BasicAccessors) {
@@ -115,7 +115,7 @@ TEST(Path, DelayAndLinks) {
 
 TEST(Path, MinCapacity) {
   const Graph g = small_graph();
-  EXPECT_DOUBLE_EQ(path_min_capacity(g, Path{0, 1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(path_min_capacity(g, Path{0, 1, 2}).value(), 1.0);
   EXPECT_THROW(path_min_capacity(g, Path{0}), std::invalid_argument);
 }
 
@@ -127,24 +127,24 @@ TEST(Path, ToString) {
 TEST(UpdateInstance, FromPathsValidation) {
   Graph g = small_graph();
   EXPECT_NO_THROW(
-      UpdateInstance::from_paths(g, Path{0, 1, 2, 3}, Path{0, 2, 3}, 1.0));
+      UpdateInstance::from_paths(g, Path{0, 1, 2, 3}, Path{0, 2, 3}, net::Demand{1.0}));
   // Different destinations.
   EXPECT_THROW(
-      UpdateInstance::from_paths(g, Path{0, 1, 2}, Path{0, 2, 3}, 1.0),
+      UpdateInstance::from_paths(g, Path{0, 1, 2}, Path{0, 2, 3}, net::Demand{1.0}),
       std::invalid_argument);
   // Non-positive demand.
   EXPECT_THROW(
-      UpdateInstance::from_paths(g, Path{0, 1, 2, 3}, Path{0, 2, 3}, 0.0),
+      UpdateInstance::from_paths(g, Path{0, 1, 2, 3}, Path{0, 2, 3}, net::Demand{0.0}),
       std::invalid_argument);
   // Missing link.
   EXPECT_THROW(
-      UpdateInstance::from_paths(g, Path{0, 3}, Path{0, 2, 3}, 1.0),
+      UpdateInstance::from_paths(g, Path{0, 3}, Path{0, 2, 3}, net::Demand{1.0}),
       std::invalid_argument);
 }
 
 TEST(UpdateInstance, NextHopFunctions) {
   const auto inst = UpdateInstance::from_paths(small_graph(), Path{0, 1, 2, 3},
-                                               Path{0, 2, 3}, 1.0);
+                                               Path{0, 2, 3}, net::Demand{1.0});
   EXPECT_EQ(inst.old_next(0), std::optional<NodeId>(1));
   EXPECT_EQ(inst.new_next(0), std::optional<NodeId>(2));
   EXPECT_EQ(inst.old_next(1), std::optional<NodeId>(2));
@@ -156,14 +156,14 @@ TEST(UpdateInstance, NextHopFunctions) {
 
 TEST(UpdateInstance, SwitchesToUpdate) {
   const auto inst = UpdateInstance::from_paths(small_graph(), Path{0, 1, 2, 3},
-                                               Path{0, 2, 3}, 1.0);
+                                               Path{0, 2, 3}, net::Demand{1.0});
   // Only the source changes its next hop (2 -> 3 is shared by both paths).
   EXPECT_EQ(inst.switches_to_update(), std::vector<NodeId>{0});
 }
 
 TEST(UpdateInstance, RedirectRules) {
   auto inst = UpdateInstance::from_paths(small_graph(), Path{0, 1, 2, 3},
-                                         Path{0, 2, 3}, 1.0);
+                                         Path{0, 2, 3}, net::Demand{1.0});
   inst.set_new_next(1, 2);  // same as old: still no update needed
   EXPECT_FALSE(inst.needs_update(1));
   EXPECT_THROW(inst.set_new_next(1, 0), std::invalid_argument);  // no link
@@ -171,17 +171,17 @@ TEST(UpdateInstance, RedirectRules) {
 
 TEST(UpdateInstance, TouchedNodes) {
   const auto inst = UpdateInstance::from_paths(small_graph(), Path{0, 1, 2, 3},
-                                               Path{0, 2, 3}, 1.0);
+                                               Path{0, 2, 3}, net::Demand{1.0});
   EXPECT_EQ(inst.touched_nodes(), (std::vector<NodeId>{0, 1, 2, 3}));
 }
 
 TEST(UpdateInstance, WithGraphReplacesCapacities) {
   const auto inst = UpdateInstance::from_paths(small_graph(), Path{0, 1, 2, 3},
-                                               Path{0, 2, 3}, 1.0);
+                                               Path{0, 2, 3}, net::Demand{1.0});
   Graph g2 = small_graph();
-  g2.mutable_link(0).capacity = 9.0;
+  g2.mutable_link(0).capacity = net::Capacity{9.0};
   const auto inst2 = inst.with_graph(g2);
-  EXPECT_DOUBLE_EQ(inst2.graph().link(0).capacity, 9.0);
+  EXPECT_DOUBLE_EQ(inst2.graph().link(0).capacity.value(), 9.0);
   EXPECT_EQ(inst2.p_init(), inst.p_init());
   EXPECT_THROW(inst.with_graph(Graph{}), std::invalid_argument);
 }
@@ -192,25 +192,25 @@ TEST(Fig1, MatchesThePaper) {
   EXPECT_EQ(g.node_count(), 6u);
   EXPECT_EQ(inst.p_init(), (Path{0, 1, 2, 3, 4, 5}));
   EXPECT_EQ(inst.p_fin(), (Path{0, 3, 2, 1, 5}));
-  EXPECT_DOUBLE_EQ(inst.demand(), 1.0);
+  EXPECT_DOUBLE_EQ(inst.demand().value(), 1.0);
   // v5's redirect rule points to v2 (the paper's dashed link).
   EXPECT_EQ(inst.new_next(4), std::optional<NodeId>(1));
   // All of v1..v5 need updates; v6 (destination) does not.
   EXPECT_EQ(inst.switches_to_update(), (std::vector<NodeId>{0, 1, 2, 3, 4}));
   // Unit capacities and delays.
   for (LinkId id = 0; id < g.link_count(); ++id) {
-    EXPECT_DOUBLE_EQ(g.link(id).capacity, 1.0);
+    EXPECT_DOUBLE_EQ(g.link(id).capacity.value(), 1.0);
     EXPECT_EQ(g.link(id).delay, 1);
   }
 }
 
 TEST(LineTopology, Shape) {
-  const Graph g = line_topology(5, 2.0, 3);
+  const Graph g = line_topology(5, net::Capacity{2.0}, 3);
   EXPECT_EQ(g.node_count(), 5u);
   EXPECT_EQ(g.link_count(), 4u);
   EXPECT_TRUE(g.has_link(0, 1));
   EXPECT_FALSE(g.has_link(1, 0));
-  EXPECT_THROW(line_topology(1, 1.0, 1), std::invalid_argument);
+  EXPECT_THROW(line_topology(1, net::Capacity{1.0}, 1), std::invalid_argument);
 }
 
 TEST(RandomInstance, WellFormed) {
@@ -247,11 +247,11 @@ TEST(RandomInstance, CapacitiesAreTightOrSlack) {
   util::Rng rng(103);
   RandomInstanceOptions opt;
   opt.n = 10;
-  opt.demand = 3.0;
+  opt.demand = net::Demand{3.0};
   const auto inst = random_instance(opt, rng);
   const Graph& g = inst.graph();
   for (LinkId id = 0; id < g.link_count(); ++id) {
-    const double c = g.link(id).capacity;
+    const double c = g.link(id).capacity.value();
     EXPECT_TRUE(c == 3.0 || c == 6.0) << c;
   }
 }
@@ -274,7 +274,7 @@ TEST(RandomInstance, DeterministicPerSeed) {
 }
 
 TEST(WanTopology, Bidirectional) {
-  const Graph g = wan_topology(10.0);
+  const Graph g = wan_topology(net::Capacity{10.0});
   EXPECT_EQ(g.node_count(), 11u);
   EXPECT_EQ(g.link_count(), 28u);
   for (LinkId id = 0; id < g.link_count(); ++id) {

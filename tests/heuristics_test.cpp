@@ -31,9 +31,9 @@ TEST(ChainPriority, AlwaysCleanOnRandomInstances) {
 }
 
 TEST(ChainPriority, NothingToUpdate) {
-  net::Graph g = net::line_topology(3, 1.0, 1);
+  net::Graph g = net::line_topology(3, net::Capacity{1.0}, 1);
   const auto inst = net::UpdateInstance::from_paths(g, net::Path{0, 1, 2},
-                                                    net::Path{0, 1, 2}, 1.0);
+                                                    net::Path{0, 1, 2}, net::Demand{1.0});
   EXPECT_TRUE(chain_priority_schedule(inst).feasible());
 }
 
@@ -102,12 +102,12 @@ TEST(RandomizedRestart, MakespanNeverWorseThanGreedyOnAverage) {
 TEST(RandomizedRestart, InfeasibleInstanceStaysInfeasible) {
   net::Graph g;
   g.add_nodes(4);
-  g.add_link(0, 1, 1.0, 2);
-  g.add_link(1, 2, 1.0, 2);
-  g.add_link(2, 3, 1.0, 2);
-  g.add_link(0, 2, 1.0, 1);
+  g.add_link(0, 1, net::Capacity{1.0}, 2);
+  g.add_link(1, 2, net::Capacity{1.0}, 2);
+  g.add_link(2, 3, net::Capacity{1.0}, 2);
+  g.add_link(0, 2, net::Capacity{1.0}, 1);
   const auto inst = net::UpdateInstance::from_paths(
-      g, net::Path{0, 1, 2, 3}, net::Path{0, 2, 3}, 1.0);
+      g, net::Path{0, 1, 2, 3}, net::Path{0, 2, 3}, net::Demand{1.0});
   util::Rng rng(35);
   EXPECT_FALSE(randomized_restart_schedule(inst, rng).feasible());
 }
@@ -133,12 +133,12 @@ TEST(Tighten, RemovesArtificialSlack) {
   // Stretch the schedule: every step 3 units apart, starting at 100.
   timenet::UpdateSchedule padded;
   for (const auto& [v, t] : plan.schedule.entries()) {
-    padded.set(v, 100 + 3 * t);
+    padded.set(v, timenet::TimePoint{100 + 3 * t.count()});
   }
   ASSERT_TRUE(timenet::verify_transition(inst, padded).ok());
   const auto tight = tighten_schedule(inst, padded);
   EXPECT_TRUE(timenet::verify_transition(inst, tight).ok());
-  EXPECT_EQ(tight.first_time(), 0);
+  EXPECT_EQ(tight.first_time(), timenet::TimePoint{0});
   EXPECT_LE(tight.step_span(), plan.schedule.step_span());
 }
 
@@ -162,7 +162,7 @@ TEST(Tighten, NeverWorsensRandomSchedules) {
 TEST(Tighten, RejectsUnsafeInput) {
   const auto inst = net::fig1_instance();
   timenet::UpdateSchedule bad;
-  for (const auto v : inst.switches_to_update()) bad.set(v, 0);
+  for (const auto v : inst.switches_to_update()) bad.set(v, timenet::TimePoint{0});
   EXPECT_THROW(tighten_schedule(inst, bad), std::invalid_argument);
 }
 

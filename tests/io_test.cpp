@@ -26,7 +26,7 @@ fin a c
   const auto inst = read_instance(in);
   EXPECT_EQ(inst.graph().node_count(), 3u);
   EXPECT_EQ(inst.graph().link_count(), 3u);
-  EXPECT_DOUBLE_EQ(inst.demand(), 1.5);
+  EXPECT_DOUBLE_EQ(inst.demand().value(), 1.5);
   EXPECT_EQ(inst.p_init().size(), 3u);
   EXPECT_EQ(inst.p_fin().size(), 2u);
   EXPECT_EQ(inst.graph().delay(0, 2), 3);
@@ -105,7 +105,7 @@ TEST(ScheduleIo, UnknownSwitchRejected) {
 }
 
 TEST(Dot, GraphExportContainsLinks) {
-  const auto g = net::line_topology(3, 2.0, 1);
+  const auto g = net::line_topology(3, net::Capacity{2.0}, 1);
   const std::string dot = to_dot(g);
   EXPECT_NE(dot.find("digraph"), std::string::npos);
   EXPECT_NE(dot.find("\"v1\" -> \"v2\""), std::string::npos);
@@ -174,8 +174,8 @@ fin s1 m t
 )");
   const auto flows = read_flows(in);
   ASSERT_EQ(flows.size(), 2u);
-  EXPECT_DOUBLE_EQ(flows[0].demand(), 1.0);
-  EXPECT_DOUBLE_EQ(flows[1].demand(), 0.5);
+  EXPECT_DOUBLE_EQ(flows[0].demand().value(), 1.0);
+  EXPECT_DOUBLE_EQ(flows[1].demand().value(), 0.5);
   EXPECT_EQ(flows[0].graph().link_count(), flows[1].graph().link_count());
   // The parsed flows drive the multi-flow schedulers directly.
   const auto res = core::schedule_flows_jointly(flows);

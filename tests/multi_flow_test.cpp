@@ -17,18 +17,18 @@ using net::Path;
 std::vector<net::UpdateInstance> diamond_flows(double shared_cap) {
   net::Graph g;
   g.add_nodes(6);  // s1=0 s2=1 m=2 t=3 b1=4 b2=5
-  g.add_link(0, 2, 2.0, 1);
-  g.add_link(1, 2, 2.0, 1);
-  g.add_link(2, 3, shared_cap, 1);
-  g.add_link(0, 4, 2.0, 1);
-  g.add_link(4, 3, 2.0, 1);
-  g.add_link(1, 5, 2.0, 1);
-  g.add_link(5, 3, 2.0, 1);
+  g.add_link(0, 2, net::Capacity{2.0}, 1);
+  g.add_link(1, 2, net::Capacity{2.0}, 1);
+  g.add_link(2, 3, net::Capacity{shared_cap}, 1);
+  g.add_link(0, 4, net::Capacity{2.0}, 1);
+  g.add_link(4, 3, net::Capacity{2.0}, 1);
+  g.add_link(1, 5, net::Capacity{2.0}, 1);
+  g.add_link(5, 3, net::Capacity{2.0}, 1);
   std::vector<net::UpdateInstance> flows;
   flows.push_back(
-      net::UpdateInstance::from_paths(g, Path{0, 2, 3}, Path{0, 4, 3}, 1.0));
+      net::UpdateInstance::from_paths(g, Path{0, 2, 3}, Path{0, 4, 3}, net::Demand{1.0}));
   flows.push_back(
-      net::UpdateInstance::from_paths(g, Path{1, 2, 3}, Path{1, 5, 3}, 1.0));
+      net::UpdateInstance::from_paths(g, Path{1, 2, 3}, Path{1, 5, 3}, net::Demand{1.0}));
   return flows;
 }
 
@@ -73,25 +73,25 @@ TEST(MultiFlow, StaticLoadMakesTightLinksUnusable) {
   // a flow trying to move ONTO a saturated link.
   net::Graph g;
   g.add_nodes(4);  // s1=0 s2=1 m=2 t=3
-  g.add_link(0, 2, 2.0, 1);
-  g.add_link(1, 2, 2.0, 1);
-  g.add_link(2, 3, 1.0, 1);  // saturated by flow 1 forever
-  g.add_link(0, 3, 2.0, 1);  // flow 0's old direct path
+  g.add_link(0, 2, net::Capacity{2.0}, 1);
+  g.add_link(1, 2, net::Capacity{2.0}, 1);
+  g.add_link(2, 3, net::Capacity{1.0}, 1);  // saturated by flow 1 forever
+  g.add_link(0, 3, net::Capacity{2.0}, 1);  // flow 0's old direct path
   std::vector<net::UpdateInstance> flows;
   // Flow 0 wants to move onto m->t, which flow 1 occupies permanently.
   flows.push_back(
-      net::UpdateInstance::from_paths(g, Path{0, 3}, Path{0, 2, 3}, 1.0));
+      net::UpdateInstance::from_paths(g, Path{0, 3}, Path{0, 2, 3}, net::Demand{1.0}));
   flows.push_back(
-      net::UpdateInstance::from_paths(g, Path{1, 2, 3}, Path{1, 2, 3}, 1.0));
+      net::UpdateInstance::from_paths(g, Path{1, 2, 3}, Path{1, 2, 3}, net::Demand{1.0}));
   const MultiFlowResult res = schedule_flows_sequentially(flows);
   EXPECT_FALSE(res.feasible());
 }
 
 TEST(MultiFlow, MismatchedGraphsRejected) {
   auto flows = diamond_flows(2.0);
-  net::Graph other = net::line_topology(3, 1.0, 1);
+  net::Graph other = net::line_topology(3, net::Capacity{1.0}, 1);
   flows.push_back(
-      net::UpdateInstance::from_paths(other, Path{0, 1, 2}, Path{0, 1, 2}, 1.0));
+      net::UpdateInstance::from_paths(other, Path{0, 1, 2}, Path{0, 1, 2}, net::Demand{1.0}));
   EXPECT_THROW(schedule_flows_sequentially(flows), std::invalid_argument);
 }
 
@@ -119,17 +119,17 @@ TEST(MultiFlowJoint, SucceedsWhereInputOrderFails) {
   // flow 1's static load; jointly, flow 1 simply moves first.
   net::Graph g;
   g.add_nodes(5);  // s0=0 s1=1 m=2 t=3 b=4
-  g.add_link(0, 2, 2.0, 1);
-  g.add_link(2, 3, 1.0, 1);  // the contested link, one flow only
-  g.add_link(0, 3, 1.0, 1);  // flow 0's old direct path
-  g.add_link(1, 2, 2.0, 1);
-  g.add_link(1, 4, 1.0, 1);  // flow 1's bypass
-  g.add_link(4, 3, 1.0, 1);
+  g.add_link(0, 2, net::Capacity{2.0}, 1);
+  g.add_link(2, 3, net::Capacity{1.0}, 1);  // the contested link, one flow only
+  g.add_link(0, 3, net::Capacity{1.0}, 1);  // flow 0's old direct path
+  g.add_link(1, 2, net::Capacity{2.0}, 1);
+  g.add_link(1, 4, net::Capacity{1.0}, 1);  // flow 1's bypass
+  g.add_link(4, 3, net::Capacity{1.0}, 1);
   std::vector<net::UpdateInstance> flows;
   flows.push_back(
-      net::UpdateInstance::from_paths(g, Path{0, 3}, Path{0, 2, 3}, 1.0));
+      net::UpdateInstance::from_paths(g, Path{0, 3}, Path{0, 2, 3}, net::Demand{1.0}));
   flows.push_back(
-      net::UpdateInstance::from_paths(g, Path{1, 2, 3}, Path{1, 4, 3}, 1.0));
+      net::UpdateInstance::from_paths(g, Path{1, 2, 3}, Path{1, 4, 3}, net::Demand{1.0}));
 
   EXPECT_FALSE(schedule_flows_sequentially(flows).feasible());
   const MultiFlowResult joint = schedule_flows_jointly(flows);
@@ -147,13 +147,13 @@ TEST(MultiFlowJoint, SucceedsWhereInputOrderFails) {
 TEST(MultiFlowJoint, RejectsOverloadedInitialState) {
   net::Graph g;
   g.add_nodes(3);
-  g.add_link(0, 2, 1.0, 1);  // capacity for one flow...
-  g.add_link(1, 2, 1.0, 1);
+  g.add_link(0, 2, net::Capacity{1.0}, 1);  // capacity for one flow...
+  g.add_link(1, 2, net::Capacity{1.0}, 1);
   std::vector<net::UpdateInstance> flows;  // ...but two ride link 0->2
   flows.push_back(
-      net::UpdateInstance::from_paths(g, Path{0, 2}, Path{0, 2}, 1.0));
+      net::UpdateInstance::from_paths(g, Path{0, 2}, Path{0, 2}, net::Demand{1.0}));
   flows.push_back(
-      net::UpdateInstance::from_paths(g, Path{0, 2}, Path{0, 2}, 1.0));
+      net::UpdateInstance::from_paths(g, Path{0, 2}, Path{0, 2}, net::Demand{1.0}));
   const MultiFlowResult res = schedule_flows_jointly(flows);
   EXPECT_FALSE(res.feasible());
   EXPECT_NE(res.message.find("initial configuration"), std::string::npos);
@@ -165,17 +165,17 @@ TEST(MultiFlowJoint, GenuineSwapDeadlockIsInfeasible) {
   // Neither can move first, sequentially or jointly.
   net::Graph g;
   g.add_nodes(8);  // sA=0 sB=1 a=2 b=3 c=4 d=5 tA=6 tB=7
-  g.add_link(2, 3, 1.0, 1);  // L1, contested
-  g.add_link(4, 5, 1.0, 1);  // L2, contested
+  g.add_link(2, 3, net::Capacity{1.0}, 1);  // L1, contested
+  g.add_link(4, 5, net::Capacity{1.0}, 1);  // L2, contested
   for (const auto& [u, w] : std::vector<std::pair<net::NodeId, net::NodeId>>{
            {0, 2}, {0, 4}, {1, 2}, {1, 4}, {3, 6}, {5, 6}, {3, 7}, {5, 7}}) {
-    g.add_link(u, w, 2.0, 1);
+    g.add_link(u, w, net::Capacity{2.0}, 1);
   }
   std::vector<net::UpdateInstance> flows;
   flows.push_back(net::UpdateInstance::from_paths(
-      g, Path{0, 2, 3, 6}, Path{0, 4, 5, 6}, 1.0));  // A: L1 -> L2
+      g, Path{0, 2, 3, 6}, Path{0, 4, 5, 6}, net::Demand{1.0}));  // A: L1 -> L2
   flows.push_back(net::UpdateInstance::from_paths(
-      g, Path{1, 4, 5, 7}, Path{1, 2, 3, 7}, 1.0));  // B: L2 -> L1
+      g, Path{1, 4, 5, 7}, Path{1, 2, 3, 7}, net::Demand{1.0}));  // B: L2 -> L1
   EXPECT_FALSE(schedule_flows_sequentially(flows).feasible());
   const MultiFlowResult joint = schedule_flows_jointly(flows);
   EXPECT_FALSE(joint.feasible());

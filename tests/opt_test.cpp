@@ -20,12 +20,12 @@ constexpr NodeId v1 = 0, v2 = 1, v3 = 2, v4 = 3, v5 = 4;
 net::UpdateInstance overtaking_instance() {
   net::Graph g;
   g.add_nodes(4);
-  g.add_link(0, 1, 1.0, 2);
-  g.add_link(1, 2, 1.0, 2);
-  g.add_link(2, 3, 1.0, 2);
-  g.add_link(0, 2, 1.0, 1);
+  g.add_link(0, 1, net::Capacity{1.0}, 2);
+  g.add_link(1, 2, net::Capacity{1.0}, 2);
+  g.add_link(2, 3, net::Capacity{1.0}, 2);
+  g.add_link(0, 2, net::Capacity{1.0}, 1);
   return net::UpdateInstance::from_paths(g, Path{0, 1, 2, 3}, Path{0, 2, 3},
-                                         1.0);
+                                         net::Demand{1.0});
 }
 
 TEST(Mutp, Fig1OptimalIsFourSteps) {
@@ -83,9 +83,9 @@ TEST(Mutp, ForceCompleteOnInfeasible) {
 }
 
 TEST(Mutp, NothingToUpdate) {
-  net::Graph g = net::line_topology(3, 1.0, 1);
+  net::Graph g = net::line_topology(3, net::Capacity{1.0}, 1);
   const auto inst =
-      net::UpdateInstance::from_paths(g, Path{0, 1, 2}, Path{0, 1, 2}, 1.0);
+      net::UpdateInstance::from_paths(g, Path{0, 1, 2}, Path{0, 1, 2}, net::Demand{1.0});
   const MutpResult res = solve_mutp(inst);
   EXPECT_TRUE(res.feasible());
   EXPECT_EQ(res.makespan, 0);
@@ -98,7 +98,7 @@ TEST(Mutp, SlackCapacityNeverSlowsTheOptimum) {
   // but it can never get worse.
   auto inst = net::fig1_instance();
   for (net::LinkId id = 0; id < inst.graph().link_count(); ++id) {
-    inst.mutable_graph().mutable_link(id).capacity = 2.0;
+    inst.mutable_graph().mutable_link(id).capacity = net::Capacity{2.0};
   }
   const MutpResult res = solve_mutp(inst);
   ASSERT_TRUE(res.feasible());
@@ -190,9 +190,9 @@ TEST(OrderBnb, RandomInstancesAlwaysFeasible) {
 }
 
 TEST(OrderBnb, NothingToUpdate) {
-  net::Graph g = net::line_topology(3, 1.0, 1);
+  net::Graph g = net::line_topology(3, net::Capacity{1.0}, 1);
   const auto inst =
-      net::UpdateInstance::from_paths(g, Path{0, 1, 2}, Path{0, 1, 2}, 1.0);
+      net::UpdateInstance::from_paths(g, Path{0, 1, 2}, Path{0, 1, 2}, net::Demand{1.0});
   const OrderResult res = solve_order_replacement(inst);
   EXPECT_TRUE(res.feasible);
   EXPECT_EQ(res.round_count(), 0u);

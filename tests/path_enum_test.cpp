@@ -24,14 +24,16 @@ TimedPath as_timed_path(const Trace& trace) {
 TEST(PathEnum, Fig1ClassHasBothRoutes) {
   const auto inst = net::fig1_instance();
   EnumerateOptions opts;
-  opts.t_end = 20;
+  opts.t_end = timenet::TimePoint{20};
   const auto paths =
-      enumerate_timed_paths(inst.graph(), inst.source(), 0,
+      enumerate_timed_paths(inst.graph(), inst.source(), timenet::TimePoint{0},
                             inst.destination(), opts);
   // The old route v1..v6 (5 hops, arrives at 5) and the new route
   // v1,v4,v3,v2,v6 (4 hops, arrives at 4) must both be present.
-  TimedPath old_route{{0, 0}, {1, 1}, {2, 2}, {3, 3}, {4, 4}, {5, 5}};
-  TimedPath new_route{{0, 0}, {3, 1}, {2, 2}, {1, 3}, {5, 4}};
+  TimedPath old_route{{0, TimePoint{0}}, {1, TimePoint{1}}, {2, TimePoint{2}},
+                      {3, TimePoint{3}}, {4, TimePoint{4}}, {5, TimePoint{5}}};
+  TimedPath new_route{{0, TimePoint{0}}, {3, TimePoint{1}}, {2, TimePoint{2}},
+                      {1, TimePoint{3}}, {5, TimePoint{4}}};
   EXPECT_TRUE(contains_path(paths, old_route));
   EXPECT_TRUE(contains_path(paths, new_route));
   // Every enumerated path is loop-free and ends at the destination.
@@ -39,26 +41,26 @@ TEST(PathEnum, Fig1ClassHasBothRoutes) {
     std::set<net::NodeId> seen;
     for (const TimedNode& tn : p) EXPECT_TRUE(seen.insert(tn.node).second);
     EXPECT_EQ(p.back().node, inst.destination());
-    EXPECT_LE(p.back().time, 20);
+    EXPECT_LE(p.back().time, TimePoint{20});
   }
 }
 
 TEST(PathEnum, HorizonBoundsArrivals) {
   const auto inst = net::fig1_instance();
   EnumerateOptions opts;
-  opts.t_end = 4;  // only the 4-hop new route fits
-  const auto paths = enumerate_timed_paths(inst.graph(), inst.source(), 0,
+  opts.t_end = timenet::TimePoint{4};  // only the 4-hop new route fits
+  const auto paths = enumerate_timed_paths(inst.graph(), inst.source(), timenet::TimePoint{0},
                                            inst.destination(), opts);
-  for (const TimedPath& p : paths) EXPECT_LE(p.back().time, 4);
+  for (const TimedPath& p : paths) EXPECT_LE(p.back().time, TimePoint{4});
   EXPECT_FALSE(paths.empty());
 }
 
 TEST(PathEnum, MaxPathsCapsTheSet) {
   const auto inst = net::fig1_instance();
   EnumerateOptions opts;
-  opts.t_end = 30;
+  opts.t_end = timenet::TimePoint{30};
   opts.max_paths = 2;
-  const auto paths = enumerate_timed_paths(inst.graph(), inst.source(), 0,
+  const auto paths = enumerate_timed_paths(inst.graph(), inst.source(), timenet::TimePoint{0},
                                            inst.destination(), opts);
   EXPECT_EQ(paths.size(), 2u);
 }
@@ -69,7 +71,7 @@ TEST(PathEnum, ScheduleTrajectoriesAreMembersOfPf) {
   const auto inst = net::fig1_instance();
   const auto plan = core::greedy_schedule(inst);
   ASSERT_TRUE(plan.feasible());
-  for (TimePoint tau = -3; tau <= 4; ++tau) {
+  for (TimePoint tau{-3}; tau <= TimePoint{4}; ++tau) {
     const Trace trace = trace_class(inst, plan.schedule, tau);
     ASSERT_TRUE(trace.delivered());
     ASSERT_FALSE(trace.looped());
@@ -90,7 +92,7 @@ TEST(PathEnum, OptTrajectoriesAreMembersOfPf) {
     const auto inst = net::random_instance(opt, rng);
     const auto exact = opt::solve_mutp(inst);
     if (!exact.feasible()) continue;
-    for (TimePoint tau = 0; tau <= exact.schedule.last_time(); ++tau) {
+    for (TimePoint tau{}; tau <= exact.schedule.last_time(); ++tau) {
       const Trace trace = trace_class(inst, exact.schedule, tau);
       if (!trace.delivered()) continue;
       EnumerateOptions opts;

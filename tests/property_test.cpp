@@ -39,13 +39,13 @@ TEST_P(PropertySweep, VerifierIsShiftInvariant) {
   for (int i = 0; i < 5; ++i) {
     const auto inst = net::random_instance(opt, rng_);
     UpdateSchedule sched;
-    TimePoint t = 0;
+    TimePoint t{};
     for (const NodeId v : inst.switches_to_update()) {
       sched.set(v, t);
       t += rng_.uniform_int(0, 2);
     }
     const auto base = timenet::verify_transition(inst, sched);
-    for (const TimePoint shift : {-7, 13, 1000}) {
+    for (const std::int64_t shift : {-7, 13, 1000}) {
       UpdateSchedule shifted;
       for (const auto& [v, tv] : sched.entries()) shifted.set(v, tv + shift);
       const auto moved = timenet::verify_transition(inst, shifted);
@@ -69,13 +69,15 @@ TEST_P(PropertySweep, VerdictInvariantUnderUniformScaling) {
 
     net::Graph scaled = inst.graph();
     for (net::LinkId id = 0; id < scaled.link_count(); ++id) {
-      scaled.mutable_link(id).capacity *= 250.0;
+      scaled.mutable_link(id).capacity = scaled.link(id).capacity * 250.0;
     }
     auto big = net::UpdateInstance::from_paths(scaled, inst.p_init(),
-                                               inst.p_fin(), 250.0);
+                                               inst.p_fin(), net::Demand{250.0});
     const auto plan_big = core::greedy_schedule(big, gopts);
     EXPECT_EQ(plan.status, plan_big.status);
-    if (plan.feasible()) EXPECT_EQ(plan.schedule, plan_big.schedule);
+    if (plan.feasible()) {
+      EXPECT_EQ(plan.schedule, plan_big.schedule);
+    }
   }
 }
 
@@ -150,7 +152,7 @@ TEST_P(PropertySweep, TwoPhaseNeverLoopsOrBlackholes) {
     timenet::FlowTransition ft;
     ft.instance = &inst;
     ft.schedule = &empty;
-    ft.per_packet_flip = rng_.uniform_int(-5, 5);
+    ft.per_packet_flip = timenet::TimePoint{rng_.uniform_int(-5, 5)};
     const auto report = timenet::verify_transitions({ft});
     EXPECT_TRUE(report.loop_free());
     EXPECT_TRUE(report.blackhole_free());
@@ -228,7 +230,7 @@ TEST_P(PropertySweep, OrRealizationsRespectPlannedRounds) {
         baselines::plan_and_execute_order_replacement(inst, rng_, {}, {}, &plan);
     ASSERT_TRUE(plan.feasible);
     // Realized activation times are strictly ordered across rounds.
-    TimePoint prev_round_max = -1;
+    TimePoint prev_round_max{-1};
     for (const auto& round : plan.rounds) {
       TimePoint lo = std::numeric_limits<TimePoint>::max();
       TimePoint hi = std::numeric_limits<TimePoint>::min();

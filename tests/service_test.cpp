@@ -29,40 +29,40 @@ using net::Path;
 net::Graph diamond(double cap_main, double cap_bypass) {
   net::Graph g;
   g.add_nodes(4);  // s=0 m=1 t=2 b=3
-  g.add_link(0, 1, cap_main, 1);
-  g.add_link(1, 2, cap_main, 1);
-  g.add_link(0, 3, cap_bypass, 1);
-  g.add_link(3, 2, cap_bypass, 1);
+  g.add_link(0, 1, net::Capacity{cap_main}, 1);
+  g.add_link(1, 2, net::Capacity{cap_main}, 1);
+  g.add_link(0, 3, net::Capacity{cap_bypass}, 1);
+  g.add_link(3, 2, net::Capacity{cap_bypass}, 1);
   return g;
 }
 
 TEST(TransitionFootprint, CountsEachPathOccurrence) {
   const net::Graph g = diamond(4.0, 4.0);
   const Footprint fp =
-      transition_footprint(g, Path{0, 1, 2}, Path{0, 3, 2}, 1.5);
+      transition_footprint(g, Path{0, 1, 2}, Path{0, 3, 2}, net::Demand{1.5});
   ASSERT_EQ(fp.size(), 4u);
-  for (const auto& [link, amount] : fp) EXPECT_DOUBLE_EQ(amount, 1.5);
+  for (const auto& [link, amount] : fp) EXPECT_DOUBLE_EQ(amount.value(), 1.5);
 }
 
 TEST(TransitionFootprint, SharedLinksCountTwice) {
   net::Graph g;
   g.add_nodes(4);  // s=0 a=1 b=2 t=3 ; shared tail a->b->t
-  g.add_link(0, 1, 4.0, 1);   // s->a (init only)
-  g.add_link(1, 2, 4.0, 1);   // a->b (both)
-  g.add_link(2, 3, 4.0, 1);   // b->t (both)
-  const net::LinkId via = g.add_link(0, 2, 4.0, 1);  // s->b unused
+  g.add_link(0, 1, net::Capacity{4.0}, 1);   // s->a (init only)
+  g.add_link(1, 2, net::Capacity{4.0}, 1);   // a->b (both)
+  g.add_link(2, 3, net::Capacity{4.0}, 1);   // b->t (both)
+  const net::LinkId via = g.add_link(0, 2, net::Capacity{4.0}, 1);  // s->b unused
   (void)via;
   const Footprint fp =
-      transition_footprint(g, Path{0, 1, 2, 3}, Path{0, 1, 2, 3}, 1.0);
-  EXPECT_DOUBLE_EQ(fp.at(0), 2.0);
-  EXPECT_DOUBLE_EQ(fp.at(1), 2.0);
-  EXPECT_DOUBLE_EQ(fp.at(2), 2.0);
+      transition_footprint(g, Path{0, 1, 2, 3}, Path{0, 1, 2, 3}, net::Demand{1.0});
+  EXPECT_DOUBLE_EQ(fp.at(0).value(), 2.0);
+  EXPECT_DOUBLE_EQ(fp.at(1).value(), 2.0);
+  EXPECT_DOUBLE_EQ(fp.at(2).value(), 2.0);
   EXPECT_EQ(fp.count(3), 0u);
 }
 
 TEST(TransitionFootprint, RejectsPathsOffTheGraph) {
   const net::Graph g = diamond(4.0, 4.0);
-  EXPECT_THROW(transition_footprint(g, Path{2, 0}, Path{0, 3, 2}, 1.0),
+  EXPECT_THROW(transition_footprint(g, Path{2, 0}, Path{0, 3, 2}, net::Demand{1.0}),
                std::invalid_argument);
 }
 
@@ -70,43 +70,43 @@ TEST(CapacityLedger, ReserveIsAllOrNothing) {
   const net::Graph g = diamond(2.0, 1.0);
   CapacityLedger ledger(g);
   // Fits the main rail but not the bypass: nothing may be committed.
-  Footprint fp{{0, 1.5}, {2, 1.5}};
+  Footprint fp{{0, net::Demand{1.5}}, {2, net::Demand{1.5}}};
   EXPECT_FALSE(ledger.try_reserve(fp));
-  EXPECT_DOUBLE_EQ(ledger.committed(0), 0.0);
-  EXPECT_DOUBLE_EQ(ledger.committed(2), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.committed(0).value(), 0.0);
+  EXPECT_DOUBLE_EQ(ledger.committed(2).value(), 0.0);
 
-  Footprint ok{{0, 1.5}, {1, 1.5}};
+  Footprint ok{{0, net::Demand{1.5}}, {1, net::Demand{1.5}}};
   EXPECT_TRUE(ledger.fits(ok));
   EXPECT_TRUE(ledger.try_reserve(ok));
-  EXPECT_DOUBLE_EQ(ledger.headroom(0), 0.5);
+  EXPECT_DOUBLE_EQ(ledger.headroom(0).value(), 0.5);
   // A second copy no longer fits; ledger unchanged by the failed attempt.
   EXPECT_FALSE(ledger.try_reserve(ok));
-  EXPECT_DOUBLE_EQ(ledger.committed(0), 1.5);
+  EXPECT_DOUBLE_EQ(ledger.committed(0).value(), 1.5);
 
   ledger.release(ok);
   EXPECT_TRUE(ledger.idle());
-  EXPECT_DOUBLE_EQ(ledger.headroom(0), 2.0);
+  EXPECT_DOUBLE_EQ(ledger.headroom(0).value(), 2.0);
 }
 
 TEST(CapacityLedger, OverReleaseThrows) {
   const net::Graph g = diamond(2.0, 2.0);
   CapacityLedger ledger(g);
-  EXPECT_THROW(ledger.release(Footprint{{0, 0.5}}), std::logic_error);
-  ASSERT_TRUE(ledger.try_reserve(Footprint{{0, 1.0}}));
-  EXPECT_THROW(ledger.release(Footprint{{0, 1.5}}), std::logic_error);
-  ledger.release(Footprint{{0, 1.0}});
+  EXPECT_THROW(ledger.release(Footprint{{0, net::Demand{0.5}}}), std::logic_error);
+  ASSERT_TRUE(ledger.try_reserve(Footprint{{0, net::Demand{1.0}}}));
+  EXPECT_THROW(ledger.release(Footprint{{0, net::Demand{1.5}}}), std::logic_error);
+  ledger.release(Footprint{{0, net::Demand{1.0}}});
   EXPECT_TRUE(ledger.idle());
 }
 
 TEST(CapacityLedger, RestrictedGraphCarriesTheReservation) {
   const net::Graph g = diamond(4.0, 4.0);
   CapacityLedger ledger(g);
-  const Footprint fp{{0, 1.25}, {1, 1.25}};
+  const Footprint fp{{0, net::Demand{1.25}}, {1, net::Demand{1.25}}};
   const net::Graph r = ledger.restricted_graph(g, fp);
-  EXPECT_DOUBLE_EQ(r.link(0).capacity, 1.25);
-  EXPECT_DOUBLE_EQ(r.link(1).capacity, 1.25);
-  EXPECT_DOUBLE_EQ(r.link(2).capacity, 4.0);  // untouched
-  EXPECT_DOUBLE_EQ(g.link(0).capacity, 4.0);  // original intact
+  EXPECT_DOUBLE_EQ(r.link(0).capacity.value(), 1.25);
+  EXPECT_DOUBLE_EQ(r.link(1).capacity.value(), 1.25);
+  EXPECT_DOUBLE_EQ(r.link(2).capacity.value(), 4.0);  // untouched
+  EXPECT_DOUBLE_EQ(g.link(0).capacity.value(), 4.0);  // original intact
 }
 
 TEST(CapacityLedger, ConcurrentReserveReleaseNeverOvercommits) {
@@ -123,14 +123,15 @@ TEST(CapacityLedger, ConcurrentReserveReleaseNeverOvercommits) {
       for (int i = 0; i < kIters; ++i) {
         Footprint fp;
         fp[static_cast<net::LinkId>(rng.uniform_int(0, 3))] =
-            0.5 + rng.uniform01();
+            net::Demand{0.5 + rng.uniform01()};
         fp[static_cast<net::LinkId>(rng.uniform_int(0, 3))] =
-            0.5 + rng.uniform01();
+            net::Demand{0.5 + rng.uniform01()};
         if (ledger.try_reserve(fp)) {
           ++reservations;
           // Committed amounts may never exceed capacity while held.
           for (const auto& [link, _] : fp) {
-            EXPECT_LE(ledger.committed(link), ledger.capacity(link) + 1e-9);
+            EXPECT_LE(ledger.committed(link),
+                      ledger.capacity(link) + net::Demand{1e-9});
           }
           ledger.release(fp);
         }
@@ -167,7 +168,7 @@ TEST(Workload, IsDeterministicPerSeed) {
   for (std::size_t i = 0; i < a.requests.size(); ++i) {
     EXPECT_EQ(a.requests[i].id, b.requests[i].id);
     EXPECT_EQ(a.requests[i].arrival, b.requests[i].arrival);
-    EXPECT_DOUBLE_EQ(a.requests[i].demand, b.requests[i].demand);
+    EXPECT_DOUBLE_EQ(a.requests[i].demand.value(), b.requests[i].demand.value());
     EXPECT_EQ(a.requests[i].p_init, b.requests[i].p_init);
     EXPECT_EQ(a.requests[i].p_fin, b.requests[i].p_fin);
   }
@@ -197,8 +198,8 @@ TEST(TraceIo, RoundTrips) {
   const ServiceTrace back = io::read_trace(buf);
   ASSERT_EQ(back.graph.link_count(), trace.graph.link_count());
   for (net::LinkId l = 0; l < trace.graph.link_count(); ++l) {
-    EXPECT_DOUBLE_EQ(back.graph.link(l).capacity,
-                     trace.graph.link(l).capacity);
+    EXPECT_DOUBLE_EQ(back.graph.link(l).capacity.value(),
+                     trace.graph.link(l).capacity.value());
   }
   ASSERT_EQ(back.requests.size(), trace.requests.size());
   for (std::size_t i = 0; i < trace.requests.size(); ++i) {
@@ -206,7 +207,7 @@ TEST(TraceIo, RoundTrips) {
     EXPECT_EQ(back.requests[i].arrival, trace.requests[i].arrival);
     EXPECT_EQ(back.requests[i].deadline, trace.requests[i].deadline);
     EXPECT_EQ(back.requests[i].priority, trace.requests[i].priority);
-    EXPECT_NEAR(back.requests[i].demand, trace.requests[i].demand, 1e-9);
+    EXPECT_NEAR(back.requests[i].demand.value(), trace.requests[i].demand.value(), 1e-9);
     EXPECT_EQ(back.requests[i].p_init, trace.requests[i].p_init);
     EXPECT_EQ(back.requests[i].p_fin, trace.requests[i].p_fin);
   }
@@ -226,7 +227,7 @@ UpdateRequest reroute_request(std::uint64_t id, sim::SimTime arrival,
   UpdateRequest req;
   req.id = id;
   req.arrival = arrival;
-  req.demand = demand;
+  req.demand = net::Demand{demand};
   req.p_init = Path{0, 1, 2};
   req.p_fin = Path{0, 3, 2};
   return req;

@@ -204,7 +204,7 @@ TEST(SimSwitchT, PeakTableSize) {
 }
 
 TEST(NetworkT, MirrorsGraph) {
-  const auto g = net::line_topology(4, 100.0, 5);
+  const auto g = net::line_topology(4, net::Capacity{100.0}, 5);
   Network net(g, kMillisecond, 1e6);
   EXPECT_EQ(net.switch_count(), 4u);
   EXPECT_EQ(net.link_count(), 3u);
@@ -217,7 +217,7 @@ TEST(NetworkT, MirrorsGraph) {
 }
 
 TEST(TrafficT, SteadyFlowLoadsPath) {
-  const auto g = net::line_topology(3, 100.0, 1);
+  const auto g = net::line_topology(3, net::Capacity{100.0}, 1);
   Network net(g, kMillisecond, 1e6);
   // Install dst-based forwarding on switches 0 and 1, delivery at 2.
   for (SwitchId s = 0; s < 2; ++s) {
@@ -251,7 +251,7 @@ TEST(TrafficT, SteadyFlowLoadsPath) {
 }
 
 TEST(TrafficT, DetectsDropWithoutRules) {
-  const auto g = net::line_topology(2, 100.0, 1);
+  const auto g = net::line_topology(2, net::Capacity{100.0}, 1);
   Network net(g, kMillisecond, 1e6);
   TrafficFlow flow;
   flow.name = "f";
@@ -266,7 +266,7 @@ TEST(TrafficT, DetectsDropWithoutRules) {
 }
 
 TEST(TrafficT, DetectsOverCapacity) {
-  const auto g = net::line_topology(2, 10.0, 1);  // 10 Mbps link
+  const auto g = net::line_topology(2, net::Capacity{10.0}, 1);  // 10 Mbps link
   Network net(g, kMillisecond, 1e6);
   FlowMod m;
   m.entry.match.dst_prefix = "10.";
@@ -293,8 +293,8 @@ TEST(TrafficT, DetectsOverCapacity) {
 TEST(TrafficT, DetectsForwardingLoop) {
   net::Graph g;
   g.add_nodes(2);
-  g.add_link(0, 1, 100.0, 1);
-  g.add_link(1, 0, 100.0, 1);
+  g.add_link(0, 1, net::Capacity{100.0}, 1);
+  g.add_link(1, 0, net::Capacity{100.0}, 1);
   Network net(g, kMillisecond, 1e6);
   FlowMod m0;
   m0.entry.match.dst_prefix = "10.";
@@ -316,7 +316,7 @@ TEST(TrafficT, DetectsForwardingLoop) {
 }
 
 TEST(TrafficT, VlanStampingIsApplied) {
-  const auto g = net::line_topology(3, 100.0, 1);
+  const auto g = net::line_topology(3, net::Capacity{100.0}, 1);
   Network net(g, kMillisecond, 1e6);
   // Ingress stamps vlan 2; transit matches vlan 2 only.
   FlowMod stamp;
@@ -350,7 +350,7 @@ TEST(TrafficT, VlanStampingIsApplied) {
 }
 
 TEST(ControllerT, InstallNowIsImmediate) {
-  const auto g = net::line_topology(2, 100.0, 1);
+  const auto g = net::line_topology(2, net::Capacity{100.0}, 1);
   Network net(g, kMillisecond, 1e6);
   EventQueue eq;
   util::Rng rng(1);
@@ -364,7 +364,7 @@ TEST(ControllerT, InstallNowIsImmediate) {
 }
 
 TEST(ControllerT, FlowModLatencyIsPositiveAndFifo) {
-  const auto g = net::line_topology(2, 100.0, 1);
+  const auto g = net::line_topology(2, net::Capacity{100.0}, 1);
   Network net(g, kMillisecond, 1e6);
   EventQueue eq;
   util::Rng rng(2);
@@ -384,7 +384,7 @@ TEST(ControllerT, FlowModLatencyIsPositiveAndFifo) {
 }
 
 TEST(ControllerT, TimedModsFireNearSchedule) {
-  const auto g = net::line_topology(2, 100.0, 1);
+  const auto g = net::line_topology(2, net::Capacity{100.0}, 1);
   Network net(g, kMillisecond, 1e6);
   EventQueue eq;
   util::Rng rng(3);
@@ -400,7 +400,7 @@ TEST(ControllerT, TimedModsFireNearSchedule) {
 }
 
 TEST(ControllerT, LateTimedModExecutesOnArrival) {
-  const auto g = net::line_topology(2, 100.0, 1);
+  const auto g = net::line_topology(2, net::Capacity{100.0}, 1);
   Network net(g, kMillisecond, 1e6);
   EventQueue eq;
   util::Rng rng(4);
@@ -413,7 +413,7 @@ TEST(ControllerT, LateTimedModExecutesOnArrival) {
 }
 
 TEST(ControllerT, BarrierWaitsForPendingMods) {
-  const auto g = net::line_topology(2, 100.0, 1);
+  const auto g = net::line_topology(2, net::Capacity{100.0}, 1);
   Network net(g, kMillisecond, 1e6);
   EventQueue eq;
   util::Rng rng(5);
@@ -426,7 +426,7 @@ TEST(ControllerT, BarrierWaitsForPendingMods) {
 }
 
 TEST(ControllerT, AdvanceClockIsMonotone) {
-  const auto g = net::line_topology(2, 100.0, 1);
+  const auto g = net::line_topology(2, net::Capacity{100.0}, 1);
   Network net(g, kMillisecond, 1e6);
   EventQueue eq;
   util::Rng rng(6);

@@ -76,12 +76,12 @@ TEST(ChronusUpdater, TimedUpdateKeepsTrafficClean) {
 TEST(ChronusUpdater, ReportsInfeasiblePlans) {
   net::Graph g;
   g.add_nodes(4);
-  g.add_link(0, 1, 1.0, 2);
-  g.add_link(1, 2, 1.0, 2);
-  g.add_link(2, 3, 1.0, 2);
-  g.add_link(0, 2, 1.0, 1);
+  g.add_link(0, 1, net::Capacity{1.0}, 2);
+  g.add_link(1, 2, net::Capacity{1.0}, 2);
+  g.add_link(2, 3, net::Capacity{1.0}, 2);
+  g.add_link(0, 2, net::Capacity{1.0}, 1);
   const auto inst = net::UpdateInstance::from_paths(
-      g, net::Path{0, 1, 2, 3}, net::Path{0, 2, 3}, 1.0);
+      g, net::Path{0, 1, 2, 3}, net::Path{0, 2, 3}, net::Demand{1.0});
   Network net(inst.graph(), kDelayUnit, kBpsPerUnit);
   EventQueue eq;
   util::Rng rng(5);
@@ -197,18 +197,18 @@ TEST(MultiFlowSim, JointPlanExecutesBothFlowsCleanly) {
   // neither traffic stream ever loops, drops or overloads a link.
   net::Graph g;
   g.add_nodes(6);  // s0=0 s1=1 m=2 t=3 b0=4 b1=5
-  g.add_link(0, 2, 2.0, 1);
-  g.add_link(1, 2, 2.0, 1);
-  g.add_link(2, 3, 2.0, 1);
-  g.add_link(0, 4, 2.0, 1);
-  g.add_link(4, 3, 2.0, 1);
-  g.add_link(1, 5, 2.0, 1);
-  g.add_link(5, 3, 2.0, 1);
+  g.add_link(0, 2, net::Capacity{2.0}, 1);
+  g.add_link(1, 2, net::Capacity{2.0}, 1);
+  g.add_link(2, 3, net::Capacity{2.0}, 1);
+  g.add_link(0, 4, net::Capacity{2.0}, 1);
+  g.add_link(4, 3, net::Capacity{2.0}, 1);
+  g.add_link(1, 5, net::Capacity{2.0}, 1);
+  g.add_link(5, 3, net::Capacity{2.0}, 1);
   std::vector<net::UpdateInstance> flows;
   flows.push_back(net::UpdateInstance::from_paths(
-      g, net::Path{0, 2, 3}, net::Path{0, 4, 3}, 1.0));
+      g, net::Path{0, 2, 3}, net::Path{0, 4, 3}, net::Demand{1.0}));
   flows.push_back(net::UpdateInstance::from_paths(
-      g, net::Path{1, 2, 3}, net::Path{1, 5, 3}, 1.0));
+      g, net::Path{1, 2, 3}, net::Path{1, 5, 3}, net::Demand{1.0}));
   const auto plan = core::schedule_flows_jointly(flows);
   ASSERT_TRUE(plan.feasible()) << plan.message;
 

@@ -10,7 +10,7 @@ namespace chronus::net {
 namespace {
 
 TEST(FatTreeT, K4Shape) {
-  const FatTree ft = fat_tree(4, 10.0);
+  const FatTree ft = fat_tree(4, net::Capacity{10.0});
   EXPECT_EQ(ft.core.size(), 4u);
   EXPECT_EQ(ft.aggregation.size(), 4u);
   EXPECT_EQ(ft.edge.size(), 4u);
@@ -25,8 +25,8 @@ TEST(FatTreeT, K4Shape) {
 }
 
 TEST(FatTreeT, RejectsOddK) {
-  EXPECT_THROW(fat_tree(3, 1.0), std::invalid_argument);
-  EXPECT_THROW(fat_tree(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(fat_tree(3, net::Capacity{1.0}), std::invalid_argument);
+  EXPECT_THROW(fat_tree(0, net::Capacity{1.0}), std::invalid_argument);
 }
 
 TEST(WaxmanT, ConnectedAndDeterministic) {
@@ -55,7 +55,7 @@ TEST(WaxmanT, DelaysWithinBounds) {
 }
 
 TEST(GridT, Shape) {
-  const Graph g = grid(3, 2, 1.0, 1);
+  const Graph g = grid(3, 2, net::Capacity{1.0}, 1);
   EXPECT_EQ(g.node_count(), 6u);
   // Horizontal: 2 per row x 2 rows; vertical: 3; all duplex.
   EXPECT_EQ(g.link_count(), 2u * (2 * 2 + 3));
@@ -68,10 +68,10 @@ TEST(GridT, Shape) {
 TEST(ShortestPathT, PicksMinimumDelay) {
   Graph g;
   g.add_nodes(4);
-  g.add_link(0, 1, 1.0, 5);
-  g.add_link(0, 2, 1.0, 1);
-  g.add_link(2, 3, 1.0, 1);
-  g.add_link(1, 3, 1.0, 1);
+  g.add_link(0, 1, net::Capacity{1.0}, 5);
+  g.add_link(0, 2, net::Capacity{1.0}, 1);
+  g.add_link(2, 3, net::Capacity{1.0}, 1);
+  g.add_link(1, 3, net::Capacity{1.0}, 1);
   const auto p = shortest_path(g, 0, 3);
   ASSERT_TRUE(p.has_value());
   EXPECT_EQ(*p, (Path{0, 2, 3}));
@@ -80,7 +80,7 @@ TEST(ShortestPathT, PicksMinimumDelay) {
 TEST(ShortestPathT, UnreachableIsNullopt) {
   Graph g;
   g.add_nodes(3);
-  g.add_link(0, 1, 1.0, 1);
+  g.add_link(0, 1, net::Capacity{1.0}, 1);
   EXPECT_FALSE(shortest_path(g, 0, 2).has_value());
   EXPECT_FALSE(shortest_path(g, 1, 0).has_value());
 }
@@ -95,7 +95,7 @@ TEST(RandomRerouteT, ProducesValidInstances) {
     const NodeId src = static_cast<NodeId>(rng.index(g.node_count()));
     NodeId dst = src;
     while (dst == src) dst = static_cast<NodeId>(rng.index(g.node_count()));
-    const auto inst = random_reroute(g, src, dst, 1.0, rng);
+    const auto inst = random_reroute(g, src, dst, net::Demand{1.0}, rng);
     if (!inst) continue;
     ++produced;
     EXPECT_TRUE(inst->p_init().is_simple());
@@ -111,13 +111,13 @@ TEST(RandomRerouteT, ProducesValidInstances) {
 TEST(RandomRerouteT, SchedulableOnFatTree) {
   // Moving a pod-to-pod aggregate between core routes: the bread-and-
   // butter DCN reroute. The scheduler should handle most of them.
-  const FatTree ft = fat_tree(4, 2.0);
+  const FatTree ft = fat_tree(4, net::Capacity{2.0});
   util::Rng rng(8);
   int feasible = 0;
   int produced = 0;
   for (int i = 0; i < 15; ++i) {
     const auto inst =
-        random_reroute(ft.graph, ft.edge[0][0], ft.edge[2][1], 1.0, rng);
+        random_reroute(ft.graph, ft.edge[0][0], ft.edge[2][1], net::Demand{1.0}, rng);
     if (!inst) continue;
     ++produced;
     const auto plan = core::greedy_schedule(*inst);
@@ -134,10 +134,10 @@ TEST(RandomRerouteT, NulloptWhenNoAlternative) {
   // A bare line has exactly one path; rerouting is impossible.
   Graph g;
   g.add_nodes(3);
-  g.add_link(0, 1, 1.0, 1);
-  g.add_link(1, 2, 1.0, 1);
+  g.add_link(0, 1, net::Capacity{1.0}, 1);
+  g.add_link(1, 2, net::Capacity{1.0}, 1);
   util::Rng rng(9);
-  EXPECT_FALSE(random_reroute(g, 0, 2, 1.0, rng).has_value());
+  EXPECT_FALSE(random_reroute(g, 0, 2, net::Demand{1.0}, rng).has_value());
 }
 
 }  // namespace

@@ -22,11 +22,11 @@ bool full_verify_ok(const net::UpdateInstance& inst,
 TEST(TransitionStateT, AcceptsThePaperSchedule) {
   const auto inst = net::fig1_instance();
   TransitionState state(inst);
-  EXPECT_TRUE(state.try_update(1, 0));  // v2@t0
-  EXPECT_TRUE(state.try_update(2, 1));  // v3@t1
-  EXPECT_TRUE(state.try_update(0, 2));  // v1@t2
-  EXPECT_TRUE(state.try_update(3, 2));  // v4@t2
-  EXPECT_TRUE(state.try_update(4, 3));  // v5@t3
+  EXPECT_TRUE(state.try_update(1, timenet::TimePoint{0}));  // v2@t0
+  EXPECT_TRUE(state.try_update(2, timenet::TimePoint{1}));  // v3@t1
+  EXPECT_TRUE(state.try_update(0, timenet::TimePoint{2}));  // v1@t2
+  EXPECT_TRUE(state.try_update(3, timenet::TimePoint{2}));  // v4@t2
+  EXPECT_TRUE(state.try_update(4, timenet::TimePoint{3}));  // v5@t3
   EXPECT_EQ(state.depth(), 5u);
   EXPECT_TRUE(full_verify_ok(inst, state.schedule()));
 }
@@ -34,43 +34,43 @@ TEST(TransitionStateT, AcceptsThePaperSchedule) {
 TEST(TransitionStateT, RejectsTheKnownBadMoves) {
   const auto inst = net::fig1_instance();
   TransitionState state(inst);
-  ASSERT_TRUE(state.try_update(1, 0));   // v2@t0
-  EXPECT_FALSE(state.try_update(2, 0));  // v3@t0 revisits v2
+  ASSERT_TRUE(state.try_update(1, timenet::TimePoint{0}));   // v2@t0
+  EXPECT_FALSE(state.try_update(2, timenet::TimePoint{0}));  // v3@t0 revisits v2
   EXPECT_EQ(state.depth(), 1u);
-  ASSERT_TRUE(state.try_update(2, 1));   // v3@t1 fine
-  EXPECT_FALSE(state.try_update(3, 1));  // v4@t1 loops (the paper's example)
-  EXPECT_TRUE(state.try_update(3, 2));   // v4@t2 fine
+  ASSERT_TRUE(state.try_update(2, timenet::TimePoint{1}));   // v3@t1 fine
+  EXPECT_FALSE(state.try_update(3, timenet::TimePoint{1}));  // v4@t1 loops (the paper's example)
+  EXPECT_TRUE(state.try_update(3, timenet::TimePoint{2}));   // v4@t2 fine
 }
 
 TEST(TransitionStateT, RejectionLeavesStateUnchanged) {
   const auto inst = net::fig1_instance();
   TransitionState state(inst);
-  ASSERT_TRUE(state.try_update(1, 0));
+  ASSERT_TRUE(state.try_update(1, timenet::TimePoint{0}));
   const UpdateSchedule before = state.schedule();
-  ASSERT_FALSE(state.try_update(2, 0));
+  ASSERT_FALSE(state.try_update(2, timenet::TimePoint{0}));
   EXPECT_EQ(state.schedule(), before);
   // The exact same continuation still works.
-  EXPECT_TRUE(state.try_update(2, 1));
+  EXPECT_TRUE(state.try_update(2, timenet::TimePoint{1}));
 }
 
 TEST(TransitionStateT, UndoRestoresPreviousDecisions) {
   const auto inst = net::fig1_instance();
   TransitionState state(inst);
-  ASSERT_TRUE(state.try_update(1, 0));
-  ASSERT_TRUE(state.try_update(2, 1));
+  ASSERT_TRUE(state.try_update(1, timenet::TimePoint{0}));
+  ASSERT_TRUE(state.try_update(2, timenet::TimePoint{1}));
   state.undo();
   EXPECT_EQ(state.depth(), 1u);
   // v3@t0 is still invalid, v3@t1 still valid: undo is exact.
-  EXPECT_FALSE(state.try_update(2, 0));
-  EXPECT_TRUE(state.try_update(2, 1));
+  EXPECT_FALSE(state.try_update(2, timenet::TimePoint{0}));
+  EXPECT_TRUE(state.try_update(2, timenet::TimePoint{1}));
 }
 
 TEST(TransitionStateT, ThrowsOnMisuse) {
   const auto inst = net::fig1_instance();
   TransitionState state(inst);
   EXPECT_THROW(state.undo(), std::logic_error);
-  ASSERT_TRUE(state.try_update(1, 0));
-  EXPECT_THROW(state.try_update(1, 5), std::logic_error);
+  ASSERT_TRUE(state.try_update(1, timenet::TimePoint{0}));
+  EXPECT_THROW(state.try_update(1, timenet::TimePoint{5}), std::logic_error);
 }
 
 // Property: on random instances and random probe sequences, every verdict
@@ -85,7 +85,7 @@ TEST_P(StateVsVerifier, VerdictsMatchFullVerification) {
     const auto inst = net::random_instance(opt, rng);
     TransitionState state(inst);
     UpdateSchedule applied;
-    timenet::TimePoint t = 0;
+    timenet::TimePoint t{};
     auto to_update = inst.switches_to_update();
     rng.shuffle(to_update);
     for (const NodeId v : to_update) {
@@ -140,7 +140,7 @@ TEST_P(MultiStateVsVerifier, JointVerdictsMatchFullVerification) {
     if (!state.initial_state_valid()) continue;  // paths overlap too much
 
     UpdateSchedule applied[2];
-    timenet::TimePoint t = 0;
+    timenet::TimePoint t{};
     for (int step = 0; step < 10; ++step) {
       const std::size_t f = rng.index(2);
       const auto to_update = flows[f]->switches_to_update();
@@ -177,12 +177,12 @@ INSTANTIATE_TEST_SUITE_P(Seeds, MultiStateVsVerifier, ::testing::Range(0, 4));
 TEST(TransitionStateT, InitialValidityDetectsOverload) {
   net::Graph g;
   g.add_nodes(3);
-  g.add_link(0, 2, 1.5, 1);
-  g.add_link(1, 2, 1.0, 1);
+  g.add_link(0, 2, net::Capacity{1.5}, 1);
+  g.add_link(1, 2, net::Capacity{1.0}, 1);
   const auto f0 =
-      net::UpdateInstance::from_paths(g, net::Path{0, 2}, net::Path{0, 2}, 1.0);
+      net::UpdateInstance::from_paths(g, net::Path{0, 2}, net::Path{0, 2}, net::Demand{1.0});
   const auto f1 =
-      net::UpdateInstance::from_paths(g, net::Path{0, 2}, net::Path{0, 2}, 1.0);
+      net::UpdateInstance::from_paths(g, net::Path{0, 2}, net::Path{0, 2}, net::Demand{1.0});
   TransitionState both({&f0, &f1});
   EXPECT_FALSE(both.initial_state_valid());  // 2.0 > 1.5 on link 0->2
   TransitionState one(f0);
@@ -192,16 +192,16 @@ TEST(TransitionStateT, InitialValidityDetectsOverload) {
 TEST(TransitionStateT, DeepUndoToEmpty) {
   const auto inst = net::fig1_instance();
   TransitionState state(inst);
-  ASSERT_TRUE(state.try_update(1, 0));
-  ASSERT_TRUE(state.try_update(2, 1));
-  ASSERT_TRUE(state.try_update(0, 2));
+  ASSERT_TRUE(state.try_update(1, timenet::TimePoint{0}));
+  ASSERT_TRUE(state.try_update(2, timenet::TimePoint{1}));
+  ASSERT_TRUE(state.try_update(0, timenet::TimePoint{2}));
   state.undo();
   state.undo();
   state.undo();
   EXPECT_EQ(state.depth(), 0u);
   EXPECT_TRUE(state.schedule().empty());
   // A fresh start from empty works.
-  EXPECT_TRUE(state.try_update(1, 0));
+  EXPECT_TRUE(state.try_update(1, timenet::TimePoint{0}));
 }
 
 }  // namespace

@@ -1,0 +1,354 @@
+// chronus_lint — the repo's own static-analysis gate (no LLVM dependency).
+//
+// Parses the source tree line by line and enforces the invariant-firewall
+// rules that the compiler cannot express:
+//
+//   raw-unit       declarations of time/capacity/demand/load quantities as
+//                  raw `double`/`float` outside src/util — unit arithmetic
+//                  must go through util::TimeStep / Demand / Capacity.
+//   lib-stdout     `std::cout` / `printf` in library code (src/**): library
+//                  layers report through return values and exceptions, not
+//                  the process's stdout.
+//   pragma-once    every header must open with `#pragma once`.
+//   include-style  project includes are rooted at src/ ("net/graph.hpp");
+//                  relative ("../x.hpp") or bare same-directory includes
+//                  bypass the layer structure.
+//   reserve-pair   a service-layer file that calls `try_reserve(` must also
+//                  contain a `release(` or use the RAII Reservation guard —
+//                  an unpaired reserve is a capacity leak.
+//
+// A finding can be acknowledged inline with
+//   // chronus-lint: allow(<rule>) <justification>
+// on the offending line (or the line above); the justification is
+// mandatory text for the reviewer, not parsed.
+//
+// Usage:
+//   chronus_lint --root <repo> [subdir...]   lint the tree (default: src)
+//   chronus_lint --self-test --fixtures <dir>
+//                                            prove the rules fire on the
+//                                            seeded fixture violations
+//
+// Exits 0 when clean / self-test matches, 1 on findings, 2 on usage errors.
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Finding {
+  std::string file;  // path relative to the lint root
+  long line = 0;
+  std::string rule;
+  std::string message;
+};
+
+struct Options {
+  fs::path root;
+  std::vector<std::string> subdirs;
+  bool self_test = false;
+  fs::path fixtures;
+};
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when `name` names a unit-bearing quantity: demand, capacity or
+/// load as a whole word segment, or a *_time / time_* style schedule time.
+bool is_unit_name(const std::string& name) {
+  static const std::vector<std::string> kUnits = {"demand", "capacity",
+                                                  "load", "headroom"};
+  std::string lower;
+  for (char c : name) lower += static_cast<char>(std::tolower(c));
+  for (const auto& unit : kUnits) {
+    for (std::size_t pos = lower.find(unit); pos != std::string::npos;
+         pos = lower.find(unit, pos + 1)) {
+      const bool left_ok = pos == 0 || lower[pos - 1] == '_';
+      const std::size_t end = pos + unit.size();
+      const bool right_ok = end == lower.size() || lower[end] == '_' ||
+                            std::isdigit(static_cast<unsigned char>(lower[end]));
+      if (left_ok && right_ok) return true;
+    }
+  }
+  return false;
+}
+
+/// The identifier declared right after a type keyword at `pos`, if the
+/// line looks like a declaration (not a cast, comment or string).
+std::string declared_name(const std::string& line, std::size_t type_end) {
+  std::size_t i = type_end;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  if (i == type_end) return {};  // "double(x)" — a cast or constructor
+  std::string name;
+  while (i < line.size() && is_ident_char(line[i])) name += line[i++];
+  // "double demand = ..." / "double demand;" / "double demand," /
+  // "double demand)" all declare; "double demandFn(" declares a function
+  // returning double, which the rule also covers.
+  return name;
+}
+
+std::string strip_line_comment(const std::string& line) {
+  const std::size_t pos = line.find("//");
+  return pos == std::string::npos ? line : line.substr(0, pos);
+}
+
+bool has_allowance(const std::vector<std::string>& lines, std::size_t idx,
+                   const std::string& rule) {
+  const std::string needle = "chronus-lint: allow(" + rule + ")";
+  if (lines[idx].find(needle) != std::string::npos) return true;
+  return idx > 0 && lines[idx - 1].find(needle) != std::string::npos;
+}
+
+bool in_util(const std::string& rel) {
+  return rel.rfind("src/util/", 0) == 0 || rel.rfind("util/", 0) == 0;
+}
+
+bool is_header(const fs::path& p) { return p.extension() == ".hpp"; }
+bool is_source(const fs::path& p) {
+  return p.extension() == ".cpp" || p.extension() == ".hpp";
+}
+
+void check_file(const fs::path& path, const std::string& rel,
+                std::vector<Finding>& findings) {
+  std::ifstream in(path);
+  if (!in) return;
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+
+  bool saw_pragma_once = false;
+  bool saw_try_reserve = false;
+  bool saw_release = false;
+  long first_reserve_line = 0;
+  bool in_block_comment = false;
+
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    const std::string& raw = lines[i];
+    std::string code = strip_line_comment(raw);
+
+    // Cheap block-comment tracking (no nesting, like C++).
+    if (in_block_comment) {
+      const std::size_t close = code.find("*/");
+      if (close == std::string::npos) continue;
+      code = code.substr(close + 2);
+      in_block_comment = false;
+    }
+    const std::size_t open = code.find("/*");
+    if (open != std::string::npos && code.find("*/", open) == std::string::npos)
+      in_block_comment = true;
+
+    const long lineno = static_cast<long>(i) + 1;
+
+    if (raw.find("#pragma once") != std::string::npos) saw_pragma_once = true;
+
+    // include-style -------------------------------------------------------
+    if (code.rfind("#include", 0) == 0) {
+      const std::size_t q1 = code.find('"');
+      const std::size_t q2 =
+          q1 == std::string::npos ? std::string::npos : code.find('"', q1 + 1);
+      if (q2 != std::string::npos) {
+        const std::string inc = code.substr(q1 + 1, q2 - q1 - 1);
+        if (inc.find("..") != std::string::npos &&
+            !has_allowance(lines, i, "include-style")) {
+          findings.push_back({rel, lineno, "include-style",
+                              "relative include \"" + inc +
+                                  "\" bypasses the src/-rooted layer paths"});
+        } else if (inc.find('/') == std::string::npos &&
+                   !has_allowance(lines, i, "include-style")) {
+          findings.push_back({rel, lineno, "include-style",
+                              "bare include \"" + inc +
+                                  "\" — project includes are rooted at src/ "
+                                  "(e.g. \"net/graph.hpp\")"});
+        }
+      }
+    }
+
+    // lib-stdout ----------------------------------------------------------
+    if (!in_util(rel) || true) {  // applies to util too: no stdout anywhere
+      const bool cout_hit = code.find("std::cout") != std::string::npos;
+      std::size_t printf_pos = code.find("printf");
+      const bool printf_hit =
+          printf_pos != std::string::npos &&
+          (printf_pos == 0 || !is_ident_char(code[printf_pos - 1])) &&
+          code.compare(0, 8, "#include") != 0;
+      if ((cout_hit || printf_hit) && !has_allowance(lines, i, "lib-stdout")) {
+        findings.push_back({rel, lineno, "lib-stdout",
+                            "library code must not write to stdout (return "
+                            "strings / use callbacks instead)"});
+      }
+    }
+
+    // raw-unit ------------------------------------------------------------
+    if (!in_util(rel)) {
+      for (const char* type : {"double", "float"}) {
+        const std::string ty = type;
+        for (std::size_t pos = code.find(ty); pos != std::string::npos;
+             pos = code.find(ty, pos + ty.size())) {
+          const bool left_ok = pos == 0 || !is_ident_char(code[pos - 1]);
+          const std::size_t end = pos + ty.size();
+          const bool right_ok = end >= code.size() || !is_ident_char(code[end]);
+          if (!left_ok || !right_ok) continue;
+          const std::string name = declared_name(code, end);
+          if (!name.empty() && is_unit_name(name) &&
+              !has_allowance(lines, i, "raw-unit")) {
+            findings.push_back(
+                {rel, lineno, "raw-unit",
+                 "'" + ty + " " + name +
+                     "' declares a unit-bearing quantity as a raw " + ty +
+                     " — use util::Demand / util::Capacity (see "
+                     "src/util/strong_types.hpp)"});
+          }
+        }
+      }
+    }
+
+    // reserve-pair bookkeeping -------------------------------------------
+    if (code.find("try_reserve(") != std::string::npos &&
+        !has_allowance(lines, i, "reserve-pair")) {
+      if (!saw_try_reserve) first_reserve_line = lineno;
+      saw_try_reserve = true;
+    }
+    if (code.find("release(") != std::string::npos ||
+        code.find("Reservation") != std::string::npos) {
+      saw_release = true;
+    }
+  }
+
+  // pragma-once -----------------------------------------------------------
+  if (is_header(path) && !saw_pragma_once) {
+    findings.push_back(
+        {rel, 1, "pragma-once", "header is missing '#pragma once'"});
+  }
+
+  // reserve-pair ----------------------------------------------------------
+  const bool service_file = rel.find("service") != std::string::npos;
+  if (service_file && saw_try_reserve && !saw_release) {
+    findings.push_back(
+        {rel, first_reserve_line, "reserve-pair",
+         "file reserves ledger capacity but never releases it (pair every "
+         "try_reserve with a release or a Reservation guard)"});
+  }
+}
+
+std::vector<Finding> lint_tree(const fs::path& root,
+                               const std::vector<std::string>& subdirs) {
+  std::vector<Finding> findings;
+  std::vector<fs::path> files;
+  for (const auto& sub : subdirs) {
+    const fs::path dir = root / sub;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (entry.is_regular_file() && is_source(entry.path()))
+        files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  for (const auto& f : files) {
+    check_file(f, fs::relative(f, root).generic_string(), findings);
+  }
+  return findings;
+}
+
+void print_findings(const std::vector<Finding>& findings, std::ostream& os) {
+  for (const auto& f : findings) {
+    os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+       << "\n";
+  }
+}
+
+/// Self-test: every fixture file whose name starts with "bad_" must
+/// produce at least one finding of the rule named between "bad_" and the
+/// next "__" (or the whole stem); files starting with "good_" must be
+/// clean. Proves the gate actually catches what it claims to catch.
+int self_test(const fs::path& fixtures) {
+  if (!fs::exists(fixtures)) {
+    std::cerr << "fixtures directory not found: " << fixtures << "\n";
+    return 2;
+  }
+  int failures = 0;
+  for (const auto& entry : fs::directory_iterator(fixtures)) {
+    if (!entry.is_regular_file() || !is_source(entry.path())) continue;
+    const std::string stem = entry.path().stem().string();
+    std::vector<Finding> findings;
+    // Fixtures emulate service-layer files when their name says so.
+    const std::string rel =
+        stem.find("service") != std::string::npos
+            ? "src/service/" + entry.path().filename().string()
+            : "src/fixture/" + entry.path().filename().string();
+    check_file(entry.path(), rel, findings);
+    if (stem.rfind("good_", 0) == 0) {
+      if (!findings.empty()) {
+        std::cerr << "SELF-TEST FAIL: expected no findings in " << stem
+                  << " but got:\n";
+        print_findings(findings, std::cerr);
+        ++failures;
+      }
+      continue;
+    }
+    if (stem.rfind("bad_", 0) == 0) {
+      const std::size_t sep = stem.find("__");
+      const std::string rule = stem.substr(
+          4, sep == std::string::npos ? std::string::npos : sep - 4);
+      const bool hit = std::any_of(
+          findings.begin(), findings.end(),
+          [&](const Finding& f) { return f.rule == rule; });
+      if (!hit) {
+        std::cerr << "SELF-TEST FAIL: expected a [" << rule << "] finding in "
+                  << entry.path().filename().string() << ", got "
+                  << findings.size() << " findings\n";
+        print_findings(findings, std::cerr);
+        ++failures;
+      }
+    }
+  }
+  if (failures == 0) {
+    std::cerr << "chronus_lint self-test: all fixtures behaved as seeded\n";
+    return 0;
+  }
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  opt.root = fs::current_path();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      opt.root = argv[++i];
+    } else if (arg == "--self-test") {
+      opt.self_test = true;
+    } else if (arg == "--fixtures" && i + 1 < argc) {
+      opt.fixtures = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cerr << "usage: chronus_lint [--root DIR] [subdir...]\n"
+                << "       chronus_lint --self-test --fixtures DIR\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << "\n";
+      return 2;
+    } else {
+      opt.subdirs.push_back(arg);
+    }
+  }
+  if (opt.self_test) return self_test(opt.fixtures);
+  if (opt.subdirs.empty()) opt.subdirs = {"src"};
+
+  const auto findings = lint_tree(opt.root, opt.subdirs);
+  if (findings.empty()) {
+    std::cerr << "chronus_lint: clean\n";
+    return 0;
+  }
+  print_findings(findings, std::cerr);
+  std::cerr << findings.size() << " finding(s)\n";
+  return 1;
+}

@@ -1,0 +1,7 @@
+// Seeded violation: relative and bare project includes.
+#include "../net/graph.hpp"
+#include "helpers.hpp"
+
+namespace fixture {
+inline int layered() { return 1; }
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Seeded violation: library code writing to stdout.
+#include <cstdio>
+#include <iostream>
+
+#include "net/graph.hpp"
+
+namespace fixture {
+
+void report() {
+  std::cout << "done\n";
+  printf("done again\n");
+}
+
+}  // namespace fixture

@@ -1,0 +1,6 @@
+// Seeded violation: header missing its include guard pragma.
+#include "net/graph.hpp"
+
+namespace fixture {
+inline int answer() { return 42; }
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Seeded violation: unit-bearing quantities declared as raw doubles.
+#include "net/graph.hpp"
+
+namespace fixture {
+
+double demand = 1.0;
+
+struct Flow {
+  double capacity = 4.0;
+  float link_load = 0.0F;
+};
+
+double peak_demand(double base_demand) { return base_demand * 2.0; }
+
+}  // namespace fixture

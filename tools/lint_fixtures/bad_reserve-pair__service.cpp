@@ -1,0 +1,11 @@
+// Seeded violation: service-layer file that reserves but never releases.
+#include "service/capacity_ledger.hpp"
+
+namespace fixture {
+
+bool grab(chronus::service::CapacityLedger& ledger,
+          const chronus::service::Footprint& fp) {
+  return ledger.try_reserve(fp);
+}
+
+}  // namespace fixture

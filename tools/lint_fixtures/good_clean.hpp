@@ -1,0 +1,18 @@
+// Clean fixture: strong types, rooted includes, no stdout. Must produce no
+// findings — proves the rules don't fire on idiomatic code.
+#pragma once
+
+#include "net/graph.hpp"
+#include "util/strong_types.hpp"
+
+namespace fixture {
+
+inline chronus::util::Demand scaled(chronus::util::Demand d) {
+  return d * 2.0;
+}
+
+// An acknowledged exception carries an allowance with justification:
+// chronus-lint: allow(raw-unit) wall-clock seconds, not a flow quantity
+inline double timeout_demand_seconds() { return 1.5; }
+
+}  // namespace fixture

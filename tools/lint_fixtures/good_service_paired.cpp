@@ -1,0 +1,11 @@
+// Clean service-layer fixture: every reserve has a matching release.
+#include "service/capacity_ledger.hpp"
+
+namespace fixture {
+
+void cycle(chronus::service::CapacityLedger& ledger,
+           const chronus::service::Footprint& fp) {
+  if (ledger.try_reserve(fp)) ledger.release(fp);
+}
+
+}  // namespace fixture
