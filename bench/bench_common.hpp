@@ -10,6 +10,7 @@
 #include <string>
 
 #include "net/generators.hpp"
+#include "obs/metrics.hpp"
 #include "util/cli.hpp"
 #include "util/json_writer.hpp"
 #include "util/rng.hpp"
@@ -35,6 +36,15 @@ inline std::unique_ptr<util::JsonWriter> json_from_cli(const util::Cli& cli,
   const std::string path = cli.get("json", "");
   if (path.empty()) return nullptr;
   return std::make_unique<util::JsonWriter>(path, bench);
+}
+
+/// Installs a metrics registry when --metrics=<path> is given and exports
+/// the snapshot next to the --json output when the returned sidecar is
+/// destroyed. Keep the sidecar alive for the whole run; consume the flag
+/// before reject_unknown_flags.
+inline std::unique_ptr<obs::MetricsSidecar> metrics_from_cli(
+    const util::Cli& cli, const char* bench) {
+  return std::make_unique<obs::MetricsSidecar>(cli.get("metrics", ""), bench);
 }
 
 inline void reject_unknown_flags(const util::Cli& cli) {

@@ -9,7 +9,7 @@
 // plan.
 //
 //   ./bench/ext_multiflow [--instances=N] [--seed=N] [--max-flows=N]
-//                         [--json=PATH]
+//                         [--json=PATH] [--metrics=PATH]
 #include "bench_common.hpp"
 
 #include "core/multi_flow.hpp"
@@ -59,6 +59,7 @@ int main(int argc, char** argv) {
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   const auto max_flows = static_cast<int>(cli.get_int("max-flows", 5));
   auto json = bench::json_from_cli(cli, "ext_multiflow");
+  auto metrics = bench::metrics_from_cli(cli, "ext_multiflow");
   bench::reject_unknown_flags(cli);
   if (json) {
     json->meta("instances", static_cast<std::int64_t>(instances));

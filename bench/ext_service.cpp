@@ -10,7 +10,7 @@
 // `violations` column must stay 0).
 //
 //   ./bench/ext_service [--requests=N] [--workers=N] [--rescue=N]
-//                       [--seed=N] [--json=PATH]
+//                       [--seed=N] [--json=PATH] [--metrics=PATH]
 #include "bench_common.hpp"
 
 #include "service/service.hpp"
@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   const auto rescue = static_cast<int>(cli.get_int("rescue", 2));
   const auto seed = static_cast<std::uint64_t>(cli.get_int("seed", 1));
   auto json = bench::json_from_cli(cli, "ext_service");
+  auto metrics = bench::metrics_from_cli(cli, "ext_service");
   bench::reject_unknown_flags(cli);
   if (json) {
     json->meta("requests", static_cast<std::int64_t>(requests));

@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "core/loop_check.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "timenet/transition_state.hpp"
 #include "timenet/verifier.hpp"
 #include "util/contracts.hpp"
@@ -10,6 +12,27 @@
 namespace chronus::core {
 
 namespace {
+
+/// Per-invocation tallies, flushed once on every exit path (greedy.* in
+/// DESIGN.md §11). Aggregating locally keeps the scheduler's hot loop free
+/// of atomic traffic even when metrics are enabled.
+struct GreedyTally {
+  std::uint64_t rounds = 0;
+  std::uint64_t dep_rebuilds = 0;
+  std::uint64_t heads_expanded = 0;
+  std::uint64_t updates = 0;
+  bool infeasible = false;
+
+  ~GreedyTally() {
+    if (obs::registry() == nullptr) return;
+    obs::add("greedy.calls");
+    obs::add("greedy.rounds", rounds);
+    obs::add("greedy.dep_rebuilds", dep_rebuilds);
+    obs::add("greedy.heads_expanded", heads_expanded);
+    obs::add("greedy.updates", updates);
+    if (infeasible) obs::add("greedy.infeasible");
+  }
+};
 
 /// Completes a schedule that has no safe continuation: remaining switches
 /// are updated one per step, preferring loop-free candidates. Used when the
@@ -44,6 +67,8 @@ void complete_best_effort(const net::UpdateInstance& inst,
 
 ScheduleResult greedy_schedule(const net::UpdateInstance& inst,
                                const GreedyOptions& opts) {
+  CHRONUS_SPAN("greedy.schedule");
+  GreedyTally tally;
   ScheduleResult res;
   std::set<net::NodeId> pending;
   for (const net::NodeId v : inst.switches_to_update()) pending.insert(v);
@@ -66,6 +91,7 @@ ScheduleResult greedy_schedule(const net::UpdateInstance& inst,
   timenet::TransitionState state(inst);  // incremental checks, guarded mode
 
   auto fail = [&](const std::string& why) {
+    tally.infeasible = true;
     res.message = why;
     if (opts.force_complete) {
       complete_best_effort(inst, pending, res.schedule, t + 1);
@@ -77,7 +103,9 @@ ScheduleResult greedy_schedule(const net::UpdateInstance& inst,
   };
 
   while (!pending.empty()) {
+    ++tally.rounds;
     DependencySet deps = find_dependencies(inst, updated, pending);
+    ++tally.dep_rebuilds;
     StepLog log;
     log.time = t;
     if (opts.record_steps) log.dependencies = deps;
@@ -93,6 +121,7 @@ ScheduleResult greedy_schedule(const net::UpdateInstance& inst,
 
     bool progressed = false;
     for (const net::NodeId head : heads) {
+      ++tally.heads_expanded;
       // The O(1) Algorithm 4 verdict first: a positive proves a concrete
       // in-flight class would revisit a switch, sparing the probe.
       if (alg4.loops(head, t)) continue;
@@ -105,6 +134,7 @@ ScheduleResult greedy_schedule(const net::UpdateInstance& inst,
       updated.insert(head);
       pending.erase(head);
       log.updated.push_back(head);
+      ++tally.updates;
       progressed = true;
     }
 
@@ -126,10 +156,14 @@ ScheduleResult greedy_schedule(const net::UpdateInstance& inst,
                       res.schedule.last_time() <= t,
                   "greedy schedule stays within the steps it walked");
   // Guarded mode proved every step clean incrementally; under audit builds
-  // re-verify the whole transition from scratch.
+  // re-verify the whole transition from scratch. The re-verify runs with
+  // metrics muted: contract checks must not perturb the logical metric
+  // stream, or replay/golden comparisons would depend on the build preset.
   CHRONUS_AUDIT_ENSURES(
-      !opts.guard_with_verifier ||
-          timenet::verify_transition(inst, res.schedule).ok(),
+      !opts.guard_with_verifier || [&] {
+        const obs::MetricsMute mute;
+        return timenet::verify_transition(inst, res.schedule).ok();
+      }(),
       "guarded greedy emitted a schedule the verifier rejects");
   return res;
 }

@@ -4,6 +4,7 @@
 #include <limits>
 
 #include "core/config.hpp"
+#include "obs/metrics.hpp"
 #include "timenet/trajectory.hpp"
 
 namespace chronus::core {
@@ -11,6 +12,7 @@ namespace chronus::core {
 bool exact_loop_check(const net::UpdateInstance& inst,
                       const timenet::UpdateSchedule& scheduled, net::NodeId v,
                       timenet::TimePoint t) {
+  obs::add("loopcheck.exact_invocations");
   timenet::UpdateSchedule tentative = scheduled;
   tentative.set(v, t);
 
@@ -37,7 +39,7 @@ bool algorithm4_loop_check(const net::UpdateInstance& inst,
 }
 
 Algorithm4Context::Algorithm4Context(const net::UpdateInstance& inst)
-    : inst_(&inst) {
+    : inst_(&inst), invocations_(obs::counter_ptr("loopcheck.invocations")) {
   const net::Path& p_init = inst.p_init();
   const net::Graph& g = inst.graph();
   init_prefix_delay_.resize(p_init.size(), 0);
@@ -72,6 +74,9 @@ void Algorithm4Context::begin_step(const std::set<net::NodeId>& updated,
 }
 
 bool Algorithm4Context::loops(net::NodeId v, timenet::TimePoint t) const {
+  // Hot path: the slot handle was resolved once in the constructor, so an
+  // enabled check costs one relaxed increment and a disabled one a branch.
+  if (invocations_ != nullptr) invocations_->add(1);
   const auto new_next = inst_->new_next(v);
   if (!new_next) return false;
 

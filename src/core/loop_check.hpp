@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "net/instance.hpp"
+#include "obs/metrics.hpp"
 #include "timenet/schedule.hpp"
 
 namespace chronus::core {
@@ -68,6 +69,10 @@ class Algorithm4Context {
 
  private:
   const net::UpdateInstance* inst_;
+  // loopcheck.invocations slot, resolved once at construction (null when
+  // metrics are dark). The context must not outlive the registry that
+  // issued the handle — contexts are per-call locals in practice.
+  obs::Counter* invocations_ = nullptr;
   std::vector<net::Delay> init_prefix_delay_;  // D(i) per position
   std::unordered_map<net::NodeId, std::size_t> init_pos_;
   std::unordered_map<net::NodeId, std::size_t> cur_pos_;  // current path

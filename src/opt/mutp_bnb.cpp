@@ -6,6 +6,8 @@
 #include <set>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "timenet/transition_state.hpp"
 #include "timenet/verifier.hpp"
 #include "util/stopwatch.hpp"
@@ -36,6 +38,12 @@ struct Search {
   bool timed_out = false;
   bool truncated = false;
   std::uint64_t nodes = 0;
+  std::uint64_t prunes = 0;
+  std::uint64_t memo_hits = 0;
+  // Incumbent improvements found *inside* the search; the greedy seed is
+  // excluded so mutp.nodes_visited >= mutp.incumbent_updates always holds
+  // (property-tested in tests/property_test.cpp).
+  std::uint64_t incumbent_updates = 0;
   std::map<std::string, timenet::TimePoint> memo;
 
   void dfs(timenet::TimePoint t, std::set<net::NodeId>& pending);
@@ -72,15 +80,22 @@ void Search::dfs(timenet::TimePoint t, std::set<net::NodeId>& pending) {
       incumbent = makespan;
       best = sched;
       found = true;
+      ++incumbent_updates;
     }
     return;
   }
   // Any completion still updates a switch at >= t, so makespan >= t + 1.
-  if (t.count() + 1 >= incumbent) return;
+  if (t.count() + 1 >= incumbent) {
+    ++prunes;
+    return;
+  }
 
   const std::string key = state_key(t, sched, pending);
   const auto it = memo.find(key);
-  if (it != memo.end() && it->second <= t) return;
+  if (it != memo.end() && it->second <= t) {
+    ++memo_hits;
+    return;
+  }
   memo[key] = t;
 
   std::vector<net::NodeId> cand;
@@ -129,6 +144,7 @@ void Search::branch(timenet::TimePoint t, std::set<net::NodeId>& pending,
 
 MutpResult solve_mutp(const net::UpdateInstance& inst,
                       const MutpOptions& opts) {
+  CHRONUS_SPAN("mutp.solve");
   MutpResult res;
   const auto to_update = inst.switches_to_update();
   if (to_update.empty()) {
@@ -185,6 +201,13 @@ MutpResult solve_mutp(const net::UpdateInstance& inst,
   } else {
     s.dfs(timenet::TimePoint{0}, pending);
   }
+
+  obs::add("mutp.calls");
+  obs::add("mutp.nodes_visited", s.nodes);
+  obs::add("mutp.prunes", s.prunes);
+  obs::add("mutp.memo_hits", s.memo_hits);
+  obs::add("mutp.incumbent_updates", s.incumbent_updates);
+  if (s.timed_out) obs::add("mutp.timeouts");
 
   res.timed_out = s.timed_out;
   res.nodes_explored = s.nodes;

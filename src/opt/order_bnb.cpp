@@ -5,6 +5,8 @@
 #include <map>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/stopwatch.hpp"
 
 namespace chronus::opt {
@@ -68,6 +70,9 @@ struct Search {
   bool found = false;
   bool timed_out = false;
   std::uint64_t nodes = 0;
+  std::uint64_t prunes = 0;
+  std::uint64_t memo_hits = 0;
+  std::uint64_t incumbent_updates = 0;  // dfs-internal only (see mutp_bnb)
   std::map<std::string, std::size_t> memo;  // pending-set -> fewest rounds used
 
   void dfs(std::set<net::NodeId>& pending, std::set<net::NodeId>& updated);
@@ -94,14 +99,21 @@ void Search::dfs(std::set<net::NodeId>& pending,
       incumbent = current.size();
       best = current;
       found = true;
+      ++incumbent_updates;
     }
     return;
   }
-  if (current.size() + 1 >= incumbent) return;
+  if (current.size() + 1 >= incumbent) {
+    ++prunes;
+    return;
+  }
 
   const std::string key = pending_key(pending);
   const auto it = memo.find(key);
-  if (it != memo.end() && it->second <= current.size()) return;
+  if (it != memo.end() && it->second <= current.size()) {
+    ++memo_hits;
+    return;
+  }
   memo[key] = current.size();
 
   std::vector<net::NodeId> cand;
@@ -177,6 +189,7 @@ bool round_is_loop_safe(const net::UpdateInstance& inst,
 
 OrderResult solve_order_replacement(const net::UpdateInstance& inst,
                                     const OrderOptions& opts) {
+  CHRONUS_SPAN("order.solve");
   OrderResult res;
   const auto to_update = inst.switches_to_update();
   if (to_update.empty()) {
@@ -233,6 +246,13 @@ OrderResult solve_order_replacement(const net::UpdateInstance& inst,
   }
   std::set<net::NodeId> updated = pre_installed;
   s.dfs(pending, updated);
+
+  obs::add("order.calls");
+  obs::add("order.nodes_visited", s.nodes);
+  obs::add("order.prunes", s.prunes);
+  obs::add("order.memo_hits", s.memo_hits);
+  obs::add("order.incumbent_updates", s.incumbent_updates);
+  if (s.timed_out) obs::add("order.timeouts");
 
   res.timed_out = s.timed_out;
   res.nodes_explored = s.nodes;

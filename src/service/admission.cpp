@@ -6,10 +6,46 @@
 #include <stdexcept>
 
 #include "net/path.hpp"
+#include "obs/metrics.hpp"
 
 namespace chronus::service {
 
 namespace {
+
+/// Flushes the round's outcome counts (admission.* in DESIGN.md §11) on
+/// every exit path of decide(). All counts derive from the returned round,
+/// so the metrics agree with the dispatcher's view by construction.
+struct AdmissionTally {
+  const AdmissionRound* round;
+
+  ~AdmissionTally() {
+    if (obs::registry() == nullptr) return;
+    obs::add("admission.rounds");
+    obs::add("admission.singles", round->singles.size());
+    obs::add("admission.deferrals", round->deferred.size());
+    obs::add("admission.joint_groups", round->groups.size());
+    for (const auto& g : round->groups) {
+      obs::add("admission.rescues", g.members.size());
+    }
+    for (const auto& [idx, status] : round->rejected) {
+      (void)idx;
+      switch (status) {
+        case RequestStatus::kRejectedDeadline:
+          obs::add("admission.reject_deadline");
+          break;
+        case RequestStatus::kRejectedInfeasible:
+          obs::add("admission.reject_infeasible");
+          break;
+        case RequestStatus::kRejectedCapacity:
+          obs::add("admission.reject_capacity");
+          break;
+        default:
+          obs::add("admission.reject_other");
+          break;
+      }
+    }
+  }
+};
 
 /// Union-find over pending-queue indices, used to group conflicting
 /// leftovers by shared footprint links.
@@ -52,6 +88,7 @@ AdmissionRound AdmissionController::decide(
     const std::vector<PendingRequest>& pending, CapacityLedger& ledger,
     sim::SimTime now) const {
   AdmissionRound round;
+  const AdmissionTally tally{&round};
   // Candidates that survived the reject filters, in service order, with a
   // flag saying whether their individual reservation succeeded.
   struct Candidate {

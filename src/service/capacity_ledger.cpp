@@ -3,6 +3,7 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.hpp"
 #include "util/contracts.hpp"
 
 namespace chronus::service {
@@ -57,13 +58,17 @@ bool CapacityLedger::fits(const Footprint& fp) const {
 }
 
 bool CapacityLedger::try_reserve(const Footprint& fp) {
+  obs::add("ledger.reserve_attempts");
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [id, amount] : fp) {
     if (amount < net::Demand{}) {
       throw std::invalid_argument("negative reservation on link " +
                                   std::to_string(id));
     }
-    if (committed_.at(id) + amount > capacity_.at(id) + kEps) return false;
+    if (committed_.at(id) + amount > capacity_.at(id) + kEps) {
+      obs::add("ledger.conflicts");
+      return false;
+    }
   }
   for (const auto& [id, amount] : fp) {
     committed_[id] += amount;
@@ -74,10 +79,14 @@ bool CapacityLedger::try_reserve(const Footprint& fp) {
     const double util = committed_[id] / capacity_[id];
     if (util > peak_) peak_ = util;
   }
+  obs::add("ledger.reserves");
+  obs::gauge_add("ledger.outstanding", 1);
   return true;
 }
 
 void CapacityLedger::release(const Footprint& fp) {
+  obs::add("ledger.releases");
+  obs::gauge_add("ledger.outstanding", -1);
   std::lock_guard<std::mutex> lock(mu_);
   for (const auto& [id, amount] : fp) {
     if (committed_.at(id) + kEps < amount) {

@@ -7,6 +7,8 @@
 #include <utility>
 
 #include "core/multi_flow.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "service/worker_pool.hpp"
 #include "sim/updaters.hpp"
 #include "timenet/verifier.hpp"
@@ -171,6 +173,8 @@ UpdateService::UpdateService(net::Graph base, ServiceOptions opts)
 }
 
 ServiceReport UpdateService::run(std::vector<UpdateRequest> requests) {
+  CHRONUS_SPAN("service.run");
+  obs::add("service.requests", requests.size());
   std::sort(requests.begin(), requests.end(),
             [](const UpdateRequest& a, const UpdateRequest& b) {
               return a.arrival != b.arrival ? a.arrival < b.arrival
@@ -216,6 +220,7 @@ ServiceReport UpdateService::run(std::vector<UpdateRequest> requests) {
 
   while (next_arrival < requests.size() || !pending.empty() ||
          !inflight.empty()) {
+    obs::add("service.epochs");
     // 1. Fold due completions back into the ledger.
     while (!inflight.empty() && inflight.begin()->first.first <= now) {
       ledger.release(inflight.begin()->second);
@@ -365,6 +370,10 @@ ServiceReport UpdateService::run(std::vector<UpdateRequest> requests) {
         const sim::SimTime due = quantize_up(now + std::max<sim::SimTime>(
                                                        duration, 1));
         rec.completed = due;
+        // Virtual (simulated) latency: a function of the deterministic
+        // epoch dispatch alone, so it replays bit-identically across
+        // worker counts — deliberately not a _wall_us metric.
+        obs::observe("service.request_latency_us", due - r.arrival);
         return due;
       };
 
@@ -444,6 +453,26 @@ ServiceReport UpdateService::run(std::vector<UpdateRequest> requests) {
   }
   report.peak_utilization = ledger.peak_utilization();
   report.finalize();
+  if (obs::registry() != nullptr) {
+    std::uint64_t completed = 0, failed = 0, rejected = 0;
+    for (const RequestRecord& rec : report.records) {
+      switch (rec.status) {
+        case RequestStatus::kCompleted:
+          ++completed;
+          break;
+        case RequestStatus::kFailed:
+          ++failed;
+          break;
+        default:
+          ++rejected;
+          break;
+      }
+    }
+    obs::add("service.completed", completed);
+    obs::add("service.failed", failed);
+    obs::add("service.rejected", rejected);
+    obs::add("service.joint_batches", report.joint_batches);
+  }
   return report;
 }
 

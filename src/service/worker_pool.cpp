@@ -1,5 +1,8 @@
 #include "service/worker_pool.hpp"
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace chronus::service {
 
 WorkerPool::WorkerPool(int workers) {
@@ -20,10 +23,15 @@ WorkerPool::~WorkerPool() {
 }
 
 void WorkerPool::submit(std::function<void()> job) {
+  std::size_t depth;
   {
     std::lock_guard<std::mutex> lock(mu_);
     jobs_.push_back(std::move(job));
+    depth = jobs_.size();
   }
+  obs::add("workerpool.jobs");
+  obs::gauge_set("workerpool.queue_depth",
+                 static_cast<std::int64_t>(depth));
   work_cv_.notify_one();
 }
 
@@ -42,8 +50,15 @@ void WorkerPool::worker_loop() {
       job = std::move(jobs_.front());
       jobs_.pop_front();
       ++active_;
+      obs::gauge_set("workerpool.queue_depth",
+                     static_cast<std::int64_t>(jobs_.size()));
     }
-    job();
+    {
+      // Per-job wall time lands in span.workerpool.job_wall_us; worker
+      // threads carry no enclosing span, so the path never nests.
+      CHRONUS_SPAN("workerpool.job");
+      job();
+    }
     {
       std::lock_guard<std::mutex> lock(mu_);
       --active_;

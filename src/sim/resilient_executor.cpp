@@ -5,9 +5,47 @@
 #include <optional>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+
 namespace chronus::sim {
 
 namespace {
+
+/// Flushes a run's fallback-ladder counters (executor.* in DESIGN.md §11)
+/// when the public run method returns, whichever exit path it takes. The
+/// report outlives the tally (both are locals in the run method, report
+/// declared first), so the destructor reads the final values.
+struct RunTally {
+  const UpdateRunReport* rep;
+
+  ~RunTally() {
+    if (obs::registry() == nullptr) return;
+    obs::add("executor.runs");
+    obs::add("executor.retries", static_cast<std::uint64_t>(rep->retries));
+    obs::add("executor.recalls", static_cast<std::uint64_t>(rep->recalls));
+    obs::add("executor.replans", static_cast<std::uint64_t>(rep->replans));
+    obs::add("executor.barrier_rounds",
+             static_cast<std::uint64_t>(rep->barrier_rounds));
+    obs::add("executor.late_activations",
+             static_cast<std::uint64_t>(rep->late_activations));
+    if (rep->completed) obs::add("executor.completed");
+    if (rep->rolled_back) obs::add("executor.rolled_back");
+    switch (rep->fallback) {
+      case UpdateRunReport::Fallback::kReplan:
+        obs::add("executor.fallback_replan");
+        break;
+      case UpdateRunReport::Fallback::kTwoPhase:
+        obs::add("executor.fallback_two_phase");
+        break;
+      case UpdateRunReport::Fallback::kRollback:
+        obs::add("executor.fallback_rollback");
+        break;
+      case UpdateRunReport::Fallback::kNone:
+        break;
+    }
+  }
+};
 
 /// The network state the controller believes in after a partial update:
 /// the path new injections actually follow (updated switches forward with
@@ -539,7 +577,9 @@ void ResilientExecutor::rollback(const net::UpdateInstance& inst,
 UpdateRunReport ResilientExecutor::run_timed(
     const net::UpdateInstance& inst, const SimFlowSpec& spec,
     const timenet::UpdateSchedule& schedule, SimTime t0, SimTime step_unit) {
+  CHRONUS_SPAN("executor.run_timed");
   UpdateRunReport rep;
+  const RunTally tally{&rep};
   const FaultStats before = fault_snapshot();
   rep.result.start = ctrl_->clock();
   const TimedOutcome out =
@@ -563,6 +603,7 @@ UpdateRunReport ResilientExecutor::run_chronus(const net::UpdateInstance& inst,
                                                const core::GreedyOptions& gopts) {
   const core::ScheduleResult plan = core::greedy_schedule(inst, gopts);
   if (plan.status == core::ScheduleStatus::kInfeasible) {
+    obs::add("executor.plan_infeasible");
     UpdateRunReport rep;
     rep.result.start = ctrl_->clock();
     rep.result.plan_status = plan.status;
@@ -579,7 +620,9 @@ UpdateRunReport ResilientExecutor::run_or(const net::UpdateInstance& inst,
                                           const SimFlowSpec& spec, SimTime t0,
                                           SimTime step_unit,
                                           const opt::OrderOptions& plan_opts) {
+  CHRONUS_SPAN("executor.run_or");
   UpdateRunReport rep;
+  const RunTally tally{&rep};
   const FaultStats before = fault_snapshot();
   ctrl_->advance_clock(t0);
   rep.result.start = ctrl_->clock();
@@ -644,7 +687,9 @@ UpdateRunReport ResilientExecutor::run_two_phase(const net::UpdateInstance& inst
                                                  SimTime t0,
                                                  SimTime drain_margin,
                                                  [[maybe_unused]] SimTime step_unit) {
+  CHRONUS_SPAN("executor.run_two_phase");
   UpdateRunReport rep;
+  const RunTally tally{&rep};
   const FaultStats before = fault_snapshot();
   ctrl_->advance_clock(t0);
   rep.result.start = ctrl_->clock();

@@ -4,11 +4,32 @@
 #include <set>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/stopwatch.hpp"
 
 namespace chronus::timenet {
 
 namespace {
+
+/// Per-call verifier tallies (verifier.* in DESIGN.md §11), flushed from
+/// the destructor so every early return (abort, first-violation) still
+/// reports what was done.
+struct VerifyTally {
+  std::uint64_t classes_traced = 0;
+  std::uint64_t links_checked = 0;
+  std::uint64_t violations = 0;
+  bool aborted = false;
+
+  ~VerifyTally() {
+    if (obs::registry() == nullptr) return;
+    obs::add("verifier.calls");
+    obs::add("verifier.classes_traced", classes_traced);
+    obs::add("verifier.links_checked", links_checked);
+    obs::add("verifier.violations", violations);
+    if (aborted) obs::add("verifier.aborted");
+  }
+};
 
 /// Upper bound on the duration of any single trajectory.
 std::int64_t trajectory_bound(const net::Graph& g) {
@@ -52,6 +73,8 @@ Window make_window(const net::Graph& g,
 
 TransitionReport verify_transitions(const std::vector<FlowTransition>& flows,
                                     const VerifyOptions& opts) {
+  CHRONUS_SPAN("verifier.transitions");
+  VerifyTally tally;
   TransitionReport report;
   if (flows.empty()) return report;
   const net::Graph& g = flows.front().instance->graph();
@@ -77,8 +100,10 @@ TransitionReport verify_transitions(const std::vector<FlowTransition>& flows,
     for (TimePoint tau = w.trace_begin; tau <= w.trace_end; ++tau) {
       if ((tau.count() & 0xff) == 0 && deadline.expired()) {
         report.aborted = true;
+        tally.aborted = true;
         return report;
       }
+      ++tally.classes_traced;
       const Trace trace = trace_class(view, tau);
       for (std::size_t i = 0; i + 1 < trace.hops.size(); ++i) {
         const auto link = g.find_link(trace.hops[i].node, trace.hops[i + 1].node);
@@ -90,12 +115,14 @@ TransitionReport verify_transitions(const std::vector<FlowTransition>& flows,
         // otherwise repeat for every class in the window.
         if (loop_nodes_seen.insert(trace.loop_node).second) {
           report.loops.push_back(LoopEvent{tau, trace.loop_node});
+          ++tally.violations;
           if (opts.first_violation_only) return report;
         }
       }
       if (trace.end == TraceEnd::kBlackhole) {
         if (blackhole_nodes_seen.insert(trace.fault_node).second) {
           report.blackholes.push_back(BlackholeEvent{tau, trace.fault_node});
+          ++tally.violations;
           if (opts.first_violation_only) return report;
         }
       }
@@ -106,9 +133,11 @@ TransitionReport verify_transitions(const std::vector<FlowTransition>& flows,
   for (const auto& [key, x] : load) {
     const auto& [link_id, enter] = key;
     if (enter < w.eval_begin || enter > w.eval_end) continue;
+    ++tally.links_checked;
     const net::Capacity cap = g.link(link_id).capacity;
     if (x > cap + net::Demand{kEps}) {
       report.congestion.push_back(CongestionEvent{link_id, enter, x, cap});
+      ++tally.violations;
       if (opts.first_violation_only) return report;
     }
   }

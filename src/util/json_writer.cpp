@@ -40,20 +40,25 @@ std::string json_escape(const std::string& s) {
 }
 
 JsonWriter::JsonWriter(const std::string& path, const std::string& bench)
-    : out_(path) {
-  if (!out_) throw std::runtime_error("cannot create " + path);
-  out_ << "{\"bench\":\"" << json_escape(bench) << "\"";
+    : file_(path), out_(&file_) {
+  if (!file_) throw std::runtime_error("cannot create " + path);
+  *out_ << "{\"bench\":\"" << json_escape(bench) << "\"";
+}
+
+JsonWriter::JsonWriter(std::ostream& out, const std::string& bench)
+    : out_(&out) {
+  *out_ << "{\"bench\":\"" << json_escape(bench) << "\"";
 }
 
 JsonWriter::~JsonWriter() {
   if (in_row_) end_row();
-  if (meta_open_) out_ << "}";
+  if (meta_open_) *out_ << "}";
   if (rows_open_) {
-    out_ << "\n]";
+    *out_ << "\n]";
   } else {
-    out_ << ",\"rows\":[]";
+    *out_ << ",\"rows\":[]";
   }
-  out_ << "}\n";
+  *out_ << "}\n";
 }
 
 void JsonWriter::meta_key(const std::string& key) {
@@ -61,21 +66,21 @@ void JsonWriter::meta_key(const std::string& key) {
     throw std::logic_error("meta() after the first row");
   }
   if (!meta_open_) {
-    out_ << ",\"meta\":{";
+    *out_ << ",\"meta\":{";
     meta_open_ = true;
   }
-  if (!first_meta_) out_ << ",";
+  if (!first_meta_) *out_ << ",";
   first_meta_ = false;
-  out_ << "\"" << json_escape(key) << "\":";
+  *out_ << "\"" << json_escape(key) << "\":";
 }
 
 void JsonWriter::write_number(double value) {
   if (std::isfinite(value)) {
     char buf[64];
     std::snprintf(buf, sizeof buf, "%.12g", value);
-    out_ << buf;
+    *out_ << buf;
   } else {
-    out_ << "null";
+    *out_ << "null";
   }
 }
 
@@ -86,25 +91,25 @@ void JsonWriter::meta(const std::string& key, double value) {
 
 void JsonWriter::meta(const std::string& key, std::int64_t value) {
   meta_key(key);
-  out_ << value;
+  *out_ << value;
 }
 
 void JsonWriter::meta(const std::string& key, const std::string& value) {
   meta_key(key);
-  out_ << "\"" << json_escape(value) << "\"";
+  *out_ << "\"" << json_escape(value) << "\"";
 }
 
 void JsonWriter::begin_row() {
   if (in_row_) throw std::logic_error("begin_row() inside a row");
   if (meta_open_) {
-    out_ << "}";
+    *out_ << "}";
     meta_open_ = false;
   }
   if (!rows_open_) {
-    out_ << ",\"rows\":[";
+    *out_ << ",\"rows\":[";
     rows_open_ = true;
   }
-  out_ << (first_row_ ? "\n" : ",\n") << "{";
+  *out_ << (first_row_ ? "\n" : ",\n") << "{";
   first_row_ = false;
   in_row_ = true;
   first_field_ = true;
@@ -112,9 +117,9 @@ void JsonWriter::begin_row() {
 
 void JsonWriter::field_key(const std::string& key) {
   if (!in_row_) throw std::logic_error("field() outside a row");
-  if (!first_field_) out_ << ",";
+  if (!first_field_) *out_ << ",";
   first_field_ = false;
-  out_ << "\"" << json_escape(key) << "\":";
+  *out_ << "\"" << json_escape(key) << "\":";
 }
 
 void JsonWriter::field(const std::string& key, double value) {
@@ -124,27 +129,27 @@ void JsonWriter::field(const std::string& key, double value) {
 
 void JsonWriter::field(const std::string& key, std::int64_t value) {
   field_key(key);
-  out_ << value;
+  *out_ << value;
 }
 
 void JsonWriter::field(const std::string& key, std::uint64_t value) {
   field_key(key);
-  out_ << value;
+  *out_ << value;
 }
 
 void JsonWriter::field(const std::string& key, bool value) {
   field_key(key);
-  out_ << (value ? "true" : "false");
+  *out_ << (value ? "true" : "false");
 }
 
 void JsonWriter::field(const std::string& key, const std::string& value) {
   field_key(key);
-  out_ << "\"" << json_escape(value) << "\"";
+  *out_ << "\"" << json_escape(value) << "\"";
 }
 
 void JsonWriter::end_row() {
   if (!in_row_) throw std::logic_error("end_row() outside a row");
-  out_ << "}";
+  *out_ << "}";
   in_row_ = false;
 }
 

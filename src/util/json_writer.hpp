@@ -15,6 +15,7 @@
 
 #include <cstdint>
 #include <fstream>
+#include <ostream>
 #include <string>
 
 namespace chronus::util {
@@ -24,6 +25,10 @@ class JsonWriter {
   /// Opens `path` and emits the document prologue; throws
   /// std::runtime_error if the file cannot be created.
   JsonWriter(const std::string& path, const std::string& bench);
+
+  /// Writes the document to an already-open stream (e.g. an
+  /// std::ostringstream in tests). The stream must outlive the writer.
+  JsonWriter(std::ostream& out, const std::string& bench);
 
   /// Closes the document; safe if rows were never written.
   ~JsonWriter();
@@ -49,7 +54,8 @@ class JsonWriter {
   void field_key(const std::string& key);
   void write_number(double value);
 
-  std::ofstream out_;
+  std::ofstream file_;   // owned sink for the path constructor
+  std::ostream* out_;    // the active sink (== &file_ or caller's stream)
   bool meta_open_ = false;   // inside the "meta" object
   bool rows_open_ = false;   // "rows" array started
   bool in_row_ = false;

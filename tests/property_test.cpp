@@ -13,6 +13,7 @@
 #include "core/heuristics.hpp"
 #include "net/generators.hpp"
 #include "net/topologies.hpp"
+#include "obs/metrics.hpp"
 #include "opt/mutp_bnb.hpp"
 #include "opt/order_bnb.hpp"
 #include "timenet/verifier.hpp"
@@ -197,6 +198,35 @@ TEST_P(PropertySweep, DijkstraMatchesBruteForceOnSmallGraphs) {
     } else {
       ASSERT_TRUE(p.has_value());
       EXPECT_EQ(net::path_delay(g, *p), expect);
+    }
+  }
+}
+
+TEST_P(PropertySweep, MetricsBackedSchedulerDifferential) {
+  // Metric-backed differentials over random instances: where the exact
+  // solver proves optimality and the guarded greedy also succeeds, the
+  // greedy makespan can never beat OPT; and on the metrics surface the
+  // B&B can never record more incumbent improvements than nodes it
+  // visited (each improvement happens at a leaf of a visited node).
+  net::RandomInstanceOptions opt;
+  opt.n = 8;
+  for (int i = 0; i < 4; ++i) {
+    const auto inst = net::random_instance(opt, rng_);
+    obs::MetricsRegistry reg;
+    obs::MetricsSnapshot snap;
+    opt::MutpResult exact;
+    core::ScheduleResult greedy;
+    {
+      const obs::ScopedMetrics scope(reg);
+      exact = opt::solve_mutp(inst);
+      greedy = core::greedy_schedule(inst, {});
+      snap = reg.snapshot();
+    }
+    EXPECT_EQ(snap.counters.at("mutp.calls"), 1u);
+    EXPECT_GE(snap.counters.at("mutp.nodes_visited"),
+              snap.counters.at("mutp.incumbent_updates"));
+    if (exact.feasible() && exact.proved_optimal && greedy.feasible()) {
+      EXPECT_LE(exact.makespan, greedy.schedule.step_span());
     }
   }
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "io/trace_io.hpp"
+#include "obs/metrics.hpp"
 #include "service/admission.hpp"
 #include "service/capacity_ledger.hpp"
 #include "service/service.hpp"
@@ -337,8 +338,25 @@ TEST(UpdateService, TwoHundredRequestTraceIsDeterministicAndClean) {
   one.workers = 1;
   ServiceOptions four;
   four.workers = 4;
-  const ServiceReport rep1 = UpdateService(trace.graph, one).run(trace);
-  const ServiceReport rep4 = UpdateService(trace.graph, four).run(trace);
+
+  // Each run observes into its own registry, so the metrics surface can be
+  // compared across worker counts exactly like the report digest.
+  obs::MetricsRegistry reg1;
+  obs::MetricsSnapshot snap1;
+  ServiceReport rep1;
+  {
+    const obs::ScopedMetrics scope(reg1);
+    rep1 = UpdateService(trace.graph, one).run(trace);
+    snap1 = reg1.snapshot();
+  }
+  obs::MetricsRegistry reg4;
+  obs::MetricsSnapshot snap4;
+  ServiceReport rep4;
+  {
+    const obs::ScopedMetrics scope(reg4);
+    rep4 = UpdateService(trace.graph, four).run(trace);
+    snap4 = reg4.snapshot();
+  }
 
   EXPECT_EQ(rep4.violations, 0);
   EXPECT_EQ(rep4.failed, 0);
@@ -346,6 +364,20 @@ TEST(UpdateService, TwoHundredRequestTraceIsDeterministicAndClean) {
   EXPECT_GE(rep4.joint_batches, 1);
   EXPECT_GT(rep4.throughput_hz(), 0.0);
   EXPECT_EQ(rep1.digest(), rep4.digest());
+
+  // The determinism contract extends to every logical metric: counters
+  // (admissions, rejections, rescues, ledger reserve/release totals, ...)
+  // and virtual-time histograms must be bit-identical; only wall-clock
+  // durations and gauges may differ between worker counts.
+  const obs::MetricsSnapshot logical1 = snap1.logical();
+  const obs::MetricsSnapshot logical4 = snap4.logical();
+  EXPECT_EQ(logical1.counters, logical4.counters);
+  EXPECT_EQ(logical1.histograms, logical4.histograms);
+  EXPECT_GT(logical4.counters.at("ledger.reserves"), 0u);
+  EXPECT_EQ(logical4.counters.at("ledger.reserves"),
+            logical4.counters.at("ledger.releases"));
+  EXPECT_GT(logical4.counters.at("admission.rounds"), 0u);
+  EXPECT_GT(logical4.counters.at("service.completed"), 100u);
 }
 
 }  // namespace

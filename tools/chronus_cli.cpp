@@ -8,6 +8,7 @@
 //   chronus_cli dot --instance=fig1.inst [--schedule=fig1.sched]
 //   chronus_cli trace --requests=200 [--rate=40] [--conflict=0.5] > w.trace
 //   chronus_cli serve --trace=w.trace [--workers=4] [--json=report.json]
+//                     [--metrics=metrics.json]
 //
 // Algorithms for `schedule`: greedy (Algorithm 2, verifier-guarded),
 // pure (paper-literal Algorithm 2), chain (longest-chain-first), restart
@@ -28,6 +29,7 @@
 #include "io/instance_io.hpp"
 #include "io/trace_io.hpp"
 #include "net/generators.hpp"
+#include "obs/metrics.hpp"
 #include "opt/mutp_bnb.hpp"
 #include "opt/order_bnb.hpp"
 #include "service/workload.hpp"
@@ -51,9 +53,11 @@ int usage() {
                "  dot      --instance=FILE [--schedule=FILE]\n"
                "  trace    [--requests=N] [--rate=HZ] [--conflict=P]"
                " [--pairs=N] [--rescue=N] [--seed=N] [--out=FILE]\n"
+               "           [--metrics=FILE]\n"
                "  serve    --trace=FILE [--workers=N] [--epoch-ms=N]"
                " [--step-ms=N] [--seed=N]\n"
-               "           [--max-defers=N] [--plan-only] [--json=FILE]\n");
+               "           [--max-defers=N] [--plan-only] [--json=FILE]"
+               " [--metrics=FILE]\n");
   return 2;
 }
 
@@ -187,6 +191,7 @@ int cmd_or_plan(const util::Cli& cli) {
 }
 
 int cmd_trace(const util::Cli& cli) {
+  const obs::MetricsSidecar metrics(cli.get("metrics", ""), "chronus_cli.trace");
   service::WorkloadOptions opt;
   opt.requests = static_cast<int>(cli.get_int("requests", 200));
   opt.arrival_rate_hz = cli.get_double("rate", 40.0);
@@ -207,6 +212,7 @@ int cmd_trace(const util::Cli& cli) {
 }
 
 int cmd_serve(const util::Cli& cli) {
+  const obs::MetricsSidecar metrics(cli.get("metrics", ""), "chronus_cli.serve");
   const std::string path = cli.get("trace", "");
   if (path.empty()) throw std::runtime_error("--trace is required");
   const service::ServiceTrace trace = io::read_trace_file(path);

@@ -16,6 +16,10 @@
 //   reserve-pair   a service-layer file that calls `try_reserve(` must also
 //                  contain a `release(` or use the RAII Reservation guard —
 //                  an unpaired reserve is a capacity leak.
+//   raw-chrono     direct std::chrono usage (or `#include <chrono>`) in
+//                  library code outside src/obs and src/util — all timing
+//                  goes through obs spans (CHRONUS_SPAN) or util::Stopwatch
+//                  so it can be metered, masked and disabled centrally.
 //
 // A finding can be acknowledged inline with
 //   // chronus-lint: allow(<rule>) <justification>
@@ -110,6 +114,10 @@ bool has_allowance(const std::vector<std::string>& lines, std::size_t idx,
 
 bool in_util(const std::string& rel) {
   return rel.rfind("src/util/", 0) == 0 || rel.rfind("util/", 0) == 0;
+}
+
+bool in_obs(const std::string& rel) {
+  return rel.rfind("src/obs/", 0) == 0 || rel.rfind("obs/", 0) == 0;
 }
 
 bool is_header(const fs::path& p) { return p.extension() == ".hpp"; }
@@ -207,6 +215,21 @@ void check_file(const fs::path& path, const std::string& rel,
                      "src/util/strong_types.hpp)"});
           }
         }
+      }
+    }
+
+    // raw-chrono ----------------------------------------------------------
+    if (!in_util(rel) && !in_obs(rel)) {
+      const bool use_hit = code.find("std::chrono") != std::string::npos;
+      const bool include_hit =
+          code.rfind("#include", 0) == 0 &&
+          code.find("<chrono>") != std::string::npos;
+      if ((use_hit || include_hit) && !has_allowance(lines, i, "raw-chrono")) {
+        findings.push_back(
+            {rel, lineno, "raw-chrono",
+             "direct std::chrono timing in library code — time through "
+             "CHRONUS_SPAN (obs/span.hpp) or util::Stopwatch so the clock "
+             "reads stay meterable and maskable"});
       }
     }
 

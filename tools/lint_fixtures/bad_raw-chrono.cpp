@@ -1,0 +1,16 @@
+// Seeded violation: library code timing itself with std::chrono directly
+// instead of an obs span or util::Stopwatch.
+#include <chrono>
+
+#include "net/graph.hpp"
+
+namespace fixture {
+
+inline long long elapsed_us() {
+  const auto start = std::chrono::steady_clock::now();
+  const auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::microseconds>(end - start)
+      .count();
+}
+
+}  // namespace fixture
