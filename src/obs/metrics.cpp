@@ -48,28 +48,28 @@ void pop_mute() noexcept { --t_mute_depth; }
 }  // namespace detail
 
 Counter& MetricsRegistry::counter(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   auto& slot = counters_[name];
   if (!slot) slot = std::make_unique<Counter>();
   return *slot;
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   auto& slot = gauges_[name];
   if (!slot) slot = std::make_unique<Gauge>();
   return *slot;
 }
 
 Histogram& MetricsRegistry::histogram(const std::string& name) {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   auto& slot = histograms_[name];
   if (!slot) slot = std::make_unique<Histogram>();
   return *slot;
 }
 
 MetricsSnapshot MetricsRegistry::snapshot() const {
-  const std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   MetricsSnapshot snap;
   for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
   for (const auto& [name, g] : gauges_) {
@@ -155,12 +155,17 @@ MetricsSidecar::MetricsSidecar(std::string path, std::string tool)
 
 MetricsSidecar::~MetricsSidecar() {
   if (path_.empty()) return;
-  const MetricsSnapshot snap = reg_.snapshot();
-  install(prev_);
-  if (!installed_) return;
-  util::JsonWriter out(path_, tool_);
-  out.meta("kind", std::string("metrics"));
-  snap.write_json(out, /*mask_wall=*/false);
+  try {
+    const MetricsSnapshot snap = reg_.snapshot();
+    install(prev_);
+    if (!installed_) return;
+    util::JsonWriter out(path_, tool_);
+    out.meta("kind", std::string("metrics"));
+    snap.write_json(out, /*mask_wall=*/false);
+  } catch (...) {  // chronus-analyzer: allow(swallowed-catch) a sidecar
+    // write failure (disk full, unwritable path) must not escape a
+    // destructor; the run's primary output is unaffected.
+  }
 }
 
 bool MetricsSidecar::active() const noexcept { return installed_; }

@@ -30,9 +30,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace chronus::util {
 class JsonWriter;
@@ -176,23 +177,29 @@ struct MetricsSnapshot {
 /// Thread-safe instrument directory. Instruments are created on first use
 /// and never move or disappear until the registry is destroyed, so call
 /// sites may cache the returned references while the registry is alive.
+/// The directory maps are GUARDED_BY(mu_); the instruments they point at
+/// are lock-free atomics, which is why returning plain references out of
+/// the critical section is sound.
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
   MetricsRegistry(const MetricsRegistry&) = delete;
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
-  Counter& counter(const std::string& name);
-  Gauge& gauge(const std::string& name);
-  Histogram& histogram(const std::string& name);
+  Counter& counter(const std::string& name) CHRONUS_EXCLUDES(mu_);
+  Gauge& gauge(const std::string& name) CHRONUS_EXCLUDES(mu_);
+  Histogram& histogram(const std::string& name) CHRONUS_EXCLUDES(mu_);
 
-  MetricsSnapshot snapshot() const;
+  MetricsSnapshot snapshot() const CHRONUS_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable util::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_
+      CHRONUS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_
+      CHRONUS_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      CHRONUS_GUARDED_BY(mu_);
 };
 
 /// Installs `r` as the process-wide registry and returns the previous one

@@ -39,18 +39,18 @@ net::Capacity CapacityLedger::capacity(net::LinkId id) const {
 }
 
 net::Demand CapacityLedger::committed(net::LinkId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return committed_.at(id);
 }
 
 net::Capacity CapacityLedger::headroom(net::LinkId id) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   const net::Capacity room = capacity_.at(id) - committed_.at(id);
   return room > net::Capacity{} ? room : net::Capacity{};
 }
 
 bool CapacityLedger::fits(const Footprint& fp) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   for (const auto& [id, amount] : fp) {
     if (committed_.at(id) + amount > capacity_.at(id) + kEps) return false;
   }
@@ -59,7 +59,7 @@ bool CapacityLedger::fits(const Footprint& fp) const {
 
 bool CapacityLedger::try_reserve(const Footprint& fp) {
   obs::add("ledger.reserve_attempts");
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   for (const auto& [id, amount] : fp) {
     if (amount < net::Demand{}) {
       throw std::invalid_argument("negative reservation on link " +
@@ -87,7 +87,7 @@ bool CapacityLedger::try_reserve(const Footprint& fp) {
 void CapacityLedger::release(const Footprint& fp) {
   obs::add("ledger.releases");
   obs::gauge_add("ledger.outstanding", -1);
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   for (const auto& [id, amount] : fp) {
     if (committed_.at(id) + kEps < amount) {
       throw std::logic_error("release of " + std::to_string(amount.value()) +
@@ -114,12 +114,12 @@ net::Graph CapacityLedger::restricted_graph(const net::Graph& g,
 }
 
 double CapacityLedger::peak_utilization() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   return peak_;
 }
 
 bool CapacityLedger::idle() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  const util::MutexLock lock(mu_);
   for (const net::Demand c : committed_) {
     if (c > kEps) return false;
   }

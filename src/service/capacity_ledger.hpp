@@ -21,11 +21,11 @@
 #pragma once
 
 #include <map>
-#include <mutex>
 #include <vector>
 
 #include "net/graph.hpp"
 #include "net/path.hpp"
+#include "util/thread_annotations.hpp"
 
 namespace chronus::service {
 
@@ -48,24 +48,24 @@ class CapacityLedger {
   net::Capacity capacity(net::LinkId id) const;
 
   /// Capacity currently committed to in-flight transitions.
-  net::Demand committed(net::LinkId id) const;
+  net::Demand committed(net::LinkId id) const CHRONUS_EXCLUDES(mu_);
 
   /// capacity - committed, never negative.
-  net::Capacity headroom(net::LinkId id) const;
+  net::Capacity headroom(net::LinkId id) const CHRONUS_EXCLUDES(mu_);
 
   /// True iff the whole footprint fits the current headroom (advisory: a
   /// concurrent reserve may invalidate it; use try_reserve to commit).
-  bool fits(const Footprint& fp) const;
+  bool fits(const Footprint& fp) const CHRONUS_EXCLUDES(mu_);
 
   /// Atomically commits the footprint; returns false (ledger unchanged)
   /// if any link lacks headroom. Negative reservations are a contract
   /// violation (always a caller bug).
-  bool try_reserve(const Footprint& fp);
+  bool try_reserve(const Footprint& fp) CHRONUS_EXCLUDES(mu_);
 
   /// Returns the reserved amounts; throws std::logic_error if any entry
   /// would drive a link's commitment negative (a release that was never
   /// reserved — always a caller bug).
-  void release(const Footprint& fp);
+  void release(const Footprint& fp) CHRONUS_EXCLUDES(mu_);
 
   /// A copy of `g` whose footprint links carry exactly the reservation
   /// amount (the capacities a single admitted request may plan against);
@@ -73,16 +73,16 @@ class CapacityLedger {
   net::Graph restricted_graph(const net::Graph& g, const Footprint& fp) const;
 
   /// Max over links of committed/capacity ever observed (watermark).
-  double peak_utilization() const;
+  double peak_utilization() const CHRONUS_EXCLUDES(mu_);
 
   /// True iff no capacity is committed anywhere (all releases balanced).
-  bool idle() const;
+  bool idle() const CHRONUS_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::vector<net::Capacity> capacity_;
-  std::vector<net::Demand> committed_;
-  double peak_ = 0.0;
+  mutable util::Mutex mu_;
+  std::vector<net::Capacity> capacity_;  ///< immutable after construction
+  std::vector<net::Demand> committed_ CHRONUS_GUARDED_BY(mu_);
+  double peak_ CHRONUS_GUARDED_BY(mu_) = 0.0;
 };
 
 }  // namespace chronus::service

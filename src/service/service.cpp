@@ -27,6 +27,14 @@ net::UpdateInstance make_instance(const net::Graph& g,
   return net::UpdateInstance::from_paths(g, req.p_init, req.p_fin, req.demand);
 }
 
+// Thread-safety note (DESIGN.md §12): the Plan/Exec result slots below are
+// deliberately *unguarded*. Exactly one worker writes a given slot, and
+// the dispatcher reads it only after WorkerPool::wait_idle() — a barrier
+// hand-off stronger than any per-slot mutex. Clang's capability analysis
+// cannot express barrier ownership transfer, so the contract lives here
+// and in the chronus_analyzer lock-discipline pass (which verifies the
+// dispatcher itself holds no lock across the blocking wait_idle call).
+
 /// Worker-side planning outcome; one slot per admitted single or group.
 struct PlanResult {
   bool feasible = false;

@@ -8,15 +8,21 @@
 // regardless of which worker finished first. `wait_idle` is the barrier the
 // epoch loop uses between the parallel phase and the deterministic commit
 // phase.
+//
+// Lock contract (compiler-checked on Clang, DESIGN.md §12): the queue,
+// the running-job count and the stop flag are GUARDED_BY(mu_); the two
+// condition variables pair with the same mutex. Result slots written by
+// jobs are deliberately *not* guarded — they are handed off by the
+// wait_idle barrier, which is stronger than any per-slot lock.
 #pragma once
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "util/thread_annotations.hpp"
 
 namespace chronus::service {
 
@@ -35,20 +41,20 @@ class WorkerPool {
 
   /// Enqueues a job. Jobs must not throw (std::terminate otherwise) and
   /// must not touch shared mutable state except through their own slot.
-  void submit(std::function<void()> job);
+  void submit(std::function<void()> job) CHRONUS_EXCLUDES(mu_);
 
   /// Blocks until every submitted job has finished.
-  void wait_idle();
+  void wait_idle() CHRONUS_EXCLUDES(mu_);
 
  private:
-  void worker_loop();
+  void worker_loop() CHRONUS_EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable work_cv_;   // signals workers: job or stop
-  std::condition_variable idle_cv_;   // signals waiters: all drained
-  std::deque<std::function<void()>> jobs_;
-  std::size_t active_ = 0;  ///< jobs currently running on a worker
-  bool stop_ = false;
+  util::Mutex mu_;
+  util::CondVar work_cv_;  // signals workers: job or stop
+  util::CondVar idle_cv_;  // signals waiters: all drained
+  std::deque<std::function<void()>> jobs_ CHRONUS_GUARDED_BY(mu_);
+  std::size_t active_ CHRONUS_GUARDED_BY(mu_) = 0;  ///< jobs running now
+  bool stop_ CHRONUS_GUARDED_BY(mu_) = false;
   std::vector<std::thread> threads_;
 };
 

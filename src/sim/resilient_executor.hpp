@@ -27,6 +27,15 @@
 // draws exactly the same RNG values and returns exactly the same
 // UpdateRunResult as the corresponding seed executor — the executor only
 // ever intervenes on mods whose ledger record carries a fault flag.
+//
+// Thread-safety contract (DESIGN.md §12): a ResilientExecutor is
+// *thread-confined*, not thread-safe — it holds no mutex because it owns
+// no shared state: the controller, event queue and RNG stream it drives
+// are private to the service worker that constructed it (exec_job builds
+// one per request). Concurrency enters one layer up, at the capacity
+// ledger and worker pool, whose lock contracts are compiler-enforced via
+// util/thread_annotations.hpp. Do not share one executor across threads;
+// construct one per confined simulation instead.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,28 @@
+// Seeded violation: recursive acquisition of the same mutex. The nested
+// guard deadlocks a std::mutex the moment both lines execute.
+#include <mutex>
+
+struct Account {
+  void deposit(double amount) {
+    std::lock_guard<std::mutex> outer(mu_);
+    balance_ += amount;
+    audit();  // looks harmless...
+  }
+
+  void audit() {
+    // ...but re-locks the mutex the caller already holds.
+    std::lock_guard<std::mutex> inner(mu_);
+    last_audit_ = balance_;
+  }
+
+  void deposit_audited(double amount) {
+    std::lock_guard<std::mutex> outer(mu_);
+    balance_ += amount;
+    std::lock_guard<std::mutex> again(mu_);  // the analyzer fires here
+    last_audit_ = balance_;
+  }
+
+  std::mutex mu_;
+  double balance_ = 0.0;
+  double last_audit_ = 0.0;
+};

@@ -1,0 +1,16 @@
+// Seeded violation: joining a thread while holding the state mutex.
+// Every contender for mu_ now waits for the joined thread too.
+#include <mutex>
+#include <thread>
+
+struct Supervisor {
+  void shutdown() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+    worker_.join();  // blocking call inside the critical section
+  }
+
+  std::mutex mu_;
+  bool stopping_ = false;
+  std::thread worker_;
+};

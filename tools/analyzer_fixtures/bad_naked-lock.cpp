@@ -1,0 +1,20 @@
+// Seeded violation: a hand-rolled lock()/unlock() pair. The early return
+// between them leaks the lock; an RAII guard cannot.
+#include <mutex>
+
+struct Queue {
+  bool pop(int* out) {
+    mu_.lock();
+    if (items_ == 0) {
+      mu_.unlock();
+      return false;
+    }
+    --items_;
+    *out = items_;
+    mu_.unlock();
+    return true;
+  }
+
+  std::mutex mu_;
+  int items_ = 0;
+};

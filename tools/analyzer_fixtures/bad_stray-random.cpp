@@ -1,0 +1,14 @@
+// Seeded violation: device randomness and libc rand() outside
+// src/util/rng. Neither replays, so any schedule derived from them breaks
+// the bit-identical determinism contract.
+#include <cstdlib>
+#include <random>
+
+int pick_jitter_ms() {
+  std::random_device dev;  // non-deterministic seed source
+  return static_cast<int>(dev() % 100u);
+}
+
+int pick_backoff_ms() {
+  return rand() % 100;  // unseeded global stream
+}

@@ -1,0 +1,14 @@
+// Seeded violation: catch (...) that swallows every exception without
+// rethrowing or recording anything — the failure simply vanishes.
+struct Runner {
+  bool step();
+
+  void run_all() {
+    for (;;) {
+      try {
+        if (!step()) return;
+      } catch (...) {
+      }
+    }
+  }
+};

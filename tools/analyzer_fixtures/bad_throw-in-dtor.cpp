@@ -1,0 +1,13 @@
+// Seeded violation: a throwing destructor. Destructors are implicitly
+// noexcept since C++11, so this throw is std::terminate in disguise.
+#include <stdexcept>
+
+struct Flusher {
+  ~Flusher() {
+    if (!flushed_) {
+      throw std::runtime_error("buffer destroyed with unflushed data");
+    }
+  }
+
+  bool flushed_ = false;
+};

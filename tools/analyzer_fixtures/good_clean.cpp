@@ -1,0 +1,43 @@
+// Clean control: RAII guards, no blocking under a lock, reported catch,
+// and rule mentions inside comments and strings that must NOT fire —
+// lexer awareness is the whole point of this tool over chronus_lint.
+#include <mutex>
+#include <string>
+
+// A comment may say mu_.lock() and mu_.unlock() freely.
+const char* kDoc =
+    "docs: call rand() or std::random_device; throw in a ~Dtor(); "
+    "worker_.join() under lock";
+
+struct Safe {
+  int read() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return value_;
+  }
+
+  void write(int v) {
+    std::lock_guard<std::mutex> lock(mu_);
+    value_ = v;
+  }
+
+  bool try_describe(std::string* out) {
+    try {
+      *out = describe();
+      return true;
+    } catch (...) {
+      *out = "describe failed";  // reported, not swallowed
+      return false;
+    }
+  }
+
+  std::string describe();
+
+  std::mutex mu_;
+  int value_ = 0;
+};
+
+// Raw strings hide nothing from the lexer either.
+const char* kRaw = R"doc(
+  std::random_device inside a raw string is prose, not code.
+  ~Fake() { throw 1; } stays prose too.
+)doc";

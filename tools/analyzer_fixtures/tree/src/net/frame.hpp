@@ -1,0 +1,10 @@
+// Other half of the seeded include cycle.
+#pragma once
+
+#include "net/socket.hpp"
+
+namespace fixture::net {
+
+inline long frame_overhead() { return 14; }
+
+}  // namespace fixture::net

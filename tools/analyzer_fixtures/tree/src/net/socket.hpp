@@ -1,0 +1,11 @@
+// Half of the seeded include cycle: socket.hpp needs frame.hpp, which
+// needs socket.hpp right back.
+#pragma once
+
+#include "net/frame.hpp"
+
+namespace fixture::net {
+
+inline long next_sequence() { return frame_overhead() + 1; }
+
+}  // namespace fixture::net

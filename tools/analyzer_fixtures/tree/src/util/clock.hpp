@@ -1,0 +1,11 @@
+// Seeded violation: util is the bottom layer, but this header reaches up
+// into net — a layering back-edge the manifest does not declare.
+#pragma once
+
+#include "net/socket.hpp"
+
+namespace fixture::util {
+
+inline long stamp_frame() { return fixture::net::next_sequence(); }
+
+}  // namespace fixture::util

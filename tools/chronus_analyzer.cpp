@@ -1,0 +1,1039 @@
+// chronus_analyzer — token-level static analysis for the layering and
+// concurrency invariants the line-oriented chronus_lint cannot see.
+//
+// Where chronus_lint matches patterns per line, this tool lexes every
+// translation unit properly (line/block comments, string/char literals,
+// raw strings, digit separators) and runs three passes over the token
+// stream and the include graph:
+//
+//   layering          `#include "mod/..."` edges across src/ must follow
+//                     the module DAG declared in tools/layering.toml.
+//                     Findings: layer-back-edge (edge not declared),
+//                     layer-undeclared (module missing from the manifest),
+//                     include-cycle (file-level include cycle),
+//                     manifest-cycle (the declared DAG itself is cyclic).
+//   lock discipline   every RAII guard (std::lock_guard / unique_lock /
+//                     scoped_lock / shared_lock / util::MutexLock) opens a
+//                     lock region bounded by its scope. Findings:
+//                     double-lock (guard on a mutex already held in an
+//                     enclosing region), lock-across-blocking (a blocking
+//                     call — join, wait_idle, sleep_for/until, system —
+//                     inside a lock region), naked-lock (manual
+//                     .lock()/.unlock() pairs instead of RAII).
+//                     src/util is exempt: util/thread_annotations.hpp is
+//                     the one legitimate home of manual lock calls.
+//   determinism &     stray-random (rand/srand/std::random_device outside
+//   exception safety  src/util/rng — all randomness flows through
+//                     util::Rng so runs replay), throw-in-dtor (throwing
+//                     destructors terminate), swallowed-catch
+//                     (`catch (...)` whose body neither rethrows nor
+//                     reports).
+//
+// A finding is acknowledged inline with
+//   // chronus-analyzer: allow(<rule>) <justification>
+// on the offending line or the line above.
+//
+// Usage:
+//   chronus_analyzer --root DIR [--manifest FILE] [--sarif=FILE] [subdir...]
+//   chronus_analyzer --self-test --fixtures DIR [--sarif=FILE]
+//
+// Exits 0 when clean / self-test matches, 1 on findings, 2 on usage or
+// manifest errors.
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "sarif.hpp"
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Findings
+// ---------------------------------------------------------------------------
+
+struct Finding {
+  std::string file;  // path relative to the analysis root
+  long line = 0;
+  std::string rule;
+  std::string message;
+};
+
+const std::map<std::string, std::string>& rule_catalog() {
+  static const std::map<std::string, std::string> kRules = {
+      {"layer-back-edge",
+       "include edge not declared in the module DAG (tools/layering.toml)"},
+      {"layer-undeclared", "module missing from the layering manifest"},
+      {"include-cycle", "file-level #include cycle"},
+      {"manifest-cycle", "the declared layering DAG is itself cyclic"},
+      {"double-lock", "RAII guard on a mutex already held in this scope"},
+      {"lock-across-blocking",
+       "blocking call made while holding a lock"},
+      {"naked-lock",
+       "manual lock()/unlock() pair instead of an RAII guard"},
+      {"stray-random",
+       "rand/srand/std::random_device outside src/util/rng"},
+      {"throw-in-dtor", "throw inside a destructor body"},
+      {"swallowed-catch",
+       "catch (...) that neither rethrows nor reports"},
+  };
+  return kRules;
+}
+
+// ---------------------------------------------------------------------------
+// Lexer
+// ---------------------------------------------------------------------------
+
+enum class Tok { kIdent, kNumber, kString, kChar, kPunct };
+
+struct Token {
+  Tok kind;
+  std::string text;
+  long line = 0;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  /// Lines carrying a `chronus-analyzer: allow(<rule>)` comment, per rule.
+  std::map<std::string, std::set<long>> allowances;
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+void record_allowances(const std::string& comment, long line,
+                       LexedFile& out) {
+  static const std::string kMarker = "chronus-analyzer: allow(";
+  for (std::size_t pos = comment.find(kMarker); pos != std::string::npos;
+       pos = comment.find(kMarker, pos + 1)) {
+    const std::size_t open = pos + kMarker.size();
+    const std::size_t close = comment.find(')', open);
+    if (close == std::string::npos) continue;
+    const std::string rule = comment.substr(open, close - open);
+    // The allowance covers its own line and the next one, so a comment
+    // above the offending statement works too.
+    out.allowances[rule].insert(line);
+    out.allowances[rule].insert(line + 1);
+  }
+}
+
+/// Comment-, string- and raw-string-aware tokenizer. Preprocessor
+/// directives are lexed like ordinary tokens (`#`, `include`, "path"),
+/// which is exactly what the include scanner needs.
+LexedFile lex(const std::string& src) {
+  LexedFile out;
+  long line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  auto prev_kind = Tok::kPunct;
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const std::size_t eol = src.find('\n', i);
+      const std::size_t end = eol == std::string::npos ? n : eol;
+      record_allowances(src.substr(i, end - i), line, out);
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const std::size_t close = src.find("*/", i + 2);
+      const std::size_t end = close == std::string::npos ? n : close + 2;
+      const std::string body = src.substr(i, end - i);
+      record_allowances(body, line, out);
+      line += static_cast<long>(std::count(body.begin(), body.end(), '\n'));
+      i = end;
+      continue;
+    }
+    // String literal (raw strings are handled at the identifier below,
+    // because their prefix R/u8R/... lexes as an identifier).
+    if (c == '"') {
+      const long start_line = line;
+      std::string text;
+      ++i;
+      while (i < n && src[i] != '"') {
+        if (src[i] == '\\' && i + 1 < n) {
+          text += src[i];
+          text += src[i + 1];
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') ++line;  // unterminated string: stay sane
+        text += src[i++];
+      }
+      if (i < n) ++i;  // closing quote
+      out.tokens.push_back({Tok::kString, text, start_line});
+      prev_kind = Tok::kString;
+      continue;
+    }
+    // Character literal — but not a digit separator (1'000'000), which is
+    // consumed by the number scanner and never reaches here.
+    if (c == '\'') {
+      const long start_line = line;
+      ++i;
+      std::string text;
+      while (i < n && src[i] != '\'') {
+        if (src[i] == '\\' && i + 1 < n) {
+          text += src[i];
+          text += src[i + 1];
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') {
+          break;  // stray quote (apostrophe in a #error, say): bail out
+        }
+        text += src[i++];
+      }
+      if (i < n && src[i] == '\'') ++i;
+      out.tokens.push_back({Tok::kChar, text, start_line});
+      prev_kind = Tok::kChar;
+      continue;
+    }
+    // Number (digit separators and exponent signs included).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])) != 0)) {
+      std::string text;
+      while (i < n) {
+        const char d = src[i];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          text += d;
+          ++i;
+          continue;
+        }
+        if ((d == '+' || d == '-') && !text.empty()) {
+          const char e = text.back();
+          if (e == 'e' || e == 'E' || e == 'p' || e == 'P') {
+            text += d;
+            ++i;
+            continue;
+          }
+        }
+        break;
+      }
+      out.tokens.push_back({Tok::kNumber, text, line});
+      prev_kind = Tok::kNumber;
+      continue;
+    }
+    // Identifier — possibly a raw-string prefix.
+    if (ident_start(c)) {
+      std::string text;
+      while (i < n && ident_char(src[i])) text += src[i++];
+      const bool raw_prefix = i < n && src[i] == '"' &&
+                              (text == "R" || text == "u8R" || text == "uR" ||
+                               text == "LR");
+      if (raw_prefix) {
+        // R"delim( ... )delim"
+        ++i;  // opening quote
+        std::string delim;
+        while (i < n && src[i] != '(') delim += src[i++];
+        if (i < n) ++i;  // '('
+        const std::string closer = ")" + delim + "\"";
+        const std::size_t close = src.find(closer, i);
+        const std::size_t end =
+            close == std::string::npos ? n : close + closer.size();
+        const std::string body = src.substr(i, (close == std::string::npos
+                                                    ? n
+                                                    : close) -
+                                                   i);
+        out.tokens.push_back({Tok::kString, body, line});
+        line += static_cast<long>(std::count(body.begin(), body.end(), '\n'));
+        i = end;
+        prev_kind = Tok::kString;
+        continue;
+      }
+      out.tokens.push_back({Tok::kIdent, text, line});
+      prev_kind = Tok::kIdent;
+      continue;
+    }
+    // Punctuation, one char at a time.
+    out.tokens.push_back({Tok::kPunct, std::string(1, c), line});
+    prev_kind = Tok::kPunct;
+    ++i;
+  }
+  (void)prev_kind;
+  return out;
+}
+
+bool allowed(const LexedFile& lf, const std::string& rule, long line) {
+  const auto it = lf.allowances.find(rule);
+  return it != lf.allowances.end() && it->second.count(line) > 0;
+}
+
+// ---------------------------------------------------------------------------
+// Layering manifest (tools/layering.toml)
+// ---------------------------------------------------------------------------
+
+struct Manifest {
+  /// module -> modules it may include from (itself is always allowed).
+  std::map<std::string, std::vector<std::string>> allow;
+  std::string error;  // non-empty on parse failure
+};
+
+std::string trim(const std::string& s) {
+  std::size_t a = 0, b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a])) != 0) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1])) != 0) --b;
+  return s.substr(a, b - a);
+}
+
+/// Parses the `[layers]` table of a deliberately tiny TOML subset:
+/// `module = ["dep", "dep"]` entries, `#` comments, one entry per line.
+Manifest parse_manifest(const fs::path& path) {
+  Manifest m;
+  std::ifstream in(path);
+  if (!in) {
+    m.error = "cannot open manifest " + path.string();
+    return m;
+  }
+  bool in_layers = false;
+  long lineno = 0;
+  for (std::string raw; std::getline(in, raw);) {
+    ++lineno;
+    const std::size_t hash = raw.find('#');
+    std::string s = trim(hash == std::string::npos ? raw : raw.substr(0, hash));
+    if (s.empty()) continue;
+    if (s.front() == '[') {
+      in_layers = s == "[layers]";
+      continue;
+    }
+    if (!in_layers) continue;
+    const std::size_t eq = s.find('=');
+    if (eq == std::string::npos) {
+      m.error = path.string() + ":" + std::to_string(lineno) +
+                ": expected `module = [..]`";
+      return m;
+    }
+    const std::string key = trim(s.substr(0, eq));
+    const std::string val = trim(s.substr(eq + 1));
+    if (val.size() < 2 || val.front() != '[' || val.back() != ']') {
+      m.error = path.string() + ":" + std::to_string(lineno) +
+                ": expected a [\"dep\", ...] list for " + key;
+      return m;
+    }
+    std::vector<std::string> deps;
+    std::string item;
+    std::istringstream items(val.substr(1, val.size() - 2));
+    while (std::getline(items, item, ',')) {
+      item = trim(item);
+      if (item.size() >= 2 && item.front() == '"' && item.back() == '"') {
+        deps.push_back(item.substr(1, item.size() - 2));
+      } else if (!item.empty()) {
+        m.error = path.string() + ":" + std::to_string(lineno) +
+                  ": dependency names must be quoted";
+        return m;
+      }
+    }
+    m.allow[key] = std::move(deps);
+  }
+  return m;
+}
+
+/// Reports a cycle in the declared module DAG, if any (manifest-cycle).
+void check_manifest_acyclic(const Manifest& m, std::vector<Finding>& out) {
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> stack;
+  const std::function<bool(const std::string&)> dfs =
+      [&](const std::string& mod) -> bool {
+    color[mod] = 1;
+    stack.push_back(mod);
+    const auto it = m.allow.find(mod);
+    if (it != m.allow.end()) {
+      for (const std::string& dep : it->second) {
+        if (dep == mod) continue;
+        const int c = color[dep];
+        if (c == 1) {
+          std::string path;
+          for (const auto& s : stack) path += s + " -> ";
+          out.push_back({"tools/layering.toml", 0, "manifest-cycle",
+                         "declared layering is cyclic: " + path + dep});
+          return true;
+        }
+        if (c == 0 && dfs(dep)) return true;
+      }
+    }
+    color[mod] = 2;
+    stack.pop_back();
+    return false;
+  };
+  for (const auto& [mod, deps] : m.allow) {
+    (void)deps;
+    if (color[mod] == 0 && dfs(mod)) return;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 1: layering
+// ---------------------------------------------------------------------------
+
+struct SourceFile {
+  fs::path path;
+  std::string rel;     // e.g. "src/net/graph.hpp", forward slashes
+  std::string module;  // e.g. "net"; empty when not under src/<mod>/
+  LexedFile lexed;
+};
+
+/// Quoted includes with their lines, straight from the token stream
+/// (`#` `include` "path" — comments and strings cannot fake this).
+std::vector<std::pair<std::string, long>> quoted_includes(
+    const LexedFile& lf) {
+  std::vector<std::pair<std::string, long>> out;
+  const auto& t = lf.tokens;
+  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+    if (t[i].kind == Tok::kPunct && t[i].text == "#" &&
+        t[i + 1].kind == Tok::kIdent && t[i + 1].text == "include" &&
+        t[i + 2].kind == Tok::kString) {
+      out.emplace_back(t[i + 2].text, t[i + 2].line);
+    }
+  }
+  return out;
+}
+
+std::string module_of_include(const std::string& inc) {
+  const std::size_t slash = inc.find('/');
+  return slash == std::string::npos ? std::string() : inc.substr(0, slash);
+}
+
+void layering_pass(const std::vector<SourceFile>& files, const Manifest& m,
+                   std::vector<Finding>& findings) {
+  check_manifest_acyclic(m, findings);
+
+  // Module back-edges against the declared DAG.
+  for (const SourceFile& f : files) {
+    if (f.module.empty()) continue;
+    const auto self = m.allow.find(f.module);
+    if (self == m.allow.end()) {
+      findings.push_back(
+          {f.rel, 1, "layer-undeclared",
+           "module '" + f.module +
+               "' is not declared in tools/layering.toml — add it with its "
+               "allowed dependencies"});
+      continue;
+    }
+    for (const auto& [inc, line] : quoted_includes(f.lexed)) {
+      const std::string target = module_of_include(inc);
+      if (target.empty() || target == f.module) continue;
+      if (m.allow.find(target) == m.allow.end()) continue;  // not a module
+      const auto& deps = self->second;
+      if (std::find(deps.begin(), deps.end(), target) == deps.end() &&
+          !allowed(f.lexed, "layer-back-edge", line)) {
+        findings.push_back(
+            {f.rel, line, "layer-back-edge",
+             f.module + " -> " + target + " (#include \"" + inc +
+                 "\") is not a declared edge of the module DAG; layering "
+                 "is " + f.module + " <- [deps] in tools/layering.toml"});
+      }
+    }
+  }
+
+  // File-level include cycles (DFS over src-relative include paths).
+  std::map<std::string, std::vector<std::pair<std::string, long>>> graph;
+  std::set<std::string> known;
+  for (const SourceFile& f : files) known.insert(f.rel);
+  for (const SourceFile& f : files) {
+    for (const auto& [inc, line] : quoted_includes(f.lexed)) {
+      const std::string target = "src/" + inc;
+      if (known.count(target) > 0) graph[f.rel].emplace_back(target, line);
+    }
+  }
+  std::map<std::string, int> color;
+  std::vector<std::string> stack;
+  bool reported = false;
+  const std::function<void(const std::string&)> dfs =
+      [&](const std::string& node) {
+        color[node] = 1;
+        stack.push_back(node);
+        for (const auto& [next, line] : graph[node]) {
+          if (reported) break;
+          const int c = color[next];
+          if (c == 1) {
+            std::string path;
+            const auto at =
+                std::find(stack.begin(), stack.end(), next);
+            for (auto it = at; it != stack.end(); ++it) path += *it + " -> ";
+            findings.push_back({node, line, "include-cycle",
+                                "#include cycle: " + path + next});
+            reported = true;
+            break;
+          }
+          if (c == 0) dfs(next);
+        }
+        color[node] = 2;
+        stack.pop_back();
+      };
+  for (const SourceFile& f : files) {
+    if (color[f.rel] == 0 && !reported) dfs(f.rel);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 2: lock discipline
+// ---------------------------------------------------------------------------
+
+bool is_guard_name(const std::string& s) {
+  return s == "lock_guard" || s == "unique_lock" || s == "scoped_lock" ||
+         s == "shared_lock" || s == "MutexLock";
+}
+
+/// Joins the tokens of one guard constructor argument into a stable key
+/// ("this->mu_", "state.mu"). Whitespace-free so spelling variants match.
+std::string join_expr(const std::vector<Token>& t, std::size_t b,
+                      std::size_t e) {
+  std::string out;
+  for (std::size_t i = b; i < e; ++i) out += t[i].text;
+  return out;
+}
+
+void lock_pass(const SourceFile& f, std::vector<Finding>& findings) {
+  if (f.rel.rfind("src/util/", 0) == 0) return;  // annotated wrapper home
+  const auto& t = f.lexed.tokens;
+
+  struct Region {
+    std::string mutex;
+    int depth = 0;
+    long line = 0;
+  };
+  std::vector<Region> regions;
+  int depth = 0;
+
+  // Manual lock()/unlock() receivers, for the pairing heuristic: a
+  // receiver that is both .lock()ed and .unlock()ed in one TU is being
+  // hand-rolled where a guard belongs. (weak_ptr::lock has no unlock, so
+  // it never pairs.)
+  std::map<std::string, long> lock_calls;    // receiver -> first line
+  std::set<std::string> unlock_calls;
+
+  static const std::set<std::string> kBlocking = {"join", "wait_idle",
+                                                  "sleep_for", "sleep_until",
+                                                  "system"};
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const Token& tok = t[i];
+    if (tok.kind == Tok::kPunct) {
+      if (tok.text == "{") ++depth;
+      if (tok.text == "}") {
+        --depth;
+        while (!regions.empty() && regions.back().depth > depth) {
+          regions.pop_back();
+        }
+      }
+      continue;
+    }
+    if (tok.kind != Tok::kIdent) continue;
+
+    // RAII guard declaration: guard<...> name(args...) / guard name(args).
+    if (is_guard_name(tok.text)) {
+      std::size_t j = i + 1;
+      if (j < t.size() && t[j].kind == Tok::kPunct && t[j].text == "<") {
+        int angle = 1;
+        ++j;
+        while (j < t.size() && angle > 0) {
+          if (t[j].kind == Tok::kPunct && t[j].text == "<") ++angle;
+          if (t[j].kind == Tok::kPunct && t[j].text == ">") --angle;
+          ++j;
+        }
+      }
+      if (j >= t.size() || t[j].kind != Tok::kIdent) continue;  // a cast etc.
+      ++j;  // variable name
+      if (j >= t.size() || t[j].kind != Tok::kPunct ||
+          (t[j].text != "(" && t[j].text != "{")) {
+        continue;
+      }
+      const std::string open = t[j].text;
+      const std::string close = open == "(" ? ")" : "}";
+      int paren = 1;
+      ++j;
+      std::vector<std::pair<std::size_t, std::size_t>> args;
+      std::size_t arg_begin = j;
+      while (j < t.size() && paren > 0) {
+        const Token& a = t[j];
+        if (a.kind == Tok::kPunct) {
+          if (a.text == "(" || a.text == "{" || a.text == "[") ++paren;
+          if (a.text == ")" || a.text == "}" || a.text == "]") --paren;
+          if (paren == 0) break;
+          if (a.text == "," && paren == 1) {
+            args.emplace_back(arg_begin, j);
+            arg_begin = j + 1;
+          }
+        }
+        ++j;
+      }
+      if (j > arg_begin) args.emplace_back(arg_begin, j);
+      bool deferred = false;
+      for (const auto& [b, e] : args) {
+        const std::string expr = join_expr(t, b, e);
+        if (expr.find("defer_lock") != std::string::npos) deferred = true;
+      }
+      if (deferred || args.empty()) {
+        i = j;
+        continue;
+      }
+      // scoped_lock may take several mutexes; every non-tag argument is
+      // an acquisition.
+      for (const auto& [b, e] : args) {
+        const std::string expr = join_expr(t, b, e);
+        if (expr.find("adopt_lock") != std::string::npos ||
+            expr.find("try_to_lock") != std::string::npos) {
+          continue;
+        }
+        for (const Region& r : regions) {
+          if (r.mutex == expr && !allowed(f.lexed, "double-lock", tok.line)) {
+            findings.push_back(
+                {f.rel, tok.line, "double-lock",
+                 "'" + expr + "' is already held by the guard at line " +
+                     std::to_string(r.line) +
+                     " — recursive locking deadlocks std::mutex"});
+          }
+        }
+        regions.push_back({expr, depth, tok.line});
+      }
+      i = j;
+      continue;
+    }
+
+    // Blocking call while a lock region is active.
+    if (!regions.empty() && kBlocking.count(tok.text) > 0 && i + 1 < t.size() &&
+        t[i + 1].kind == Tok::kPunct && t[i + 1].text == "(" &&
+        !allowed(f.lexed, "lock-across-blocking", tok.line)) {
+      findings.push_back(
+          {f.rel, tok.line, "lock-across-blocking",
+           "'" + tok.text + "(' is called while holding '" +
+               regions.back().mutex + "' (guard at line " +
+               std::to_string(regions.back().line) +
+               ") — blocking under a lock stalls every contender"});
+    }
+
+    // Manual .lock() / .unlock() bookkeeping.
+    if ((tok.text == "lock" || tok.text == "unlock") && i >= 2 &&
+        i + 1 < t.size() && t[i + 1].kind == Tok::kPunct &&
+        t[i + 1].text == "(") {
+      // Receiver: the longest ident/./->/:: chain ending just before.
+      std::size_t b = i;
+      while (b >= 1) {
+        const Token& p = t[b - 1];
+        if (p.kind == Tok::kPunct &&
+            (p.text == "." || p.text == ":" || p.text == ">" ||
+             p.text == "-")) {
+          --b;
+          continue;
+        }
+        if (p.kind == Tok::kIdent && b >= 1 && t[b].kind == Tok::kPunct) {
+          --b;
+          continue;
+        }
+        break;
+      }
+      if (b < i) {  // has a receiver — a bare lock( is some local function
+        const std::string receiver = join_expr(t, b, i - 1);
+        if (!receiver.empty()) {
+          if (tok.text == "lock") {
+            lock_calls.emplace(receiver, tok.line);
+          } else {
+            unlock_calls.insert(receiver);
+          }
+        }
+      }
+    }
+  }
+
+  for (const std::string& receiver : unlock_calls) {
+    const auto it = lock_calls.find(receiver);
+    if (it == lock_calls.end()) continue;
+    if (!allowed(f.lexed, "naked-lock", it->second)) {
+      findings.push_back(
+          {f.rel, it->second, "naked-lock",
+           "manual " + receiver + ".lock()/.unlock() pair — use an RAII "
+           "guard (util::MutexLock / std::lock_guard) so early returns and "
+           "exceptions cannot leak the lock"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Pass 3: determinism & exception safety
+// ---------------------------------------------------------------------------
+
+bool in_rng_home(const std::string& rel) {
+  return rel.rfind("src/util/rng", 0) == 0;
+}
+
+void determinism_pass(const SourceFile& f, std::vector<Finding>& findings) {
+  const auto& t = f.lexed.tokens;
+
+  // stray-random -----------------------------------------------------------
+  if (!in_rng_home(f.rel)) {
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != Tok::kIdent) continue;
+      const bool member_access =
+          i >= 1 && t[i - 1].kind == Tok::kPunct &&
+          (t[i - 1].text == "." ||
+           (t[i - 1].text == ">" && i >= 2 && t[i - 2].text == "-"));
+      if (member_access) continue;  // foo.rand() is someone else's rand
+      const bool call = i + 1 < t.size() && t[i + 1].kind == Tok::kPunct &&
+                        (t[i + 1].text == "(" || t[i + 1].text == "{");
+      const bool is_rand_call =
+          (t[i].text == "rand" || t[i].text == "srand") && call;
+      const bool is_device = t[i].text == "random_device";
+      if ((is_rand_call || is_device) &&
+          !allowed(f.lexed, "stray-random", t[i].line)) {
+        findings.push_back(
+            {f.rel, t[i].line, "stray-random",
+             "'" + t[i].text +
+                 "' bypasses util::Rng — unseeded or device randomness "
+                 "breaks bit-identical replay (src/util/rng.hpp)"});
+      }
+    }
+  }
+
+  // throw-in-dtor and swallowed-catch: both need matched-brace bodies.
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    // Destructor head: `~ Name (` ... `)` [qualifiers] `{`. The token
+    // *before* the `~` separates a declaration from a bitwise-not
+    // expression (`return ~hash(x)` must not look like a destructor):
+    // declarations follow `;` `}` `{` `:` or a declaration keyword.
+    const bool decl_position =
+        i == 0 ||
+        (t[i - 1].kind == Tok::kPunct &&
+         (t[i - 1].text == ";" || t[i - 1].text == "}" ||
+          t[i - 1].text == "{" || t[i - 1].text == ":")) ||
+        (t[i - 1].kind == Tok::kIdent &&
+         (t[i - 1].text == "virtual" || t[i - 1].text == "inline" ||
+          t[i - 1].text == "constexpr"));
+    if (t[i].kind == Tok::kPunct && t[i].text == "~" && decl_position &&
+        i + 2 < t.size() && t[i + 1].kind == Tok::kIdent &&
+        t[i + 2].kind == Tok::kPunct && t[i + 2].text == "(") {
+      std::size_t j = i + 3;
+      int paren = 1;
+      while (j < t.size() && paren > 0) {
+        if (t[j].kind == Tok::kPunct && t[j].text == "(") ++paren;
+        if (t[j].kind == Tok::kPunct && t[j].text == ")") --paren;
+        ++j;
+      }
+      // Scan qualifiers until the body opens or the declaration ends.
+      while (j < t.size() &&
+             !(t[j].kind == Tok::kPunct &&
+               (t[j].text == "{" || t[j].text == ";" || t[j].text == "="))) {
+        ++j;
+      }
+      if (j >= t.size() || t[j].text != "{") continue;  // declaration only
+      int body = 1;
+      ++j;
+      while (j < t.size() && body > 0) {
+        if (t[j].kind == Tok::kPunct && t[j].text == "{") ++body;
+        if (t[j].kind == Tok::kPunct && t[j].text == "}") --body;
+        if (t[j].kind == Tok::kIdent && t[j].text == "throw" &&
+            !allowed(f.lexed, "throw-in-dtor", t[j].line)) {
+          findings.push_back(
+              {f.rel, t[j].line, "throw-in-dtor",
+               "throw inside ~" + t[i + 1].text +
+                   "() — destructors are implicitly noexcept; a throw here "
+                   "is std::terminate"});
+        }
+        ++j;
+      }
+      continue;
+    }
+
+    // catch (...) { body }
+    if (t[i].kind == Tok::kIdent && t[i].text == "catch" &&
+        i + 4 < t.size() && t[i + 1].kind == Tok::kPunct &&
+        t[i + 1].text == "(" && t[i + 2].text == "." && t[i + 3].text == "." &&
+        t[i + 4].text == ".") {
+      std::size_t j = i + 5;
+      while (j < t.size() &&
+             !(t[j].kind == Tok::kPunct && t[j].text == "{")) {
+        ++j;
+      }
+      if (j >= t.size()) continue;
+      int body = 1;
+      ++j;
+      bool handles = false;
+      static const std::vector<std::string> kReporters = {
+          "log",  "report", "note",   "record", "message", "warn",
+          "err",  "status", "abort",  "terminate", "add",  "observe",
+          "fail", "retry",  "rethrow"};
+      while (j < t.size() && body > 0) {
+        if (t[j].kind == Tok::kPunct && t[j].text == "{") ++body;
+        if (t[j].kind == Tok::kPunct && t[j].text == "}") --body;
+        // A rethrow, a reporter-shaped identifier, or a string (an error
+        // message being recorded) all count as handling the exception.
+        if (t[j].kind == Tok::kIdent || t[j].kind == Tok::kString) {
+          if (t[j].text == "throw") handles = true;
+          std::string lower;
+          for (const char c : t[j].text) {
+            lower += static_cast<char>(std::tolower(
+                static_cast<unsigned char>(c)));
+          }
+          for (const std::string& r : kReporters) {
+            if (lower.find(r) != std::string::npos) handles = true;
+          }
+        }
+        ++j;
+      }
+      if (!handles && !allowed(f.lexed, "swallowed-catch", t[i].line)) {
+        findings.push_back(
+            {f.rel, t[i].line, "swallowed-catch",
+             "catch (...) swallows every exception without rethrowing or "
+             "reporting — at minimum record the failure, or acknowledge "
+             "with // chronus-analyzer: allow(swallowed-catch) why"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Tree walking & driver
+// ---------------------------------------------------------------------------
+
+bool is_source(const fs::path& p) {
+  return p.extension() == ".cpp" || p.extension() == ".hpp";
+}
+
+std::vector<SourceFile> load_tree(const fs::path& root,
+                                  const std::vector<std::string>& subdirs) {
+  std::vector<fs::path> paths;
+  for (const std::string& sub : subdirs) {
+    const fs::path dir = root / sub;
+    if (!fs::exists(dir)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(dir)) {
+      if (entry.is_regular_file() && is_source(entry.path())) {
+        paths.push_back(entry.path());
+      }
+    }
+  }
+  std::sort(paths.begin(), paths.end());
+  std::vector<SourceFile> files;
+  files.reserve(paths.size());
+  for (const fs::path& p : paths) {
+    std::ifstream in(p);
+    if (!in) continue;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    SourceFile f;
+    f.path = p;
+    f.rel = fs::relative(p, root).generic_string();
+    if (f.rel.rfind("src/", 0) == 0) {
+      const std::size_t slash = f.rel.find('/', 4);
+      if (slash != std::string::npos) f.module = f.rel.substr(4, slash - 4);
+    }
+    f.lexed = lex(buf.str());
+    files.push_back(std::move(f));
+  }
+  return files;
+}
+
+void print_findings(const std::vector<Finding>& findings, std::ostream& os) {
+  for (const auto& f : findings) {
+    os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+       << "\n";
+  }
+}
+
+std::vector<chronus_tools::SarifResult> to_sarif(
+    const std::vector<Finding>& findings) {
+  std::vector<chronus_tools::SarifResult> out;
+  out.reserve(findings.size());
+  for (const auto& f : findings) {
+    out.push_back({f.rule, f.file, f.line, f.message});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Self-test
+// ---------------------------------------------------------------------------
+
+/// Fixture contract, mirroring tools/lint_fixtures: each `bad_<rule>*`
+/// file must fire <rule> (the stem between "bad_" and the first "__"),
+/// `good_*` files must be clean, and the `tree/` mini-repo must produce
+/// exactly the layering rules seeded into it (an include cycle and a
+/// module back-edge). Proves every pass catches what it claims to catch.
+int self_test(const fs::path& fixtures, const std::string& sarif_path) {
+  if (!fs::exists(fixtures)) {
+    std::cerr << "fixtures directory not found: " << fixtures << "\n";
+    return 2;
+  }
+  int failures = 0;
+  std::vector<Finding> everything;
+
+  for (const auto& entry : fs::directory_iterator(fixtures)) {
+    if (!entry.is_regular_file() || !is_source(entry.path())) continue;
+    const std::string stem = entry.path().stem().string();
+    std::ifstream in(entry.path());
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    SourceFile f;
+    f.path = entry.path();
+    f.rel = "src/fixture/" + entry.path().filename().string();
+    f.module = "fixture";
+    f.lexed = lex(buf.str());
+    std::vector<Finding> findings;
+    lock_pass(f, findings);
+    determinism_pass(f, findings);
+    everything.insert(everything.end(), findings.begin(), findings.end());
+
+    if (stem.rfind("good_", 0) == 0) {
+      if (!findings.empty()) {
+        std::cerr << "SELF-TEST FAIL: expected no findings in " << stem
+                  << " but got:\n";
+        print_findings(findings, std::cerr);
+        ++failures;
+      }
+      continue;
+    }
+    if (stem.rfind("bad_", 0) == 0) {
+      const std::size_t sep = stem.find("__");
+      const std::string rule = stem.substr(
+          4, sep == std::string::npos ? std::string::npos : sep - 4);
+      const bool hit =
+          std::any_of(findings.begin(), findings.end(),
+                      [&](const Finding& x) { return x.rule == rule; });
+      if (!hit) {
+        std::cerr << "SELF-TEST FAIL: expected a [" << rule << "] finding in "
+                  << entry.path().filename().string() << ", got "
+                  << findings.size() << " findings\n";
+        print_findings(findings, std::cerr);
+        ++failures;
+      }
+    }
+  }
+
+  // The layering mini-tree: fixtures/tree/{layering.toml, src/...}.
+  const fs::path tree = fixtures / "tree";
+  if (fs::exists(tree)) {
+    const Manifest m = parse_manifest(tree / "layering.toml");
+    if (!m.error.empty()) {
+      std::cerr << "SELF-TEST FAIL: " << m.error << "\n";
+      ++failures;
+    } else {
+      std::vector<Finding> findings;
+      const std::vector<SourceFile> files = load_tree(tree, {"src"});
+      layering_pass(files, m, findings);
+      everything.insert(everything.end(), findings.begin(), findings.end());
+      for (const char* rule : {"include-cycle", "layer-back-edge"}) {
+        const bool hit =
+            std::any_of(findings.begin(), findings.end(),
+                        [&](const Finding& x) { return x.rule == rule; });
+        if (!hit) {
+          std::cerr << "SELF-TEST FAIL: the fixtures tree did not fire ["
+                    << rule << "]; findings were:\n";
+          print_findings(findings, std::cerr);
+          ++failures;
+        }
+      }
+    }
+  } else {
+    std::cerr << "SELF-TEST FAIL: fixtures tree/ with the seeded layering "
+                 "violations is missing\n";
+    ++failures;
+  }
+
+  if (!sarif_path.empty()) {
+    chronus_tools::write_sarif(sarif_path, "chronus_analyzer", rule_catalog(),
+                               to_sarif(everything));
+  }
+  if (failures == 0) {
+    std::cerr << "chronus_analyzer self-test: all fixtures behaved as "
+                 "seeded\n";
+    return 0;
+  }
+  return 1;
+}
+
+struct Options {
+  fs::path root;
+  fs::path manifest;
+  std::vector<std::string> subdirs;
+  bool self_test = false;
+  fs::path fixtures;
+  std::string sarif;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  opt.root = fs::current_path();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      opt.root = argv[++i];
+    } else if (arg == "--manifest" && i + 1 < argc) {
+      opt.manifest = argv[++i];
+    } else if (arg == "--self-test") {
+      opt.self_test = true;
+    } else if (arg == "--fixtures" && i + 1 < argc) {
+      opt.fixtures = argv[++i];
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      opt.sarif = arg.substr(8);
+    } else if (arg == "--help" || arg == "-h") {
+      std::cerr
+          << "usage: chronus_analyzer [--root DIR] [--manifest FILE] "
+             "[--sarif=FILE] [subdir...]\n"
+             "       chronus_analyzer --self-test --fixtures DIR "
+             "[--sarif=FILE]\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option: " << arg << "\n";
+      return 2;
+    } else {
+      opt.subdirs.push_back(arg);
+    }
+  }
+  if (opt.self_test) return self_test(opt.fixtures, opt.sarif);
+
+  if (opt.subdirs.empty()) opt.subdirs = {"src"};
+  if (opt.manifest.empty()) opt.manifest = opt.root / "tools/layering.toml";
+
+  const Manifest manifest = parse_manifest(opt.manifest);
+  if (!manifest.error.empty()) {
+    std::cerr << manifest.error << "\n";
+    return 2;
+  }
+
+  const std::vector<SourceFile> files = load_tree(opt.root, opt.subdirs);
+  std::vector<Finding> findings;
+  layering_pass(files, manifest, findings);
+  for (const SourceFile& f : files) {
+    lock_pass(f, findings);
+    determinism_pass(f, findings);
+  }
+
+  if (!opt.sarif.empty() &&
+      !chronus_tools::write_sarif(opt.sarif, "chronus_analyzer",
+                                  rule_catalog(), to_sarif(findings))) {
+    std::cerr << "cannot write SARIF log to " << opt.sarif << "\n";
+    return 2;
+  }
+  if (findings.empty()) {
+    std::cerr << "chronus_analyzer: clean (" << files.size() << " files)\n";
+    return 0;
+  }
+  print_findings(findings, std::cerr);
+  std::cerr << findings.size() << " finding(s)\n";
+  return 1;
+}

@@ -27,10 +27,14 @@
 // mandatory text for the reviewer, not parsed.
 //
 // Usage:
-//   chronus_lint --root <repo> [subdir...]   lint the tree (default: src)
+//   chronus_lint --root <repo> [--sarif=FILE] [subdir...]
+//                                            lint the tree (default: src)
 //   chronus_lint --self-test --fixtures <dir>
 //                                            prove the rules fire on the
 //                                            seeded fixture violations
+//
+// --sarif=FILE additionally writes the findings as a SARIF 2.1.0 log,
+// which the CI lint job uploads so findings annotate PR diffs.
 //
 // Exits 0 when clean / self-test matches, 1 on findings, 2 on usage errors.
 #include <algorithm>
@@ -43,6 +47,8 @@
 #include <sstream>
 #include <string>
 #include <vector>
+
+#include "sarif.hpp"
 
 namespace fs = std::filesystem;
 
@@ -60,7 +66,23 @@ struct Options {
   std::vector<std::string> subdirs;
   bool self_test = false;
   fs::path fixtures;
+  std::string sarif;
 };
+
+const std::map<std::string, std::string>& rule_catalog() {
+  static const std::map<std::string, std::string> kRules = {
+      {"raw-unit",
+       "unit-bearing quantity declared as raw double/float — use "
+       "util::Demand / util::Capacity"},
+      {"lib-stdout", "library code writing to stdout"},
+      {"pragma-once", "header missing #pragma once"},
+      {"include-style", "project include not rooted at src/"},
+      {"reserve-pair", "ledger reserve without a matching release"},
+      {"raw-chrono",
+       "direct std::chrono timing outside src/obs and src/util"},
+  };
+  return kRules;
+}
 
 bool is_ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
@@ -352,8 +374,11 @@ int main(int argc, char** argv) {
       opt.self_test = true;
     } else if (arg == "--fixtures" && i + 1 < argc) {
       opt.fixtures = argv[++i];
+    } else if (arg.rfind("--sarif=", 0) == 0) {
+      opt.sarif = arg.substr(8);
     } else if (arg == "--help" || arg == "-h") {
-      std::cerr << "usage: chronus_lint [--root DIR] [subdir...]\n"
+      std::cerr << "usage: chronus_lint [--root DIR] [--sarif=FILE] "
+                   "[subdir...]\n"
                 << "       chronus_lint --self-test --fixtures DIR\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
@@ -367,6 +392,18 @@ int main(int argc, char** argv) {
   if (opt.subdirs.empty()) opt.subdirs = {"src"};
 
   const auto findings = lint_tree(opt.root, opt.subdirs);
+  if (!opt.sarif.empty()) {
+    std::vector<chronus_tools::SarifResult> results;
+    results.reserve(findings.size());
+    for (const auto& f : findings) {
+      results.push_back({f.rule, f.file, f.line, f.message});
+    }
+    if (!chronus_tools::write_sarif(opt.sarif, "chronus_lint", rule_catalog(),
+                                    results)) {
+      std::cerr << "cannot write SARIF log to " << opt.sarif << "\n";
+      return 2;
+    }
+  }
   if (findings.empty()) {
     std::cerr << "chronus_lint: clean\n";
     return 0;

@@ -1,0 +1,98 @@
+// Minimal SARIF 2.1.0 emitter shared by chronus_lint and chronus_analyzer.
+//
+// Deliberately self-contained (no chronus library dependency): the
+// analysis tools must stay buildable even when the tree they analyse does
+// not compile. Emits exactly the subset GitHub code scanning consumes —
+// one run, one driver, rule metadata, and physical locations with
+// repo-relative URIs — so findings annotate PR diffs when the CI lint job
+// uploads the file.
+#pragma once
+
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace chronus_tools {
+
+struct SarifResult {
+  std::string rule;
+  std::string file;  // repo-relative, forward slashes
+  long line = 0;
+  std::string message;
+};
+
+inline std::string sarif_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          static const char* hex = "0123456789abcdef";
+          out += "\\u00";
+          out += hex[(c >> 4) & 0xF];
+          out += hex[c & 0xF];
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Writes `results` as a single-run SARIF log for driver `tool`.
+/// `rule_help` maps every rule id to its short description (rules that
+/// never fired are still listed, so the viewer can show the full gate).
+/// Returns false when the file cannot be opened.
+inline bool write_sarif(const std::string& path, const std::string& tool,
+                        const std::map<std::string, std::string>& rule_help,
+                        const std::vector<SarifResult>& results) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "{\n"
+      << "  \"version\": \"2.1.0\",\n"
+      << "  \"$schema\": "
+         "\"https://json.schemastore.org/sarif-2.1.0.json\",\n"
+      << "  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n"
+      << "          \"name\": \"" << sarif_escape(tool) << "\",\n"
+      << "          \"rules\": [\n";
+  bool first = true;
+  for (const auto& [id, help] : rule_help) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "            {\"id\": \"" << sarif_escape(id)
+        << "\", \"shortDescription\": {\"text\": \"" << sarif_escape(help)
+        << "\"}}";
+  }
+  out << "\n          ]\n        }\n      },\n      \"results\": [\n";
+  first = true;
+  for (const auto& r : results) {
+    if (!first) out << ",\n";
+    first = false;
+    out << "        {\"ruleId\": \"" << sarif_escape(r.rule)
+        << "\", \"level\": \"error\", \"message\": {\"text\": \""
+        << sarif_escape(r.message)
+        << "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \""
+        << sarif_escape(r.file)
+        << "\"}, \"region\": {\"startLine\": " << (r.line > 0 ? r.line : 1)
+        << "}}}]}";
+  }
+  out << "\n      ]\n    }\n  ]\n}\n";
+  return out.good();
+}
+
+}  // namespace chronus_tools
