@@ -1,0 +1,43 @@
+// Plain-text serialization of chaos campaign scripts (sim/chaos.hpp), so
+// `chronus_soak` can run declarative failure scenarios without writing
+// C++.
+//
+// A scenario file opens with a `scenario` header, an optional always-on
+// `fault` floor, then one `phase` block per timed window; `flap` and
+// `outage` lines attach to the most recent phase:
+//
+//   scenario storm seed=7
+//   # always-on floor (all knobs optional)
+//   fault drop=0.01 straggler=0.02 straggler_mult=10
+//   # timed phases; times take an optional us/ms/s suffix (default us)
+//   phase surge from=2s until=6s drop=0.05 reject=0.02 surge=2.5
+//   flap sw=3 period=500ms down=100ms offset=50ms
+//   outage sw=1 from=3s until=4s
+//   phase skew-ramp from=6s until=10s skew_begin=0 skew_end=2ms
+//
+// Phase attributes: drop, duplicate, reorder, reject, straggler,
+// straggler_mult, unresponsive, unresponsive_dur, skew_begin, skew_end,
+// surge. Fault-floor attributes additionally: drift (clock-skew stddev).
+// The parsed scenario is validated before it is returned, and
+// write_scenario round-trips with read_scenario (times re-emitted in plain
+// microseconds).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/chaos.hpp"
+
+namespace chronus::io {
+
+/// Parses a scenario; throws std::runtime_error with a line number on
+/// malformed input and util::ContractViolation when the assembled script
+/// fails ChaosScenario::validate().
+sim::ChaosScenario read_scenario(std::istream& in);
+sim::ChaosScenario read_scenario_file(const std::string& path);
+
+/// Writes the scenario in the same format (round-trips with
+/// read_scenario).
+void write_scenario(std::ostream& out, const sim::ChaosScenario& scenario);
+
+}  // namespace chronus::io

@@ -23,6 +23,16 @@
 // `_wall_us` holds machine time and is masked out of golden comparisons
 // (MetricsSnapshot::write_json(mask_wall=true)); everything else is
 // logical and must replay exactly (tests/obs_test.cpp).
+//
+// Gauges sit outside that split: logical() drops them wholesale because a
+// gauge is a point-in-time level, not an accumulated history — equal end
+// states don't prove equal runs, so they carry no replay signal. That
+// includes `service.health_state` (the degradation rung of DESIGN.md §13):
+// it *is* deterministic, and its full transition history is replay-checked
+// through the report digest's health log instead. The chaos/ladder family —
+// `service.shed`, `service.watchdog_fires`, `service.health_transitions`,
+// `service.degraded_epochs`, `service.faults_injected` — are ordinary
+// logical counters and replay bit-identically (tests/chaos_test.cpp).
 #pragma once
 
 #include <array>

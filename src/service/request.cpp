@@ -22,6 +22,24 @@ const char* to_string(RequestStatus s) {
       return "rejected-capacity";
     case RequestStatus::kFailed:
       return "failed";
+    case RequestStatus::kShedOverload:
+      return "shed-overload";
+    case RequestStatus::kWatchdogTimeout:
+      return "watchdog-timeout";
+  }
+  return "?";
+}
+
+const char* to_string(DegradationMode m) {
+  switch (m) {
+    case DegradationMode::kFull:
+      return "full";
+    case DegradationMode::kGreedyOnly:
+      return "greedy-only";
+    case DegradationMode::kDefer:
+      return "defer";
+    case DegradationMode::kShed:
+      return "shed";
   }
   return "?";
 }
@@ -29,6 +47,8 @@ const char* to_string(RequestStatus s) {
 void ServiceReport::finalize() {
   completed = failed = 0;
   rejected_infeasible = rejected_deadline = rejected_capacity = 0;
+  shed = watchdog_cancelled = 0;
+  faults_injected = 0;
   violations = 0;
   makespan = 0;
   for (const RequestRecord& r : records) {
@@ -48,9 +68,16 @@ void ServiceReport::finalize() {
       case RequestStatus::kRejectedCapacity:
         ++rejected_capacity;
         break;
+      case RequestStatus::kShedOverload:
+        ++shed;
+        break;
+      case RequestStatus::kWatchdogTimeout:
+        ++watchdog_cancelled;
+        break;
       case RequestStatus::kPending:
         break;
     }
+    faults_injected += r.faults;
     violations += r.violations;
     makespan = std::max(makespan, r.completed);
   }
@@ -87,7 +114,16 @@ std::string ServiceReport::to_string() const {
   out << "requests " << total() << ": " << completed << " completed, "
       << failed << " failed, " << rejected() << " rejected ("
       << rejected_infeasible << " infeasible, " << rejected_deadline
-      << " deadline, " << rejected_capacity << " capacity)\n";
+      << " deadline, " << rejected_capacity << " capacity, " << shed
+      << " shed, " << watchdog_cancelled << " watchdog)\n";
+  if (!health_log.empty() || faults_injected > 0) {
+    out << "degradation: " << health_log.size() << " health transition(s), "
+        << faults_injected << " fault(s) injected\n";
+    for (const auto& [t, mode] : health_log) {
+      out << "  t=" << util::fmt(static_cast<double>(t) / sim::kSecond, 3)
+          << "s -> " << service::to_string(mode) << "\n";
+    }
+  }
   out << "joint batches " << joint_batches << ", admission rounds "
       << admission_rounds << ", peak link utilization "
       << util::fmt(100.0 * peak_utilization, 1) << "%\n";
@@ -130,10 +166,19 @@ std::string ServiceReport::digest() const {
         << '|' << r.admitted << '|' << r.completed << '|' << r.defers << '|'
         << r.joint << '|' << r.batch << '|' << r.plan_span << '|'
         << r.exec_duration << '|' << r.exec_retries << '|' << r.plan_verified
-        << '|' << r.run_verified << '|' << r.violations << '\n';
+        << '|' << r.run_verified << '|' << r.violations;
+    // Ladder fields are appended only when a campaign touched the request,
+    // so clean-run digests stay byte-identical to the pre-ladder format.
+    if (r.faults != 0 || r.degradation != DegradationMode::kFull) {
+      out << '|' << service::to_string(r.degradation) << '|' << r.faults;
+    }
+    out << '\n';
   }
   out << "batches=" << joint_batches << " rounds=" << admission_rounds
       << " violations=" << violations << '\n';
+  for (const auto& [t, mode] : health_log) {
+    out << "health|" << t << '|' << service::to_string(mode) << '\n';
+  }
   return out.str();
 }
 

@@ -12,6 +12,7 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "net/path.hpp"
@@ -39,9 +40,28 @@ enum class RequestStatus {
   kRejectedDeadline,    ///< deadline passed while queued
   kRejectedCapacity,    ///< gave up after max_defers admission rounds
   kFailed,              ///< admitted but planning/execution failed
+  kShedOverload,        ///< shed by the degradation ladder under overload
+  kWatchdogTimeout,     ///< planning cancelled past the latency SLO
 };
 
 const char* to_string(RequestStatus s);
+
+/// The graceful-degradation ladder's health states, escalating with
+/// dispatcher-queue pressure: full planning (joint batching + execution)
+/// -> greedy-only (joint batching disabled) -> defer (no admissions while
+/// the backlog can still drain through completions or keeps growing) ->
+/// shed (excess queue entries rejected outright). The dispatcher walks the
+/// ladder on queue-depth thresholds with hysteresis
+/// (service::DegradationPolicy) and records the mode each request was
+/// decided under.
+enum class DegradationMode {
+  kFull = 0,
+  kGreedyOnly = 1,
+  kDefer = 2,
+  kShed = 3,
+};
+
+const char* to_string(DegradationMode m);
 
 /// Everything the service learned about one request.
 struct RequestRecord {
@@ -59,6 +79,11 @@ struct RequestRecord {
   std::int64_t plan_span = 0;       ///< schedule steps of the plan
   sim::SimTime exec_duration = 0;   ///< simulated execution wall time
   int exec_retries = 0;             ///< resilient-executor interventions
+  std::uint64_t faults = 0;         ///< faults injected during execution
+
+  /// Health state the dispatcher was in when this request was decided
+  /// (admitted, shed or watchdog-cancelled).
+  DegradationMode degradation = DegradationMode::kFull;
 
   /// Re-verification verdicts: the plan under the ledger-restricted
   /// capacities (the reservation bound) and the achieved activations under
@@ -89,12 +114,22 @@ struct ServiceReport {
   std::size_t rejected_capacity = 0;
   std::size_t joint_batches = 0;
   std::size_t admission_rounds = 0;
+  std::size_t shed = 0;                ///< requests shed under overload
+  std::size_t watchdog_cancelled = 0;  ///< planning cancelled past the SLO
+  std::uint64_t faults_injected = 0;   ///< chaos faults across all records
   int violations = 0;            ///< verifier events across all records
   double peak_utilization = 0.0; ///< max over links of committed/capacity
 
+  /// Every degradation-ladder transition the dispatcher took, in epoch
+  /// order — the campaign's health trajectory. Empty for a run that never
+  /// left full planning, so clean runs digest identically to the
+  /// pre-ladder format.
+  std::vector<std::pair<sim::SimTime, DegradationMode>> health_log;
+
   std::size_t total() const { return records.size(); }
   std::size_t rejected() const {
-    return rejected_infeasible + rejected_deadline + rejected_capacity;
+    return rejected_infeasible + rejected_deadline + rejected_capacity +
+           shed + watchdog_cancelled;
   }
   double rejection_rate() const {
     return records.empty()

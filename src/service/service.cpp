@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <optional>
 #include <stdexcept>
 #include <utility>
 
@@ -10,10 +11,33 @@
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
 #include "service/worker_pool.hpp"
+#include "sim/chaos.hpp"
 #include "sim/updaters.hpp"
 #include "timenet/verifier.hpp"
+#include "util/contracts.hpp"
 
 namespace chronus::service {
+
+void DegradationPolicy::validate() const {
+  CHRONUS_EXPECTS(latency_slo >= 0, "latency_slo must be non-negative");
+  const auto rung = [](std::size_t enter, std::size_t exit, const char* msg) {
+    CHRONUS_EXPECTS(enter == 0 || exit < enter, msg);
+  };
+  rung(greedy_enter, greedy_exit, "greedy_exit must be below greedy_enter");
+  rung(defer_enter, defer_exit, "defer_exit must be below defer_enter");
+  rung(shed_enter, shed_exit, "shed_exit must be below shed_enter");
+  // Enter thresholds must be non-decreasing up the ladder wherever two
+  // adjacent rungs are both enabled, else a depth could skip a rung's
+  // window entirely and the ladder order would be meaningless.
+  if (greedy_enter > 0 && defer_enter > 0) {
+    CHRONUS_EXPECTS(greedy_enter <= defer_enter,
+                    "defer_enter must be at or above greedy_enter");
+  }
+  if (defer_enter > 0 && shed_enter > 0) {
+    CHRONUS_EXPECTS(defer_enter <= shed_enter,
+                    "shed_enter must be at or above defer_enter");
+  }
+}
 
 namespace {
 
@@ -53,6 +77,7 @@ struct ExecResult {
   int violations = 0;
   sim::SimTime duration = 0;
   int retries = 0;
+  std::uint64_t faults = 0;  ///< chaos faults injected during this run
   std::string message;
 };
 
@@ -117,10 +142,15 @@ void plan_group_job(const net::Graph& group_graph,
 /// Executes one planned schedule in a private simulation of the *original*
 /// network: own event queue, controller and RNG stream derived from
 /// (service seed, request id), so the outcome is independent of which
-/// worker runs it.
+/// worker runs it. `admitted_at` is the service-time admission instant the
+/// chaos scenario (if any) is compiled against: the campaign's phases are
+/// translated into the private simulation's time base and max-merged into
+/// the always-on fault floor, and the injector stream is derived from
+/// (service seed, scenario seed, request id) — never from the worker.
 void exec_job(const net::Graph& base, const UpdateRequest& req,
               const timenet::UpdateSchedule& schedule,
-              const ServiceOptions& opts, ExecResult* out) {
+              const ServiceOptions& opts, sim::SimTime admitted_at,
+              ExecResult* out) {
   try {
     const net::UpdateInstance inst = make_instance(base, req);
     sim::Network net(inst.graph(), opts.step_unit, opts.bps_per_unit);
@@ -128,6 +158,25 @@ void exec_job(const net::Graph& base, const UpdateRequest& req,
     util::Rng parent(opts.seed);
     util::Rng rng = parent.fork(req.id);
     sim::Controller ctrl(eq, net, rng, opts.channel);
+
+    sim::FaultModel faults = opts.faults;
+    if (opts.chaos != nullptr) {
+      // The private simulation spans the dispatch lead plus the schedule,
+      // with slack for retries; phases overlapping that service-time window
+      // become forced-outage windows and merged rates.
+      const sim::SimTime span =
+          opts.dispatch_lead + (schedule.step_span() + 4) * opts.step_unit;
+      opts.chaos->apply_at(admitted_at, span, faults);
+    }
+    std::optional<sim::FaultInjector> injector;
+    if (faults.enabled()) {
+      const std::uint64_t scenario_seed =
+          opts.chaos != nullptr ? opts.chaos->seed : 0;
+      injector.emplace(std::move(faults),
+                       opts.seed ^ (scenario_seed * 0x2545F4914F6CDD1DULL) ^
+                           (0x9E3779B97F4A7C15ULL * (req.id + 0x5EEDULL)));
+      ctrl.attach_fault_injector(&*injector);
+    }
 
     sim::SimFlowSpec spec;
     spec.name = req.name.empty() ? "r" + std::to_string(req.id) : req.name;
@@ -144,6 +193,7 @@ void exec_job(const net::Graph& base, const UpdateRequest& req,
     out->violations = violation_count(rep.verification);
     out->duration = rep.result.finish;
     out->retries = rep.retries;
+    out->faults = rep.faults.injected();
   } catch (const std::exception& e) {
     out->message = e.what();
   }
@@ -178,6 +228,9 @@ UpdateService::UpdateService(net::Graph base, ServiceOptions opts)
   if (opts_.step_unit < 1) {
     throw std::invalid_argument("step_unit must be positive");
   }
+  opts_.degradation.validate();
+  opts_.faults.validate();
+  if (opts_.chaos != nullptr) opts_.chaos->validate();
 }
 
 ServiceReport UpdateService::run(std::vector<UpdateRequest> requests) {
@@ -214,8 +267,29 @@ ServiceReport UpdateService::run(std::vector<UpdateRequest> requests) {
   };
 
   AdmissionController admission(base_, opts_.admission);
+  // The greedy-only rung plans through the same controller with joint
+  // batching disabled — the cheapest way to keep admitting under pressure.
+  AdmissionPolicy greedy_policy = opts_.admission;
+  greedy_policy.allow_joint = false;
+  AdmissionController greedy_admission(base_, greedy_policy);
   CapacityLedger ledger(base_);
   WorkerPool pool(opts_.workers);
+
+  const DegradationPolicy& ladder = opts_.degradation;
+  DegradationMode health = DegradationMode::kFull;
+  const auto exit_depth = [&ladder](DegradationMode m) -> std::size_t {
+    switch (m) {
+      case DegradationMode::kGreedyOnly:
+        return ladder.greedy_exit;
+      case DegradationMode::kDefer:
+        return ladder.defer_exit;
+      case DegradationMode::kShed:
+        return ladder.shed_exit;
+      case DegradationMode::kFull:
+        break;
+    }
+    return 0;
+  };
 
   std::vector<Pending> pending;
   // In-flight reservations keyed by (release instant, admission sequence):
@@ -255,8 +329,100 @@ ServiceReport UpdateService::run(std::vector<UpdateRequest> requests) {
       ++next_arrival;
     }
 
+    // 2b. The degradation ladder. Everything below reads only the queue
+    // depth and the virtual clock, so a degraded run replays bit-
+    // identically; with the default (disabled) policy none of it runs.
+    const auto set_health = [&](DegradationMode m) {
+      if (m == health) return;
+      health = m;
+      report.health_log.emplace_back(now, m);
+      obs::add("service.health_transitions");
+      obs::gauge_set("service.health_state", static_cast<std::int64_t>(m));
+    };
+
+    // Watchdog: cancel requests still queued past the latency SLO instead
+    // of planning them hopelessly late.
+    if (ladder.latency_slo > 0 && !pending.empty()) {
+      std::vector<Pending> fresh;
+      fresh.reserve(pending.size());
+      for (Pending& p : pending) {
+        const UpdateRequest& r = requests[p.req_idx];
+        if (now - r.arrival > ladder.latency_slo) {
+          RequestRecord& rec = record(r);
+          rec.status = RequestStatus::kWatchdogTimeout;
+          rec.completed = now;
+          rec.defers = p.defers;
+          rec.degradation = health;
+          rec.message = "queued past the latency SLO";
+          obs::add("service.watchdog_fires");
+        } else {
+          fresh.push_back(std::move(p));
+        }
+      }
+      pending = std::move(fresh);
+    }
+
+    // Walk the ladder on the post-watchdog queue depth: escalate straight
+    // to the highest tripped rung, de-escalate one rung per epoch once the
+    // depth reaches the current rung's exit threshold.
+    if (ladder.enabled()) {
+      const std::size_t depth = pending.size();
+      DegradationMode tripped = DegradationMode::kFull;
+      if (ladder.greedy_enter > 0 && depth >= ladder.greedy_enter) {
+        tripped = DegradationMode::kGreedyOnly;
+      }
+      if (ladder.defer_enter > 0 && depth >= ladder.defer_enter) {
+        tripped = DegradationMode::kDefer;
+      }
+      if (ladder.shed_enter > 0 && depth >= ladder.shed_enter) {
+        tripped = DegradationMode::kShed;
+      }
+      if (tripped > health) {
+        set_health(tripped);
+      } else if (health > DegradationMode::kFull &&
+                 depth <= exit_depth(health)) {
+        set_health(
+            static_cast<DegradationMode>(static_cast<int>(health) - 1));
+      }
+      if (health != DegradationMode::kFull) obs::add("service.degraded_epochs");
+    }
+
+    // Shed rung: reject the lowest-priority, youngest tail of the queue
+    // outright until the depth is back at shed_exit.
+    if (health == DegradationMode::kShed && pending.size() > ladder.shed_exit) {
+      std::sort(pending.begin(), pending.end(),
+                [&](const Pending& a, const Pending& b) {
+                  const UpdateRequest& ra = requests[a.req_idx];
+                  const UpdateRequest& rb = requests[b.req_idx];
+                  // Keep-first order: high priority, then oldest (lowest id).
+                  return ra.priority != rb.priority ? ra.priority > rb.priority
+                                                    : ra.id < rb.id;
+                });
+      for (std::size_t i = ladder.shed_exit; i < pending.size(); ++i) {
+        const UpdateRequest& r = requests[pending[i].req_idx];
+        RequestRecord& rec = record(r);
+        rec.status = RequestStatus::kShedOverload;
+        rec.completed = now;
+        rec.defers = pending[i].defers;
+        rec.degradation = DegradationMode::kShed;
+        rec.message = "shed under overload";
+        obs::add("service.shed");
+      }
+      pending.resize(ladder.shed_exit);
+    }
+
+    // Defer and shed pause admission — but only while the backlog can
+    // still drain through in-flight completions or future arrivals can
+    // still deepen it. Once neither holds, holding the queue would starve
+    // it forever, so the effective mode falls back to greedy-only.
+    DegradationMode effective = health;
+    if (effective >= DegradationMode::kDefer && inflight.empty() &&
+        next_arrival >= requests.size()) {
+      effective = DegradationMode::kGreedyOnly;
+    }
+
     // 3. One admission round over the queue, in service order.
-    if (!pending.empty()) {
+    if (!pending.empty() && effective < DegradationMode::kDefer) {
       std::sort(pending.begin(), pending.end(),
                 [&](const Pending& a, const Pending& b) {
                   const UpdateRequest& ra = requests[a.req_idx];
@@ -271,7 +437,9 @@ ServiceReport UpdateService::run(std::vector<UpdateRequest> requests) {
         view.push_back(
             {&requests[p.req_idx], p.footprint, p.defers, p.joint_cooldown});
       }
-      AdmissionRound round = admission.decide(view, ledger, now);
+      AdmissionRound round = effective == DegradationMode::kGreedyOnly
+                                 ? greedy_admission.decide(view, ledger, now)
+                                 : admission.decide(view, ledger, now);
       ++report.admission_rounds;
 
       std::vector<char> resolved(pending.size(), 0);
@@ -281,6 +449,7 @@ ServiceReport UpdateService::run(std::vector<UpdateRequest> requests) {
         rec.status = status;
         rec.completed = now;
         rec.defers = pending[idx].defers;
+        rec.degradation = health;
         resolved[idx] = 1;
       }
 
@@ -321,8 +490,8 @@ ServiceReport UpdateService::run(std::vector<UpdateRequest> requests) {
         for (SingleJob& job : singles) {
           if (!job.plan.feasible) continue;
           const UpdateRequest& r = requests[pending[job.pend_idx].req_idx];
-          pool.submit([&job, &r, this] {
-            exec_job(base_, r, job.plan.schedule, opts_, &job.exec);
+          pool.submit([&job, &r, now, this] {
+            exec_job(base_, r, job.plan.schedule, opts_, now, &job.exec);
           });
         }
         for (GroupJob& job : groups) {
@@ -330,8 +499,8 @@ ServiceReport UpdateService::run(std::vector<UpdateRequest> requests) {
           for (std::size_t m = 0; m < job.group.members.size(); ++m) {
             const UpdateRequest& r =
                 requests[pending[job.group.members[m]].req_idx];
-            pool.submit([&job, &r, m, this] {
-              exec_job(base_, r, job.plan.joint.schedules[m], opts_,
+            pool.submit([&job, &r, m, now, this] {
+              exec_job(base_, r, job.plan.joint.schedules[m], opts_, now,
                        &job.execs[m]);
             });
           }
@@ -352,6 +521,7 @@ ServiceReport UpdateService::run(std::vector<UpdateRequest> requests) {
         rec.joint = joint;
         rec.plan_span = span;
         rec.plan_verified = plan.verified;
+        rec.degradation = health;
         if (count_plan) rec.violations += plan.violations;
         sim::SimTime duration = 0;
         if (opts_.execute) {
@@ -362,6 +532,8 @@ ServiceReport UpdateService::run(std::vector<UpdateRequest> requests) {
             rec.violations += exec.violations;
             rec.exec_duration = exec.duration;
             rec.exec_retries = exec.retries;
+            rec.faults = exec.faults;
+            if (exec.faults > 0) obs::add("service.faults_injected", exec.faults);
             rec.message = exec.message;
             duration = exec.duration;
           } else {

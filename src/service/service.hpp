@@ -28,7 +28,12 @@
 #include "service/admission.hpp"
 #include "service/capacity_ledger.hpp"
 #include "service/request.hpp"
+#include "sim/faults.hpp"
 #include "sim/resilient_executor.hpp"
+
+namespace chronus::sim {
+struct ChaosScenario;
+}  // namespace chronus::sim
 
 namespace chronus::service {
 
@@ -36,6 +41,44 @@ namespace chronus::service {
 struct ServiceTrace {
   net::Graph graph;
   std::vector<UpdateRequest> requests;
+};
+
+/// Thresholds of the graceful-degradation ladder. All knobs default to 0 =
+/// disabled, so a default-constructed policy leaves the dispatcher exactly
+/// as it was before the ladder existed (the clean-run bit-identity tests
+/// rely on this).
+///
+/// The ladder reads only deterministic state — the dispatcher queue depth
+/// and virtual time — never the wall clock, so a degraded run replays
+/// bit-identically from its seed. Escalation is immediate (an epoch whose
+/// queue depth trips a higher `*_enter` threshold jumps straight to that
+/// mode); de-escalation is one rung per epoch and only once the depth has
+/// fallen to the current rung's `*_exit` threshold. Keeping exit below
+/// enter gives the hysteresis band that stops the ladder from flapping at
+/// a threshold.
+struct DegradationPolicy {
+  /// Watchdog: a request still queued `latency_slo` after its arrival is
+  /// cancelled (kWatchdogTimeout) instead of being planned late. Virtual
+  /// time, not wall time; 0 disables.
+  sim::SimTime latency_slo = 0;
+
+  /// Queue depths (pending requests at an epoch boundary) entering and
+  /// leaving each rung; 0 disables the rung.
+  std::size_t greedy_enter = 0;  ///< full planning -> greedy-only
+  std::size_t greedy_exit = 0;
+  std::size_t defer_enter = 0;   ///< greedy-only -> defer (no admissions)
+  std::size_t defer_exit = 0;
+  std::size_t shed_enter = 0;    ///< defer -> shed (reject the excess)
+  std::size_t shed_exit = 0;     ///< shed down to this depth, then recover
+
+  bool enabled() const {
+    return latency_slo > 0 || greedy_enter > 0 || defer_enter > 0 ||
+           shed_enter > 0;
+  }
+  /// Throws util::ContractViolation unless every enabled rung has
+  /// exit < enter and the enter thresholds are non-decreasing up the
+  /// ladder.
+  void validate() const;
 };
 
 struct ServiceOptions {
@@ -65,6 +108,20 @@ struct ServiceOptions {
   /// Execute plans through sim::ResilientExecutor (else planning only:
   /// durations count the schedule span alone).
   bool execute = true;
+
+  /// Graceful-degradation ladder; default (all zero) keeps the dispatcher
+  /// ladder-free.
+  DegradationPolicy degradation;
+
+  /// Always-on fault model for every private execution simulation; the
+  /// default all-zero model attaches no injector, leaving runs bit-
+  /// identical to the pre-fault service.
+  sim::FaultModel faults;
+
+  /// Optional chaos campaign overlaying time-varying faults on top of
+  /// `faults`, compiled per admission epoch (sim/chaos.hpp). Not owned;
+  /// must outlive the run. Null = no campaign.
+  const sim::ChaosScenario* chaos = nullptr;
 
   AdmissionPolicy admission;
   core::GreedyOptions greedy{.record_steps = false};

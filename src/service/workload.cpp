@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "sim/chaos.hpp"
+
 namespace chronus::service {
 
 ServiceTrace make_workload(const WorkloadOptions& opt) {
@@ -69,7 +71,15 @@ ServiceTrace make_workload(const WorkloadOptions& opt) {
   const int background = opt.requests - 3 * opt.rescue_sites;
   double clock_sec = 0.0;
   for (int i = 0; i < background; ++i) {
-    clock_sec += -std::log(1.0 - rng.uniform01()) / opt.arrival_rate_hz;
+    // Chaos surges scale the instantaneous rate at the draw's own virtual
+    // time; the uniform01 draw itself is unchanged, so a quiet (or absent)
+    // scenario leaves the trace bit-identical.
+    double rate_hz = opt.arrival_rate_hz;
+    if (opt.chaos != nullptr) {
+      rate_hz *= opt.chaos->arrival_multiplier_at(static_cast<sim::SimTime>(
+          std::llround(clock_sec * static_cast<double>(sim::kSecond))));
+    }
+    clock_sec += -std::log(1.0 - rng.uniform01()) / rate_hz;
 
     UpdateRequest req;
     req.arrival = static_cast<sim::SimTime>(

@@ -49,6 +49,14 @@ struct WorkloadOptions {
   /// site consumes three slots of `requests`.
   int rescue_sites = 0;
 
+  /// Optional chaos scenario whose arrival surges compress the background
+  /// inter-arrival draws (sim/chaos.hpp). The multiplier scales the rate
+  /// at each draw's current virtual time without consuming extra
+  /// randomness, so a surging trace is still a pure function of (options,
+  /// seed) and a quiet scenario yields the identical trace as none at all.
+  /// Not owned; null = no campaign.
+  const sim::ChaosScenario* chaos = nullptr;
+
   std::uint64_t seed = 1;
 };
 

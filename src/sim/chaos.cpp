@@ -1,0 +1,186 @@
+#include "sim/chaos.hpp"
+
+#include <algorithm>
+
+#include "util/contracts.hpp"
+
+namespace chronus::sim {
+
+namespace {
+
+bool is_probability(double p) { return p >= 0.0 && p <= 1.0; }
+
+void merge_window(FaultModel& m, SwitchId sw, SimTime from, SimTime until) {
+  if (until <= from) return;
+  const auto it = m.forced_outage.find(sw);
+  if (it == m.forced_outage.end()) {
+    m.forced_outage.emplace(sw, std::make_pair(from, until));
+  } else {
+    // One window per switch in FaultModel: overlapping sources merge to
+    // their hull (conservative — the switch is at least this unreachable).
+    it->second.first = std::min(it->second.first, from);
+    it->second.second = std::max(it->second.second, until);
+  }
+}
+
+/// Translates a service-time window [from, until) into the private
+/// simulation base (admission instant = 0), clipped to [0, span).
+void merge_service_window(FaultModel& m, SwitchId sw, SimTime from,
+                          SimTime until, SimTime now, SimTime span) {
+  const SimTime lo = std::max<SimTime>(from - now, 0);
+  const SimTime hi = std::min<SimTime>(until - now, span);
+  merge_window(m, sw, lo, hi);
+}
+
+}  // namespace
+
+bool ChaosPhase::quiet() const {
+  return drop_rate == 0.0 && duplicate_rate == 0.0 && reorder_rate == 0.0 &&
+         reject_rate == 0.0 && straggler_rate == 0.0 &&
+         unresponsive_rate == 0.0 && skew_begin == 0 && skew_end == 0 &&
+         arrival_surge == 1.0 && flaps.empty() && outages.empty();
+}
+
+SimTime ChaosScenario::horizon() const {
+  SimTime h = 0;
+  for (const ChaosPhase& p : phases) h = std::max(h, p.until);
+  return h;
+}
+
+bool ChaosScenario::quiet() const {
+  if (base.enabled()) return false;
+  return std::all_of(phases.begin(), phases.end(),
+                     [](const ChaosPhase& p) { return p.quiet(); });
+}
+
+void ChaosScenario::validate() const {
+  base.validate();
+  for (const ChaosPhase& p : phases) {
+    CHRONUS_EXPECTS(p.from >= 0 && p.from < p.until,
+                    "phase '" + p.name + "': window must satisfy 0 <= from < until");
+    CHRONUS_EXPECTS(is_probability(p.drop_rate) &&
+                        is_probability(p.duplicate_rate) &&
+                        is_probability(p.reorder_rate) &&
+                        is_probability(p.reject_rate) &&
+                        is_probability(p.straggler_rate) &&
+                        is_probability(p.unresponsive_rate),
+                    "phase '" + p.name + "': rates are probabilities in [0,1]");
+    CHRONUS_EXPECTS(p.straggler_multiplier >= 0.0 &&
+                        p.unresponsive_duration >= 0,
+                    "phase '" + p.name + "': multipliers/durations are non-negative");
+    CHRONUS_EXPECTS(p.skew_begin >= 0 && p.skew_end >= 0,
+                    "phase '" + p.name + "': skew stddevs are non-negative");
+    CHRONUS_EXPECTS(p.arrival_surge > 0.0,
+                    "phase '" + p.name + "': arrival_surge must be positive");
+    for (const FlapSpec& fl : p.flaps) {
+      CHRONUS_EXPECTS(fl.period > 0 && fl.down > 0 && fl.down <= fl.period,
+                      "phase '" + p.name +
+                          "': flap needs period > 0 and 0 < down <= period");
+      CHRONUS_EXPECTS(fl.offset >= 0,
+                      "phase '" + p.name + "': flap offset is non-negative");
+    }
+    for (const OutageSpec& o : p.outages) {
+      CHRONUS_EXPECTS(o.from >= 0 && o.from < o.until,
+                      "phase '" + p.name + "': outage window must be well-ordered");
+    }
+  }
+}
+
+double ChaosScenario::arrival_multiplier_at(SimTime t) const {
+  double mult = 1.0;
+  for (const ChaosPhase& p : phases) {
+    if (p.active_at(t)) mult *= p.arrival_surge;
+  }
+  return mult;
+}
+
+void ChaosScenario::apply_at(SimTime now, SimTime span, FaultModel& m) const {
+  // The always-on base floor first: rates max-merge like a permanently
+  // active phase; its outage windows are service-time windows and get the
+  // same translation into the private-simulation base as phase outages.
+  m.drop_rate = std::max(m.drop_rate, base.drop_rate);
+  m.duplicate_rate = std::max(m.duplicate_rate, base.duplicate_rate);
+  m.reorder_rate = std::max(m.reorder_rate, base.reorder_rate);
+  m.reject_rate = std::max(m.reject_rate, base.reject_rate);
+  m.straggler_rate = std::max(m.straggler_rate, base.straggler_rate);
+  if (base.straggler_rate > 0.0) {
+    m.straggler_multiplier =
+        std::max(m.straggler_multiplier, base.straggler_multiplier);
+  }
+  m.unresponsive_rate = std::max(m.unresponsive_rate, base.unresponsive_rate);
+  m.unresponsive_duration =
+      std::max(m.unresponsive_duration, base.unresponsive_duration);
+  m.clock_drift_stddev =
+      std::max(m.clock_drift_stddev, base.clock_drift_stddev);
+  for (const auto& [sw, p] : base.per_switch_drop) {
+    double& slot = m.per_switch_drop[sw];
+    slot = std::max(slot, p);
+  }
+  for (const auto& [sw, n] : base.reject_first_n) {
+    int& slot = m.reject_first_n[sw];
+    slot = std::max(slot, n);
+  }
+  for (const auto& [sw, window] : base.forced_outage) {
+    if (window.second > now && window.first < now + span) {
+      merge_service_window(m, sw, window.first, window.second, now, span);
+    }
+  }
+
+  for (const ChaosPhase& p : phases) {
+    if (p.active_at(now)) {
+      m.drop_rate = std::max(m.drop_rate, p.drop_rate);
+      m.duplicate_rate = std::max(m.duplicate_rate, p.duplicate_rate);
+      m.reorder_rate = std::max(m.reorder_rate, p.reorder_rate);
+      m.reject_rate = std::max(m.reject_rate, p.reject_rate);
+      m.straggler_rate = std::max(m.straggler_rate, p.straggler_rate);
+      if (p.straggler_multiplier > 0.0) {
+        m.straggler_multiplier =
+            std::max(m.straggler_multiplier, p.straggler_multiplier);
+      }
+      m.unresponsive_rate = std::max(m.unresponsive_rate, p.unresponsive_rate);
+      m.unresponsive_duration =
+          std::max(m.unresponsive_duration, p.unresponsive_duration);
+      if (p.skew_begin > 0 || p.skew_end > 0) {
+        // Linear ramp across the phase, evaluated at the admission instant
+        // (integer arithmetic: exact and replay-stable).
+        const SimTime width = p.until - p.from;
+        const SimTime skew =
+            p.skew_begin +
+            ((p.skew_end - p.skew_begin) * (now - p.from)) / width;
+        m.clock_drift_stddev = std::max(m.clock_drift_stddev, skew);
+      }
+    }
+
+    // Flaps and outages are windows, not rates: a request admitted before
+    // the phase whose execution runs into it must still see them, so they
+    // are compiled from the span overlap, not from active_at(now).
+    if (p.until <= now || span <= 0) continue;
+    for (const OutageSpec& o : p.outages) {
+      if (o.until > now && o.from < now + span) {
+        merge_service_window(m, o.sw, o.from, o.until, now, span);
+      }
+    }
+    for (const FlapSpec& fl : p.flaps) {
+      // First down window whose end lies after `now`: cycles start at
+      // phase.from + offset and repeat every `period`.
+      const SimTime cycle0 = p.from + fl.offset;
+      SimTime start = cycle0;
+      if (now > cycle0) {
+        const SimTime k = (now - cycle0) / fl.period;
+        start = cycle0 + k * fl.period;
+        if (start + fl.down <= now) start += fl.period;
+      }
+      const SimTime end = std::min(start + fl.down, p.until);
+      if (start >= p.until || end <= now || start >= now + span) continue;
+      merge_service_window(m, fl.sw, start, end, now, span);
+    }
+  }
+}
+
+FaultModel ChaosScenario::fault_model_at(SimTime now, SimTime span) const {
+  FaultModel m;
+  apply_at(now, span, m);
+  return m;
+}
+
+}  // namespace chronus::sim

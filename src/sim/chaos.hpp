@@ -1,0 +1,135 @@
+// The chaos soak engine: declarative failure campaigns against the online
+// update service.
+//
+// A ChaosScenario is a seeded script of timed *phases* — windows of service
+// virtual time during which fault knobs are raised: FlowMod drop/duplicate/
+// reorder/reject storms, rule-install tail-latency (straggler) storms,
+// per-switch clock-skew ramps, periodic link/switch flaps, forced outage
+// windows and arrival-rate surges. The engine *compiles* the scenario,
+// epoch by epoch, into the two artefacts the rest of the tree already
+// understands:
+//
+//  * a FaultModel for each request's private execution simulation
+//    (fault_model_at / apply_at) — the service attaches a FaultInjector
+//    built from it, seeded from (service seed, scenario seed, request id);
+//  * an arrival-rate multiplier for the workload generator
+//    (arrival_multiplier_at) — surges compress inter-arrival draws without
+//    changing them, so a surging trace is still a pure function of
+//    (options, seed).
+//
+// Determinism contract: a scenario holds no state and draws no randomness
+// of its own — compilation is pure arithmetic on virtual time, and all
+// randomness stays in the per-request injector streams derived from the
+// campaign seed. Hence one (trace seed, scenario) pair fully determines a
+// campaign, any failure replays bit-identically, and a scenario whose
+// every knob is zero (quiet()) compiles to disabled FaultModels and unit
+// multipliers everywhere — a quiet campaign is bit-identical to a clean
+// `serve` run of the same trace (tests/chaos_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/faults.hpp"
+#include "sim/sim_time.hpp"
+#include "sim/switch.hpp"
+
+namespace chronus::sim {
+
+/// A periodic control-plane flap of one switch: starting at the owning
+/// phase's `from` (shifted by `offset`), the switch is unreachable for the
+/// leading `down` microseconds of every `period`-long cycle, for as long
+/// as the phase lasts.
+struct FlapSpec {
+  SwitchId sw = 0;
+  SimTime period = 0;  ///< full cycle length (> 0)
+  SimTime down = 0;    ///< leading down window per cycle (0 < down <= period)
+  SimTime offset = 0;  ///< shift of the first cycle past the phase start
+};
+
+/// One absolute outage window: messages to `sw` during [from, until) — in
+/// service virtual time — are delayed to the window's end.
+struct OutageSpec {
+  SwitchId sw = 0;
+  SimTime from = 0;
+  SimTime until = 0;
+};
+
+/// One timed phase of a campaign. Rate knobs are *floors* merged into the
+/// compiled FaultModel by max while the phase is active; zero keeps
+/// whatever the base model (or an overlapping phase) already set.
+struct ChaosPhase {
+  std::string name = "phase";
+  SimTime from = 0;   ///< phase window [from, until) in service time
+  SimTime until = 0;
+
+  double drop_rate = 0.0;
+  double duplicate_rate = 0.0;
+  double reorder_rate = 0.0;
+  double reject_rate = 0.0;
+  double straggler_rate = 0.0;
+  double straggler_multiplier = 0.0;  ///< 0 keeps the model's multiplier
+  double unresponsive_rate = 0.0;
+  SimTime unresponsive_duration = 0;
+
+  /// Clock-skew ramp: the per-switch drift stddev interpolates linearly
+  /// from skew_begin at `from` to skew_end at `until` — the honest Time4
+  /// model of clocks drifting between synchronization rounds.
+  SimTime skew_begin = 0;
+  SimTime skew_end = 0;
+
+  /// Arrival-rate multiplier while active (1 = no surge). Overlapping
+  /// surges multiply, so stacked phases compound the pressure.
+  double arrival_surge = 1.0;
+
+  std::vector<FlapSpec> flaps;
+  std::vector<OutageSpec> outages;
+
+  bool active_at(SimTime t) const { return t >= from && t < until; }
+  /// True iff the phase perturbs nothing (all knobs at rest).
+  bool quiet() const;
+};
+
+/// A complete campaign script. Immutable once validated; shared by pointer
+/// across the workload generator, the service dispatcher and the soak
+/// driver.
+struct ChaosScenario {
+  std::string name = "scenario";
+  /// Campaign stream id, XORed into every per-request injector seed so two
+  /// scenarios over the same trace draw independent fault streams.
+  std::uint64_t seed = 0;
+  /// Always-on fault floor beneath the phases.
+  FaultModel base;
+  std::vector<ChaosPhase> phases;
+
+  /// End of the last phase (0 when the scenario has no phases).
+  SimTime horizon() const;
+
+  /// True iff base and every phase are at rest — the campaign that must be
+  /// bit-identical to a clean run.
+  bool quiet() const;
+
+  /// Contract validation (rates in [0,1], well-ordered windows, positive
+  /// periods); throws util::ContractViolation on a malformed script.
+  void validate() const;
+
+  /// Product of the arrival surges active at service time `t` (1 when
+  /// none are).
+  double arrival_multiplier_at(SimTime t) const;
+
+  /// Merges the faults in effect for a private execution admitted at
+  /// service time `now` into `m` — the always-on `base` floor plus the
+  /// active phases. Rates are max-merged; flap and outage windows (from
+  /// `base` as well as phases) overlapping [now, now + span) are
+  /// translated into the private simulation's time base (admission = 0)
+  /// and recorded as forced_outage windows. FaultModel carries one window
+  /// per switch, so overlapping sources on the same switch merge to their
+  /// hull, and a flap contributes its first down window inside the span.
+  void apply_at(SimTime now, SimTime span, FaultModel& m) const;
+
+  /// Convenience: base merged with the phases via apply_at.
+  FaultModel fault_model_at(SimTime now, SimTime span) const;
+};
+
+}  // namespace chronus::sim

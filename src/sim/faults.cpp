@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "util/contracts.hpp"
+
 namespace chronus::sim {
 
 bool FaultModel::enabled() const {
@@ -19,6 +21,33 @@ bool FaultModel::enabled() const {
     if (n > 0) return true;
   }
   return !forced_outage.empty();
+}
+
+void FaultModel::validate() const {
+  const auto prob = [](double p) { return p >= 0.0 && p <= 1.0; };
+  CHRONUS_EXPECTS(prob(drop_rate) && prob(duplicate_rate) &&
+                      prob(reorder_rate) && prob(reject_rate) &&
+                      prob(straggler_rate) && prob(unresponsive_rate),
+                  "fault rates are probabilities in [0,1]");
+  for (const auto& [sw, p] : per_switch_drop) {
+    CHRONUS_EXPECTS(prob(p), "per_switch_drop[" + std::to_string(sw) +
+                                 "] is a probability in [0,1]");
+  }
+  for (const auto& [sw, n] : reject_first_n) {
+    CHRONUS_EXPECTS(n >= 0, "reject_first_n[" + std::to_string(sw) +
+                                "] must be non-negative");
+  }
+  CHRONUS_EXPECTS(straggler_multiplier >= 0.0,
+                  "straggler_multiplier must be non-negative");
+  CHRONUS_EXPECTS(unresponsive_duration >= 0,
+                  "unresponsive_duration must be non-negative");
+  CHRONUS_EXPECTS(clock_drift_stddev >= 0,
+                  "clock_drift_stddev must be non-negative");
+  for (const auto& [sw, window] : forced_outage) {
+    CHRONUS_EXPECTS(window.first >= 0 && window.first < window.second,
+                    "forced_outage[" + std::to_string(sw) +
+                        "] window must satisfy 0 <= from < until");
+  }
 }
 
 FaultStats FaultStats::operator-(const FaultStats& base) const {
@@ -46,6 +75,7 @@ std::string FaultStats::to_string() const {
 
 FaultInjector::FaultInjector(FaultModel model, std::uint64_t seed)
     : model_(std::move(model)), rng_(seed) {
+  model_.validate();
   rejects_left_ = model_.reject_first_n;
 }
 

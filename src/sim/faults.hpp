@@ -68,6 +68,14 @@ struct FaultModel {
   /// True iff any knob is set; a disabled model injects nothing and the
   /// injector draws no randomness.
   bool enabled() const;
+
+  /// Contract validation: every rate is a probability in [0,1], durations
+  /// and multipliers are non-negative, reject_first_n counts are
+  /// non-negative and forced_outage windows are well-ordered (from <
+  /// until). Throws util::ContractViolation on a malformed model; called
+  /// by the FaultInjector constructor so malformed models can no longer be
+  /// silently accepted.
+  void validate() const;
 };
 
 /// Counters of everything injected; snapshot/diff these to account for the

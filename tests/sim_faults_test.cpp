@@ -10,6 +10,7 @@
 
 #include "net/generators.hpp"
 #include "sim/resilient_executor.hpp"
+#include "util/contracts.hpp"
 
 namespace chronus::sim {
 namespace {
@@ -339,6 +340,158 @@ TEST(ResilientLadder, TotalFailureRollsBackCleanly) {
   EXPECT_EQ(b.net.sw(2).table().size(), 1u);  // v3: old rule only
   EXPECT_EQ(b.net.sw(3).table().size(), 1u);  // v4: old rule only
   EXPECT_EQ(b.net.sw(5).table().size(), 1u);  // v6: host rule only
+}
+
+// --- FaultModel contract validation (enforced by the injector ctor).
+
+TEST(FaultModelValidate, AcceptsEveryDefaultAndSaneModel) {
+  FaultModel m;
+  EXPECT_NO_THROW(m.validate());
+  m.drop_rate = 1.0;
+  m.reject_rate = 0.0;
+  m.per_switch_drop[3] = 0.5;
+  m.reject_first_n[1] = 0;
+  m.forced_outage[0] = {0, kSecond};
+  EXPECT_NO_THROW(m.validate());
+  EXPECT_NO_THROW(FaultInjector(m, 1));
+}
+
+TEST(FaultModelValidate, RejectsOutOfRangeRates) {
+  FaultModel m;
+  m.drop_rate = 1.5;
+  EXPECT_THROW(m.validate(), util::ContractViolation);
+  m.drop_rate = 0.0;
+  m.reorder_rate = -0.1;
+  EXPECT_THROW(m.validate(), util::ContractViolation);
+  m.reorder_rate = 0.0;
+  m.per_switch_drop[2] = 2.0;
+  EXPECT_THROW(m.validate(), util::ContractViolation);
+  // The injector refuses to be built on a malformed model.
+  EXPECT_THROW(FaultInjector(m, 1), util::ContractViolation);
+}
+
+TEST(FaultModelValidate, RejectsNegativeCountsAndDurations) {
+  FaultModel m;
+  m.reject_first_n[0] = -1;
+  EXPECT_THROW(m.validate(), util::ContractViolation);
+  m.reject_first_n.clear();
+  m.straggler_multiplier = -1.0;
+  EXPECT_THROW(m.validate(), util::ContractViolation);
+  m.straggler_multiplier = 10.0;
+  m.unresponsive_duration = -kSecond;
+  EXPECT_THROW(m.validate(), util::ContractViolation);
+  m.unresponsive_duration = 0;
+  m.clock_drift_stddev = -1;
+  EXPECT_THROW(m.validate(), util::ContractViolation);
+}
+
+TEST(FaultModelValidate, RejectsIllOrderedOutageWindows) {
+  FaultModel m;
+  m.forced_outage[0] = {kSecond, kSecond};  // empty window
+  EXPECT_THROW(m.validate(), util::ContractViolation);
+  m.forced_outage[0] = {2 * kSecond, kSecond};  // inverted
+  EXPECT_THROW(m.validate(), util::ContractViolation);
+  m.forced_outage[0] = {-1, kSecond};  // negative start
+  EXPECT_THROW(m.validate(), util::ContractViolation);
+}
+
+// --- Edge cases of the fault modes in combination.
+
+TEST(ControllerFaults, OverlappingOutageWindowsDelayEachSwitch) {
+  Bench b(11);
+  FaultModel m;
+  // Overlapping windows on different switches: each arrival is shaped by
+  // its own switch's window only.
+  m.forced_outage[0] = {0, 5 * kSecond};
+  m.forced_outage[1] = {0, 3 * kSecond};
+  FaultInjector inj(m);
+  Controller ctrl(b.eq, b.net, b.rng, b.model);
+  ctrl.attach_fault_injector(&inj);
+
+  const FlowEntry entry = make_forwarding_entry(b.spec, 1);
+  const ModId on0 = ctrl.issue_flow_mod(0, add_mod(entry));
+  const ModId on1 = ctrl.issue_flow_mod(1, add_mod(entry));
+  EXPECT_GE(ctrl.record(on0).arrival, 5 * kSecond);
+  EXPECT_GE(ctrl.record(on1).arrival, 3 * kSecond);
+  EXPECT_LT(ctrl.record(on1).arrival, 5 * kSecond);
+  EXPECT_EQ(inj.stats().unresponsive_delays, 2u);
+}
+
+TEST(ControllerFaults, PerSwitchDropOverridesZeroGlobalRate) {
+  Bench b(12);
+  FaultModel m;
+  m.drop_rate = 0.0;          // globally lossless...
+  m.per_switch_drop[0] = 1.0; // ...except switch 0, which loses everything
+  FaultInjector inj(m);
+  Controller ctrl(b.eq, b.net, b.rng, b.model);
+  ctrl.attach_fault_injector(&inj);
+
+  const FlowEntry entry = make_forwarding_entry(b.spec, 1);
+  const ModId lost = ctrl.issue_flow_mod(0, add_mod(entry));
+  const ModId kept = ctrl.issue_flow_mod(1, add_mod(entry));
+  EXPECT_TRUE(ctrl.record(lost).dropped);
+  EXPECT_FALSE(ctrl.record(kept).dropped);
+  ctrl.flush();
+  EXPECT_EQ(b.net.sw(0).mods_applied(), 0u);
+  EXPECT_EQ(b.net.sw(1).mods_applied(), 1u);
+  EXPECT_EQ(inj.stats().drops, 1u);
+}
+
+TEST(FaultInjectorTest, RejectFirstNInterleavesWithRejectRate) {
+  FaultModel m;
+  m.reject_first_n[0] = 2;  // deterministic: first two mods to switch 0
+  m.reject_rate = 1.0;      // then the rate takes over (here: always)
+  FaultInjector inj(m, 5);
+  // The counter is consumed before the rate is drawn, so the first two
+  // rejections cost no randomness; every verdict is still a rejection.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(inj.on_flow_mod(0).reject) << "mod " << i;
+  }
+  EXPECT_EQ(inj.stats().rejections, 4u);
+
+  // With the rate at zero only the counted rejections remain.
+  FaultModel counted;
+  counted.reject_first_n[0] = 2;
+  FaultInjector only_counter(counted, 5);
+  EXPECT_TRUE(only_counter.on_flow_mod(0).reject);
+  EXPECT_TRUE(only_counter.on_flow_mod(0).reject);
+  EXPECT_FALSE(only_counter.on_flow_mod(0).reject);
+  EXPECT_FALSE(only_counter.on_flow_mod(1).reject);  // other switches unscathed
+  EXPECT_EQ(only_counter.stats().rejections, 2u);
+}
+
+TEST(FaultInjectorTest, MixedModelReplaysBitIdenticallyUnderFixedSeed) {
+  FaultModel m;
+  m.drop_rate = 0.1;
+  m.per_switch_drop[1] = 0.9;
+  m.reject_first_n[2] = 3;
+  m.reject_rate = 0.2;
+  m.straggler_rate = 0.25;
+  m.unresponsive_rate = 0.05;
+  m.unresponsive_duration = kSecond;
+  m.forced_outage[0] = {kSecond, 2 * kSecond};
+  m.clock_drift_stddev = 300;
+
+  const auto drive = [&m](std::uint64_t seed) {
+    FaultInjector inj(m, seed);
+    std::vector<std::uint64_t> fates;
+    for (int i = 0; i < 300; ++i) {
+      const SwitchId sw = static_cast<SwitchId>(i % 4);
+      const auto d = inj.on_flow_mod(sw);
+      fates.push_back((d.drop ? 1u : 0u) | (d.duplicate ? 2u : 0u) |
+                      (d.reorder ? 4u : 0u) | (d.reject ? 8u : 0u) |
+                      (d.straggler ? 16u : 0u));
+      fates.push_back(static_cast<std::uint64_t>(
+          inj.shape_arrival(sw, i * 10 * kMillisecond)));
+      fates.push_back(static_cast<std::uint64_t>(
+          inj.shape_latency(5 * kMillisecond)));
+      fates.push_back(static_cast<std::uint64_t>(inj.clock_drift(sw)));
+    }
+    fates.push_back(inj.stats().injected());
+    return fates;
+  };
+  EXPECT_EQ(drive(77), drive(77));
+  EXPECT_NE(drive(77), drive(78));  // and the seed actually matters
 }
 
 }  // namespace

@@ -20,6 +20,12 @@
 //                  library code outside src/obs and src/util — all timing
 //                  goes through obs spans (CHRONUS_SPAN) or util::Stopwatch
 //                  so it can be metered, masked and disabled centrally.
+//   test-sleep     wall-clock sleeps (sleep_for / sleep_until / usleep /
+//                  nanosleep) in tests/**: the suite is deterministic and
+//                  virtual-timed, so a sleeping test is either flaky or
+//                  slow for no reason — drive sim::SimTime instead. This is
+//                  the only rule that applies under tests/; the library
+//                  rules above skip test code.
 //
 // A finding can be acknowledged inline with
 //   // chronus-lint: allow(<rule>) <justification>
@@ -80,6 +86,8 @@ const std::map<std::string, std::string>& rule_catalog() {
       {"reserve-pair", "ledger reserve without a matching release"},
       {"raw-chrono",
        "direct std::chrono timing outside src/obs and src/util"},
+      {"test-sleep",
+       "wall-clock sleep in a test — drive virtual time instead"},
   };
   return kRules;
 }
@@ -142,6 +150,10 @@ bool in_obs(const std::string& rel) {
   return rel.rfind("src/obs/", 0) == 0 || rel.rfind("obs/", 0) == 0;
 }
 
+bool in_tests(const std::string& rel) {
+  return rel.rfind("tests/", 0) == 0;
+}
+
 bool is_header(const fs::path& p) { return p.extension() == ".hpp"; }
 bool is_source(const fs::path& p) {
   return p.extension() == ".cpp" || p.extension() == ".hpp";
@@ -178,6 +190,32 @@ void check_file(const fs::path& path, const std::string& rel,
     const long lineno = static_cast<long>(i) + 1;
 
     if (raw.find("#pragma once") != std::string::npos) saw_pragma_once = true;
+
+    // test-sleep ----------------------------------------------------------
+    // The only rule that looks at test code; everything below is for the
+    // library tree and skips tests/ entirely.
+    if (in_tests(rel)) {
+      for (const char* call :
+           {"sleep_for", "sleep_until", "usleep", "nanosleep"}) {
+        const std::string fn = call;
+        const std::size_t pos = code.find(fn);
+        if (pos == std::string::npos) continue;
+        if (pos > 0 && is_ident_char(code[pos - 1]) && fn != "sleep_for" &&
+            fn != "sleep_until") {
+          continue;  // e.g. "nanosleeps" as part of a longer identifier
+        }
+        if (!has_allowance(lines, i, "test-sleep")) {
+          findings.push_back(
+              {rel, lineno, "test-sleep",
+               "'" + fn +
+                   "' blocks on the wall clock inside a test — the suite is "
+                   "virtual-timed; advance sim::SimTime (or poll a "
+                   "condition) instead"});
+        }
+        break;  // one finding per line is enough
+      }
+      continue;
+    }
 
     // include-style -------------------------------------------------------
     if (code.rfind("#include", 0) == 0) {
@@ -268,7 +306,7 @@ void check_file(const fs::path& path, const std::string& rel,
   }
 
   // pragma-once -----------------------------------------------------------
-  if (is_header(path) && !saw_pragma_once) {
+  if (is_header(path) && !in_tests(rel) && !saw_pragma_once) {
     findings.push_back(
         {rel, 1, "pragma-once", "header is missing '#pragma once'"});
   }
@@ -323,11 +361,14 @@ int self_test(const fs::path& fixtures) {
     if (!entry.is_regular_file() || !is_source(entry.path())) continue;
     const std::string stem = entry.path().stem().string();
     std::vector<Finding> findings;
-    // Fixtures emulate service-layer files when their name says so.
-    const std::string rel =
-        stem.find("service") != std::string::npos
-            ? "src/service/" + entry.path().filename().string()
-            : "src/fixture/" + entry.path().filename().string();
+    // Fixtures emulate service-layer or test files when their name says so.
+    const std::string filename = entry.path().filename().string();
+    std::string rel = "src/fixture/" + filename;
+    if (stem.find("__tests") != std::string::npos) {
+      rel = "tests/" + filename;
+    } else if (stem.find("service") != std::string::npos) {
+      rel = "src/service/" + filename;
+    }
     check_file(entry.path(), rel, findings);
     if (stem.rfind("good_", 0) == 0) {
       if (!findings.empty()) {

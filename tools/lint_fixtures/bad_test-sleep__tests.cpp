@@ -1,0 +1,14 @@
+// Seeded violation for the test-sleep rule: a test that parks on the wall
+// clock instead of driving virtual time. The self-test proves chronus_lint
+// flags every one of these forms when the file lives under tests/.
+#include <chrono>
+#include <thread>
+
+void flaky_wait() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+}
+
+void also_flaky() {
+  std::this_thread::sleep_until(std::chrono::steady_clock::now() +
+                                std::chrono::seconds(1));
+}
