@@ -1,0 +1,36 @@
+// Loopback convenience client: one connection, one request batch, one
+// report — run_load with a single session. Used by the CLI and tests
+// where the full multi-connection driver (rpc/load_driver.hpp) is
+// overkill.
+#pragma once
+
+#include "rpc/load_driver.hpp"
+
+namespace chronus::rpc {
+
+class Client {
+ public:
+  Client(std::string host, std::uint16_t port, Codec codec = Codec::kBinary)
+      : host_(std::move(host)), port_(port), codec_(codec) {}
+
+  /// Submits `requests` over one connection and waits for every record
+  /// plus the final report. `graph` must be the server's topology.
+  LoadResult run(const net::Graph& graph,
+                 const std::vector<service::UpdateRequest>& requests,
+                 double timeout_seconds = 120.0) const {
+    LoadOptions opts;
+    opts.host = host_;
+    opts.port = port_;
+    opts.codec = codec_;
+    opts.connections = 1;
+    opts.timeout_seconds = timeout_seconds;
+    return run_load(graph, requests, opts);
+  }
+
+ private:
+  std::string host_;
+  std::uint16_t port_;
+  Codec codec_;
+};
+
+}  // namespace chronus::rpc

@@ -1,0 +1,971 @@
+#include "rpc/codec.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "util/json_writer.hpp"
+
+namespace chronus::rpc {
+
+const char* to_string(Codec c) {
+  return c == Codec::kBinary ? "binary" : "json";
+}
+
+bool sniff_codec(char first_byte, Codec* out) {
+  if (first_byte == kBinaryMagic[0]) {
+    *out = Codec::kBinary;
+    return true;
+  }
+  if (first_byte == '{') {
+    *out = Codec::kJson;
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+/// Wire-input violation during decode; caught at the Decoder boundary and
+/// surfaced as Result::kError (never a ContractViolation — remote bytes
+/// are input, not invariants).
+struct DecodeError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+bool msg_type_from_tag(std::uint8_t tag, MsgType* out) {
+  switch (tag) {
+    case 0x01:
+    case 0x02:
+    case 0x03:
+    case 0x81:
+    case 0x82:
+    case 0x83:
+    case 0x84:
+    case 0x85:
+    case 0x86:
+    case 0x87:
+      *out = static_cast<MsgType>(tag);
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool msg_type_from_name(const std::string& name, MsgType* out) {
+  static const std::uint8_t kTags[] = {0x01, 0x02, 0x03, 0x81, 0x82,
+                                       0x83, 0x84, 0x85, 0x86, 0x87};
+  for (std::uint8_t tag : kTags) {
+    auto t = static_cast<MsgType>(tag);
+    if (name == to_string(t)) {
+      *out = t;
+      return true;
+    }
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Binary bodies: little-endian fixed-width integers, u32-counted strings
+// and vectors, doubles as their IEEE-754 bit pattern.
+
+void put_u8(std::string& s, std::uint8_t v) {
+  s.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& s, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    s.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void put_u64(std::string& s, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    s.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+  }
+}
+
+void put_i32(std::string& s, std::int32_t v) {
+  put_u32(s, static_cast<std::uint32_t>(v));
+}
+
+void put_i64(std::string& s, std::int64_t v) {
+  put_u64(s, static_cast<std::uint64_t>(v));
+}
+
+void put_f64(std::string& s, double v) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v));
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(s, bits);
+}
+
+void put_bool(std::string& s, bool v) { put_u8(s, v ? 1 : 0); }
+
+void put_str(std::string& s, const std::string& v) {
+  if (v.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw DecodeError("string too long to encode");
+  }
+  put_u32(s, static_cast<std::uint32_t>(v.size()));
+  s.append(v);
+}
+
+void put_names(std::string& s, const std::vector<std::string>& names) {
+  if (names.size() > std::numeric_limits<std::uint32_t>::max()) {
+    throw DecodeError("vector too long to encode");
+  }
+  put_u32(s, static_cast<std::uint32_t>(names.size()));
+  for (const std::string& n : names) put_str(s, n);
+}
+
+/// Bounds-checked reader over one frame body.
+class Cursor {
+ public:
+  Cursor(const char* data, std::size_t size) : data_(data), size_(size) {}
+
+  std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  std::uint32_t u32() {
+    need(4);
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(
+               static_cast<std::uint8_t>(data_[pos_ + static_cast<std::size_t>(
+                                                          i)]))
+           << (8 * i);
+    }
+    pos_ += 4;
+    return v;
+  }
+
+  std::uint64_t u64() {
+    need(8);
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(
+               static_cast<std::uint8_t>(data_[pos_ + static_cast<std::size_t>(
+                                                          i)]))
+           << (8 * i);
+    }
+    pos_ += 8;
+    return v;
+  }
+
+  std::int32_t i32() { return static_cast<std::int32_t>(u32()); }
+  std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  double f64() {
+    std::uint64_t bits = u64();
+    double v = 0.0;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+
+  bool boolean() {
+    std::uint8_t v = u8();
+    if (v > 1) throw DecodeError("bool byte out of range");
+    return v == 1;
+  }
+
+  std::string str() {
+    std::uint32_t n = u32();
+    need(n);
+    std::string v(data_ + pos_, n);
+    pos_ += n;
+    return v;
+  }
+
+  std::vector<std::string> names() {
+    std::uint32_t n = u32();
+    // Each element costs at least its 4-byte count; a count larger than
+    // the remaining bytes can afford is hostile input, not a short read.
+    if (n > remaining() / 4) throw DecodeError("vector count exceeds frame");
+    std::vector<std::string> v;
+    v.reserve(n);
+    for (std::uint32_t i = 0; i < n; ++i) v.push_back(str());
+    return v;
+  }
+
+  std::size_t remaining() const { return size_ - pos_; }
+
+ private:
+  void need(std::size_t n) const {
+    if (size_ - pos_ < n) throw DecodeError("frame body truncated");
+  }
+
+  const char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+void encode_binary_body(std::string& body, const Message& m) {
+  switch (m.type) {
+    case MsgType::kHello:
+    case MsgType::kHelloAck:
+      put_u32(body, m.version);
+      break;
+    case MsgType::kSubmit: {
+      const WireRequest& r = m.submit;
+      put_u64(body, r.id);
+      put_str(body, r.name);
+      put_f64(body, r.demand.value());
+      put_i64(body, r.arrival);
+      put_i64(body, r.deadline);
+      put_i32(body, r.priority);
+      put_names(body, r.init);
+      put_names(body, r.fin);
+      break;
+    }
+    case MsgType::kDone:
+      break;
+    case MsgType::kAck:
+    case MsgType::kDeferred:
+      put_u64(body, m.id);
+      break;
+    case MsgType::kRejected:
+      put_u64(body, m.id);
+      put_str(body, m.text);
+      break;
+    case MsgType::kRecord: {
+      const WireRecord& r = m.record;
+      put_u64(body, r.id);
+      put_str(body, r.status);
+      put_i64(body, r.arrival);
+      put_i64(body, r.admitted);
+      put_i64(body, r.completed);
+      put_i32(body, r.defers);
+      put_bool(body, r.joint);
+      put_u64(body, r.batch);
+      put_i64(body, r.plan_span);
+      put_i64(body, r.exec_duration);
+      put_i32(body, r.retries);
+      put_u64(body, r.faults);
+      put_str(body, r.degradation);
+      put_bool(body, r.plan_verified);
+      put_bool(body, r.run_verified);
+      put_i32(body, r.violations);
+      put_str(body, r.message);
+      break;
+    }
+    case MsgType::kReport:
+      put_u64(body, m.report.requests);
+      put_u64(body, m.report.records);
+      put_str(body, m.report.digest);
+      break;
+    case MsgType::kError:
+      put_str(body, m.text);
+      break;
+  }
+}
+
+Message decode_binary_body(MsgType type, Cursor& c) {
+  Message m;
+  m.type = type;
+  switch (type) {
+    case MsgType::kHello:
+    case MsgType::kHelloAck:
+      m.version = c.u32();
+      break;
+    case MsgType::kSubmit: {
+      WireRequest& r = m.submit;
+      r.id = c.u64();
+      r.name = c.str();
+      r.demand = net::Demand{c.f64()};
+      r.arrival = c.i64();
+      r.deadline = c.i64();
+      r.priority = c.i32();
+      r.init = c.names();
+      r.fin = c.names();
+      break;
+    }
+    case MsgType::kDone:
+      break;
+    case MsgType::kAck:
+    case MsgType::kDeferred:
+      m.id = c.u64();
+      break;
+    case MsgType::kRejected:
+      m.id = c.u64();
+      m.text = c.str();
+      break;
+    case MsgType::kRecord: {
+      WireRecord& r = m.record;
+      r.id = c.u64();
+      r.status = c.str();
+      r.arrival = c.i64();
+      r.admitted = c.i64();
+      r.completed = c.i64();
+      r.defers = c.i32();
+      r.joint = c.boolean();
+      r.batch = c.u64();
+      r.plan_span = c.i64();
+      r.exec_duration = c.i64();
+      r.retries = c.i32();
+      r.faults = c.u64();
+      r.degradation = c.str();
+      r.plan_verified = c.boolean();
+      r.run_verified = c.boolean();
+      r.violations = c.i32();
+      r.message = c.str();
+      break;
+    }
+    case MsgType::kReport:
+      m.report.requests = c.u64();
+      m.report.records = c.u64();
+      m.report.digest = c.str();
+      break;
+    case MsgType::kError:
+      m.text = c.str();
+      break;
+  }
+  if (c.remaining() != 0) throw DecodeError("trailing bytes in frame");
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// JSON lines. Encoding reuses util::json_escape; decoding is a minimal
+// recursive-descent parser (objects, arrays, strings, numbers with exact
+// int64 detection, true/false/null) — enough for this protocol, with no
+// dependency beyond the standard library.
+
+void append_double(std::string& s, double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  s.append(buf);
+}
+
+void append_quoted(std::string& s, const std::string& v) {
+  s.push_back('"');
+  s.append(util::json_escape(v));
+  s.push_back('"');
+}
+
+void append_key(std::string& s, const char* key) {
+  if (s.back() != '{') s.push_back(',');
+  s.push_back('"');
+  s.append(key);
+  s.append("\":");
+}
+
+void append_names(std::string& s, const std::vector<std::string>& names) {
+  s.push_back('[');
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) s.push_back(',');
+    append_quoted(s, names[i]);
+  }
+  s.push_back(']');
+}
+
+std::string encode_json_line(const Message& m) {
+  std::string s = "{";
+  append_key(s, "type");
+  append_quoted(s, to_string(m.type));
+  switch (m.type) {
+    case MsgType::kHello:
+    case MsgType::kHelloAck:
+      append_key(s, "version");
+      s.append(std::to_string(m.version));
+      break;
+    case MsgType::kSubmit: {
+      const WireRequest& r = m.submit;
+      append_key(s, "id");
+      s.append(std::to_string(r.id));
+      append_key(s, "name");
+      append_quoted(s, r.name);
+      append_key(s, "demand");
+      append_double(s, r.demand.value());
+      append_key(s, "arrival");
+      s.append(std::to_string(r.arrival));
+      append_key(s, "deadline");
+      s.append(std::to_string(r.deadline));
+      append_key(s, "priority");
+      s.append(std::to_string(r.priority));
+      append_key(s, "init");
+      append_names(s, r.init);
+      append_key(s, "fin");
+      append_names(s, r.fin);
+      break;
+    }
+    case MsgType::kDone:
+      break;
+    case MsgType::kAck:
+    case MsgType::kDeferred:
+      append_key(s, "id");
+      s.append(std::to_string(m.id));
+      break;
+    case MsgType::kRejected:
+      append_key(s, "id");
+      s.append(std::to_string(m.id));
+      append_key(s, "text");
+      append_quoted(s, m.text);
+      break;
+    case MsgType::kRecord: {
+      const WireRecord& r = m.record;
+      append_key(s, "id");
+      s.append(std::to_string(r.id));
+      append_key(s, "status");
+      append_quoted(s, r.status);
+      append_key(s, "arrival");
+      s.append(std::to_string(r.arrival));
+      append_key(s, "admitted");
+      s.append(std::to_string(r.admitted));
+      append_key(s, "completed");
+      s.append(std::to_string(r.completed));
+      append_key(s, "defers");
+      s.append(std::to_string(r.defers));
+      append_key(s, "joint");
+      s.append(r.joint ? "true" : "false");
+      append_key(s, "batch");
+      s.append(std::to_string(r.batch));
+      append_key(s, "plan_span");
+      s.append(std::to_string(r.plan_span));
+      append_key(s, "exec_duration");
+      s.append(std::to_string(r.exec_duration));
+      append_key(s, "retries");
+      s.append(std::to_string(r.retries));
+      append_key(s, "faults");
+      s.append(std::to_string(r.faults));
+      append_key(s, "degradation");
+      append_quoted(s, r.degradation);
+      append_key(s, "plan_verified");
+      s.append(r.plan_verified ? "true" : "false");
+      append_key(s, "run_verified");
+      s.append(r.run_verified ? "true" : "false");
+      append_key(s, "violations");
+      s.append(std::to_string(r.violations));
+      append_key(s, "message");
+      append_quoted(s, r.message);
+      break;
+    }
+    case MsgType::kReport:
+      append_key(s, "requests");
+      s.append(std::to_string(m.report.requests));
+      append_key(s, "records");
+      s.append(std::to_string(m.report.records));
+      append_key(s, "digest");
+      append_quoted(s, m.report.digest);
+      break;
+    case MsgType::kError:
+      append_key(s, "text");
+      append_quoted(s, m.text);
+      break;
+  }
+  s.append("}\n");
+  return s;
+}
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kInt, kUint, kDouble, kString, kArray,
+                    kObject };
+  Kind kind = Kind::kNull;
+  bool b = false;
+  std::int64_t i = 0;
+  std::uint64_t u = 0;  // kUint: integers above int64 range (u64 ids)
+  double d = 0.0;
+  std::string s;
+  std::vector<JsonValue> arr;
+  std::vector<std::pair<std::string, JsonValue>> obj;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(std::string_view text) : text_(text) {}
+
+  JsonValue parse_document() {
+    JsonValue v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) throw DecodeError("trailing bytes after JSON");
+    return v;
+  }
+
+ private:
+  JsonValue parse_value() {
+    skip_ws();
+    if (pos_ >= text_.size()) throw DecodeError("truncated JSON");
+    char c = text_[pos_];
+    if (c == '{') return parse_object();
+    if (c == '[') return parse_array();
+    if (c == '"') return parse_string_value();
+    if (c == 't' || c == 'f') return parse_bool();
+    if (c == 'n') return parse_null();
+    if (c == '-' || (c >= '0' && c <= '9')) return parse_number();
+    throw DecodeError("unexpected character in JSON");
+  }
+
+  JsonValue parse_object() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kObject;
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      v.obj.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      char c = take();
+      if (c == '}') return v;
+      if (c != ',') throw DecodeError("expected ',' or '}' in JSON object");
+    }
+  }
+
+  JsonValue parse_array() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kArray;
+    expect('[');
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    for (;;) {
+      v.arr.push_back(parse_value());
+      skip_ws();
+      char c = take();
+      if (c == ']') return v;
+      if (c != ',') throw DecodeError("expected ',' or ']' in JSON array");
+    }
+  }
+
+  JsonValue parse_string_value() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kString;
+    v.s = parse_string();
+    return v;
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    for (;;) {
+      if (pos_ >= text_.size()) throw DecodeError("unterminated JSON string");
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) throw DecodeError("unterminated JSON escape");
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          if (text_.size() - pos_ < 4) throw DecodeError("bad \\u escape");
+          std::uint32_t cp = 0;
+          for (int k = 0; k < 4; ++k) {
+            char h = text_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') {
+              cp |= static_cast<std::uint32_t>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              cp |= static_cast<std::uint32_t>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              cp |= static_cast<std::uint32_t>(h - 'A' + 10);
+            } else {
+              throw DecodeError("bad \\u escape digit");
+            }
+          }
+          // json_escape only emits \u00XX for control bytes; decode the
+          // BMP code point as UTF-8 so round-trips are exact.
+          if (cp < 0x80) {
+            out.push_back(static_cast<char>(cp));
+          } else if (cp < 0x800) {
+            out.push_back(static_cast<char>(0xc0u | (cp >> 6)));
+            out.push_back(static_cast<char>(0x80u | (cp & 0x3fu)));
+          } else {
+            out.push_back(static_cast<char>(0xe0u | (cp >> 12)));
+            out.push_back(static_cast<char>(0x80u | ((cp >> 6) & 0x3fu)));
+            out.push_back(static_cast<char>(0x80u | (cp & 0x3fu)));
+          }
+          break;
+        }
+        default:
+          throw DecodeError("unknown JSON escape");
+      }
+    }
+  }
+
+  JsonValue parse_bool() {
+    JsonValue v;
+    v.kind = JsonValue::Kind::kBool;
+    if (text_.substr(pos_, 4) == "true") {
+      v.b = true;
+      pos_ += 4;
+    } else if (text_.substr(pos_, 5) == "false") {
+      v.b = false;
+      pos_ += 5;
+    } else {
+      throw DecodeError("bad JSON literal");
+    }
+    return v;
+  }
+
+  JsonValue parse_null() {
+    if (text_.substr(pos_, 4) != "null") throw DecodeError("bad JSON literal");
+    pos_ += 4;
+    return JsonValue{};
+  }
+
+  JsonValue parse_number() {
+    std::size_t start = pos_;
+    bool integral = true;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    JsonValue v;
+    errno = 0;
+    if (integral) {
+      char* end = nullptr;
+      long long parsed = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end == token.c_str() + token.size()) {
+        v.kind = JsonValue::Kind::kInt;
+        v.i = static_cast<std::int64_t>(parsed);
+        return v;
+      }
+      if (token[0] != '-') {
+        // Above int64 but possibly still an exact u64 (binary ids use the
+        // full range; the JSON codec must not round them through double).
+        errno = 0;
+        end = nullptr;
+        unsigned long long uparsed = std::strtoull(token.c_str(), &end, 10);
+        if (errno == 0 && end == token.c_str() + token.size()) {
+          v.kind = JsonValue::Kind::kUint;
+          v.u = static_cast<std::uint64_t>(uparsed);
+          return v;
+        }
+      }
+      errno = 0;  // out-of-range integer: fall through to double
+    }
+    char* end = nullptr;
+    double parsed = std::strtod(token.c_str(), &end);
+    if (errno != 0 || end != token.c_str() + token.size()) {
+      throw DecodeError("bad JSON number");
+    }
+    v.kind = JsonValue::Kind::kDouble;
+    v.d = parsed;
+    return v;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() const {
+    if (pos_ >= text_.size()) throw DecodeError("truncated JSON");
+    return text_[pos_];
+  }
+
+  char take() {
+    char c = peek();
+    ++pos_;
+    return c;
+  }
+
+  void expect(char c) {
+    if (take() != c) {
+      throw DecodeError(std::string("expected '") + c + "' in JSON");
+    }
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+
+const JsonValue* find(const JsonValue& obj, const char* key) {
+  for (const auto& [k, v] : obj.obj) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string get_string(const JsonValue& obj, const char* key) {
+  const JsonValue* v = find(obj, key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kString) {
+    throw DecodeError(std::string("missing string field '") + key + "'");
+  }
+  return v->s;
+}
+
+std::int64_t get_int(const JsonValue& obj, const char* key) {
+  const JsonValue* v = find(obj, key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kInt) {
+    throw DecodeError(std::string("missing integer field '") + key + "'");
+  }
+  return v->i;
+}
+
+std::uint64_t get_uint(const JsonValue& obj, const char* key) {
+  const JsonValue* v = find(obj, key);
+  if (v != nullptr && v->kind == JsonValue::Kind::kUint) return v->u;
+  std::int64_t i = get_int(obj, key);
+  if (i < 0) throw DecodeError(std::string("negative field '") + key + "'");
+  return static_cast<std::uint64_t>(i);
+}
+
+std::int32_t get_int32(const JsonValue& obj, const char* key) {
+  std::int64_t v = get_int(obj, key);
+  if (v < std::numeric_limits<std::int32_t>::min() ||
+      v > std::numeric_limits<std::int32_t>::max()) {
+    throw DecodeError(std::string("field out of range '") + key + "'");
+  }
+  return static_cast<std::int32_t>(v);
+}
+
+double get_double(const JsonValue& obj, const char* key) {
+  const JsonValue* v = find(obj, key);
+  if (v == nullptr) {
+    throw DecodeError(std::string("missing number field '") + key + "'");
+  }
+  if (v->kind == JsonValue::Kind::kDouble) return v->d;
+  if (v->kind == JsonValue::Kind::kInt) return static_cast<double>(v->i);
+  throw DecodeError(std::string("missing number field '") + key + "'");
+}
+
+bool get_bool(const JsonValue& obj, const char* key) {
+  const JsonValue* v = find(obj, key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kBool) {
+    throw DecodeError(std::string("missing bool field '") + key + "'");
+  }
+  return v->b;
+}
+
+std::vector<std::string> get_names(const JsonValue& obj, const char* key) {
+  const JsonValue* v = find(obj, key);
+  if (v == nullptr || v->kind != JsonValue::Kind::kArray) {
+    throw DecodeError(std::string("missing array field '") + key + "'");
+  }
+  std::vector<std::string> names;
+  names.reserve(v->arr.size());
+  for (const JsonValue& e : v->arr) {
+    if (e.kind != JsonValue::Kind::kString) {
+      throw DecodeError(std::string("non-string element in '") + key + "'");
+    }
+    names.push_back(e.s);
+  }
+  return names;
+}
+
+Message decode_json_line(std::string_view line) {
+  JsonParser parser(line);
+  JsonValue doc = parser.parse_document();
+  if (doc.kind != JsonValue::Kind::kObject) {
+    throw DecodeError("JSON message must be an object");
+  }
+  std::string type_name = get_string(doc, "type");
+  Message m;
+  if (!msg_type_from_name(type_name, &m.type)) {
+    throw DecodeError("unknown message type '" + type_name + "'");
+  }
+  switch (m.type) {
+    case MsgType::kHello:
+    case MsgType::kHelloAck: {
+      std::uint64_t v = get_uint(doc, "version");
+      if (v > std::numeric_limits<std::uint32_t>::max()) {
+        throw DecodeError("field out of range 'version'");
+      }
+      m.version = static_cast<std::uint32_t>(v);
+      break;
+    }
+    case MsgType::kSubmit: {
+      WireRequest& r = m.submit;
+      r.id = get_uint(doc, "id");
+      r.name = get_string(doc, "name");
+      r.demand = net::Demand{get_double(doc, "demand")};
+      r.arrival = get_int(doc, "arrival");
+      r.deadline = get_int(doc, "deadline");
+      r.priority = get_int32(doc, "priority");
+      r.init = get_names(doc, "init");
+      r.fin = get_names(doc, "fin");
+      break;
+    }
+    case MsgType::kDone:
+      break;
+    case MsgType::kAck:
+    case MsgType::kDeferred:
+      m.id = get_uint(doc, "id");
+      break;
+    case MsgType::kRejected:
+      m.id = get_uint(doc, "id");
+      m.text = get_string(doc, "text");
+      break;
+    case MsgType::kRecord: {
+      WireRecord& r = m.record;
+      r.id = get_uint(doc, "id");
+      r.status = get_string(doc, "status");
+      r.arrival = get_int(doc, "arrival");
+      r.admitted = get_int(doc, "admitted");
+      r.completed = get_int(doc, "completed");
+      r.defers = get_int32(doc, "defers");
+      r.joint = get_bool(doc, "joint");
+      r.batch = get_uint(doc, "batch");
+      r.plan_span = get_int(doc, "plan_span");
+      r.exec_duration = get_int(doc, "exec_duration");
+      r.retries = get_int32(doc, "retries");
+      r.faults = get_uint(doc, "faults");
+      r.degradation = get_string(doc, "degradation");
+      r.plan_verified = get_bool(doc, "plan_verified");
+      r.run_verified = get_bool(doc, "run_verified");
+      r.violations = get_int32(doc, "violations");
+      r.message = get_string(doc, "message");
+      break;
+    }
+    case MsgType::kReport:
+      m.report.requests = get_uint(doc, "requests");
+      m.report.records = get_uint(doc, "records");
+      m.report.digest = get_string(doc, "digest");
+      break;
+    case MsgType::kError:
+      m.text = get_string(doc, "text");
+      break;
+  }
+  return m;
+}
+
+}  // namespace
+
+std::string encode(Codec c, const Message& m) {
+  if (c == Codec::kJson) return encode_json_line(m);
+  std::string body;
+  encode_binary_body(body, m);
+  std::string frame;
+  frame.reserve(5 + body.size());
+  put_u32(frame, static_cast<std::uint32_t>(1 + body.size()));
+  put_u8(frame, static_cast<std::uint8_t>(m.type));
+  frame.append(body);
+  return frame;
+}
+
+Decoder::Decoder(Codec c, std::size_t max_frame)
+    : codec_(c), max_frame_(max_frame) {}
+
+void Decoder::feed(std::string_view bytes) {
+  if (poisoned_) return;
+  // Compact the consumed prefix before growing, so a long-lived session
+  // does not accumulate every frame it ever saw.
+  if (pos_ > 0 && pos_ == buf_.size()) {
+    buf_.clear();
+    pos_ = 0;
+  } else if (pos_ > 4096 && pos_ > buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(bytes);
+}
+
+Decoder::Result Decoder::fail(std::string* error, std::string what) {
+  poisoned_ = true;
+  poison_ = std::move(what);
+  if (error != nullptr) *error = poison_;
+  return Result::kError;
+}
+
+Decoder::Result Decoder::next(Message* out, std::string* error) {
+  if (poisoned_) {
+    if (error != nullptr) *error = poison_;
+    return Result::kError;
+  }
+  std::string_view avail(buf_.data() + pos_, buf_.size() - pos_);
+  if (codec_ == Codec::kBinary) {
+    if (avail.size() < 4) return Result::kNeedMore;
+    Cursor prefix(avail.data(), 4);
+    std::uint32_t len = prefix.u32();
+    if (len < 1) return fail(error, "empty frame");
+    if (len > max_frame_) {
+      return fail(error, "frame length " + std::to_string(len) +
+                             " exceeds limit " + std::to_string(max_frame_));
+    }
+    if (avail.size() < 4 + static_cast<std::size_t>(len)) {
+      return Result::kNeedMore;
+    }
+    MsgType type;
+    if (!msg_type_from_tag(static_cast<std::uint8_t>(avail[4]), &type)) {
+      return fail(error, "unknown frame tag 0x" + [&] {
+        char hex[8];
+        std::snprintf(hex, sizeof(hex), "%02x",
+                      static_cast<unsigned>(
+                          static_cast<std::uint8_t>(avail[4])));
+        return std::string(hex);
+      }());
+    }
+    Cursor body(avail.data() + 5, len - 1);
+    try {
+      *out = decode_binary_body(type, body);
+    } catch (const DecodeError& e) {
+      return fail(error, e.what());
+    }
+    pos_ += 4 + static_cast<std::size_t>(len);
+    return Result::kMessage;
+  }
+  // JSON: one message per newline-terminated line.
+  std::size_t nl = avail.find('\n');
+  if (nl == std::string_view::npos) {
+    if (avail.size() > max_frame_) {
+      return fail(error, "line length exceeds limit " +
+                             std::to_string(max_frame_));
+    }
+    return Result::kNeedMore;
+  }
+  std::string_view line = avail.substr(0, nl);
+  if (line.size() > max_frame_) {
+    return fail(error,
+                "line length exceeds limit " + std::to_string(max_frame_));
+  }
+  try {
+    *out = decode_json_line(line);
+  } catch (const DecodeError& e) {
+    return fail(error, e.what());
+  }
+  pos_ += nl + 1;
+  return Result::kMessage;
+}
+
+}  // namespace chronus::rpc

@@ -1,0 +1,70 @@
+// Multi-connection loopback load driver: the client half of the rpc
+// subsystem, used by bench/ext_rpc, the `ctest -L net` legs and the
+// soak harness.
+//
+// run_load() opens `connections` sockets against one Server, deals the
+// request list round-robin across them, and drives every connection's
+// client-side state machine from one poll reactor on the calling thread:
+//
+//   kConnecting -> kHello -> kStreaming -> kAwaitingReport -> kDone
+//                                    \-> any error -> kFailed
+//
+// Submission protocol per connection: after hello_ack, every assigned
+// request is submitted; a `deferred` reply re-queues that submit
+// immediately (the server has stopped reading a deferred session until
+// its next planning round, so the retry waits in the socket buffers —
+// client-side wall-clock sleeps are never needed, and the retry count is
+// bounded by the round cadence). `done` is sent once every assigned id
+// has been acked or rejected, then the connection waits for its records
+// and final report.
+//
+// The result aggregates per-connection outcomes; `records` come back
+// sorted by request id so callers can compare them — and the report
+// digests — across transports bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "rpc/codec.hpp"
+#include "service/request.hpp"
+
+namespace chronus::rpc {
+
+struct LoadOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  Codec codec = Codec::kBinary;
+  std::size_t connections = 1;
+  /// Wall-clock safety net for the whole run; <= 0 disables.
+  double timeout_seconds = 120.0;
+};
+
+struct LoadResult {
+  bool ok = false;
+  std::string error;  ///< first failure, empty when ok
+
+  std::uint64_t submits = 0;   ///< submit frames sent (incl. retries)
+  std::uint64_t acked = 0;
+  std::uint64_t deferred = 0;  ///< deferred replies seen (= retries)
+  std::uint64_t rejected = 0;
+  std::uint64_t reports = 0;   ///< connections that got their report
+
+  /// Every record from every connection, sorted by request id.
+  std::vector<WireRecord> records;
+  /// Per-connection report digests, connection order. Connections whose
+  /// requests all landed in one planning round carry that round's digest;
+  /// idle connections carry "".
+  std::vector<std::string> digests;
+};
+
+/// Drives `requests` through a running Server at host:port. `graph` is
+/// the same topology the server was built on (node names resolve the
+/// paths to wire form).
+LoadResult run_load(const net::Graph& graph,
+                    const std::vector<service::UpdateRequest>& requests,
+                    const LoadOptions& opts);
+
+}  // namespace chronus::rpc

@@ -1,6 +1,7 @@
 #include "service/service.hpp"
 
 #include <algorithm>
+#include <iterator>
 #include <limits>
 #include <map>
 #include <optional>
@@ -10,6 +11,7 @@
 #include "core/multi_flow.hpp"
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "service/intake_queue.hpp"
 #include "service/worker_pool.hpp"
 #include "sim/chaos.hpp"
 #include "sim/updaters.hpp"
@@ -231,6 +233,17 @@ UpdateService::UpdateService(net::Graph base, ServiceOptions opts)
   opts_.degradation.validate();
   opts_.faults.validate();
   if (opts_.chaos != nullptr) opts_.chaos->validate();
+}
+
+ServiceReport UpdateService::run_intake(IntakeQueue& intake) {
+  std::vector<UpdateRequest> requests;
+  for (;;) {
+    std::vector<UpdateRequest> batch = intake.wait_batch();
+    if (batch.empty()) break;  // closed and drained
+    requests.insert(requests.end(), std::make_move_iterator(batch.begin()),
+                    std::make_move_iterator(batch.end()));
+  }
+  return run(std::move(requests));
 }
 
 ServiceReport UpdateService::run(std::vector<UpdateRequest> requests) {

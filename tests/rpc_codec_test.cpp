@@ -1,0 +1,497 @@
+// Tests for the rpc wire codecs: encode/decode round-trips for every
+// message type under both encodings (including bit-exact doubles), the
+// incremental splitter down to byte-at-a-time feeds, and the defensive
+// path — every seeded bad-frame fixture under testdata/rpc must yield a
+// structured decoder error (sticky poison), never an exception or a
+// ContractViolation.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/graph.hpp"
+#include "rpc/codec.hpp"
+#include "rpc/wire.hpp"
+#include "util/rng.hpp"
+
+namespace chronus::rpc {
+namespace {
+
+std::string fixture(const std::string& name) {
+  const std::string path = std::string(CHRONUS_TESTDATA_DIR) + "/rpc/" + name;
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "missing fixture " << path;
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Strips the 4-byte stream magic a binary fixture opens with; the
+/// session's codec sniff consumes it before the Decoder ever runs.
+std::string strip_magic(std::string bytes) {
+  EXPECT_GE(bytes.size(), kBinaryMagic.size());
+  EXPECT_EQ(bytes.substr(0, kBinaryMagic.size()), kBinaryMagic);
+  return bytes.substr(kBinaryMagic.size());
+}
+
+/// One deterministic sample of every message type, with awkward strings
+/// (escapes, control bytes, UTF-8) and doubles that don't round-trip
+/// through short decimal forms.
+std::vector<Message> sample_messages() {
+  std::vector<Message> msgs;
+
+  Message hello;
+  hello.type = MsgType::kHello;
+  hello.version = kProtocolVersion;
+  msgs.push_back(hello);
+
+  Message hello_ack;
+  hello_ack.type = MsgType::kHelloAck;
+  hello_ack.version = 7;
+  msgs.push_back(hello_ack);
+
+  Message submit;
+  submit.type = MsgType::kSubmit;
+  submit.submit.id = 0xdeadbeefcafe0001ULL;
+  submit.submit.name = "flow \"7\"\n\ttab";
+  submit.submit.demand = net::Demand{1.0 / 3.0};
+  submit.submit.arrival = 123456789;
+  submit.submit.deadline = 987654321;
+  submit.submit.priority = -3;
+  submit.submit.init = {"s0", "core\x01", "t0"};
+  submit.submit.fin = {"s0", "caf\xc3\xa9", "t0"};
+  msgs.push_back(submit);
+
+  Message done;
+  done.type = MsgType::kDone;
+  msgs.push_back(done);
+
+  Message ack;
+  ack.type = MsgType::kAck;
+  ack.id = 42;
+  msgs.push_back(ack);
+
+  Message deferred;
+  deferred.type = MsgType::kDeferred;
+  deferred.id = 43;
+  msgs.push_back(deferred);
+
+  Message rejected;
+  rejected.type = MsgType::kRejected;
+  rejected.id = 44;
+  rejected.text = "unknown node 'ghost' in init";
+  msgs.push_back(rejected);
+
+  Message record;
+  record.type = MsgType::kRecord;
+  record.record.id = 45;
+  record.record.status = "completed";
+  record.record.arrival = 1;
+  record.record.admitted = 2;
+  record.record.completed = 3;
+  record.record.defers = 4;
+  record.record.joint = true;
+  record.record.batch = 5;
+  record.record.plan_span = -6;
+  record.record.exec_duration = 7;
+  record.record.retries = 8;
+  record.record.faults = 9;
+  record.record.degradation = "greedy-only";
+  record.record.plan_verified = true;
+  record.record.run_verified = false;
+  record.record.violations = 10;
+  record.record.message = "late\\slash";
+  msgs.push_back(record);
+
+  Message report;
+  report.type = MsgType::kReport;
+  report.report.requests = 200;
+  report.report.records = 200;
+  report.report.digest = "c0ffee00";
+  msgs.push_back(report);
+
+  Message error;
+  error.type = MsgType::kError;
+  error.text = "frame length 16777216 exceeds limit 1048576";
+  msgs.push_back(error);
+
+  return msgs;
+}
+
+Message decode_one(Codec c, const std::string& bytes) {
+  Decoder dec(c);
+  dec.feed(bytes);
+  Message out;
+  std::string err;
+  const Decoder::Result r = dec.next(&out, &err);
+  EXPECT_EQ(r, Decoder::Result::kMessage) << err;
+  EXPECT_FALSE(dec.has_partial());
+  return out;
+}
+
+TEST(Codec, SniffsBinaryAndJson) {
+  Codec c;
+  EXPECT_TRUE(sniff_codec('C', &c));
+  EXPECT_EQ(c, Codec::kBinary);
+  EXPECT_TRUE(sniff_codec('{', &c));
+  EXPECT_EQ(c, Codec::kJson);
+  EXPECT_FALSE(sniff_codec('G', &c));
+  EXPECT_FALSE(sniff_codec('\0', &c));
+  EXPECT_FALSE(sniff_codec('\n', &c));
+}
+
+TEST(Codec, RoundTripsEveryMessageTypeBothCodecs) {
+  for (const Message& m : sample_messages()) {
+    for (Codec c : {Codec::kBinary, Codec::kJson}) {
+      const std::string bytes = encode(c, m);
+      EXPECT_EQ(decode_one(c, bytes), m)
+          << to_string(m.type) << " over " << to_string(c);
+    }
+  }
+}
+
+TEST(Codec, JsonLinesAreNewlineTerminatedObjects) {
+  for (const Message& m : sample_messages()) {
+    const std::string line = encode(Codec::kJson, m);
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '\n');
+    // One line per message: no embedded raw newlines.
+    EXPECT_EQ(line.find('\n'), line.size() - 1);
+  }
+}
+
+TEST(Codec, PropertyRandomSubmitsRoundTripBitExactly) {
+  util::Rng rng(20260808);
+  for (int trial = 0; trial < 200; ++trial) {
+    Message m;
+    m.type = MsgType::kSubmit;
+    m.submit.id = rng.next();
+    m.submit.name = "r" + std::to_string(rng.uniform_int(0, 1 << 20));
+    // Awkward but finite doubles: uniform mantissas over a wide scale.
+    m.submit.demand =
+        net::Demand{rng.uniform(1e-9, 1.0) * static_cast<double>(1u << rng.index(20))};
+    m.submit.arrival = rng.uniform_int(0, 1LL << 40);
+    m.submit.deadline = rng.uniform_int(0, 1LL << 40);
+    m.submit.priority = static_cast<int>(rng.uniform_int(-8, 8));
+    const std::size_t hops = 2 + rng.index(5);
+    for (std::size_t h = 0; h < hops; ++h) {
+      m.submit.init.push_back("n" + std::to_string(rng.index(64)));
+      m.submit.fin.push_back("m" + std::to_string(rng.index(64)));
+    }
+    for (Codec c : {Codec::kBinary, Codec::kJson}) {
+      const Message back = decode_one(c, encode(c, m));
+      ASSERT_EQ(back, m) << "trial " << trial << " over " << to_string(c);
+      // Defaulted == compares Demand exactly, but be explicit about the
+      // property that matters: the double's bit pattern survived.
+      EXPECT_EQ(back.submit.demand.value(), m.submit.demand.value());
+    }
+  }
+}
+
+TEST(Codec, ByteAtATimeSplitterReplaysTheWholeConversation) {
+  const std::vector<Message> msgs = sample_messages();
+  for (Codec c : {Codec::kBinary, Codec::kJson}) {
+    std::string stream;
+    for (const Message& m : msgs) stream += encode(c, m);
+
+    Decoder dec(c);
+    std::vector<Message> got;
+    for (char byte : stream) {
+      dec.feed(std::string_view(&byte, 1));
+      for (;;) {
+        Message out;
+        std::string err;
+        const Decoder::Result r = dec.next(&out, &err);
+        if (r == Decoder::Result::kNeedMore) break;
+        ASSERT_EQ(r, Decoder::Result::kMessage) << err;
+        got.push_back(out);
+      }
+    }
+    EXPECT_FALSE(dec.has_partial());
+    ASSERT_EQ(got.size(), msgs.size()) << to_string(c);
+    for (std::size_t i = 0; i < msgs.size(); ++i) EXPECT_EQ(got[i], msgs[i]);
+  }
+}
+
+TEST(Codec, RandomChunkSplitsDecodeIdentically) {
+  const std::vector<Message> msgs = sample_messages();
+  util::Rng rng(7);
+  for (Codec c : {Codec::kBinary, Codec::kJson}) {
+    std::string stream;
+    for (const Message& m : msgs) stream += encode(c, m);
+    for (int trial = 0; trial < 20; ++trial) {
+      Decoder dec(c);
+      std::vector<Message> got;
+      std::size_t pos = 0;
+      while (pos < stream.size()) {
+        const std::size_t n =
+            std::min(stream.size() - pos, 1 + rng.index(17));
+        dec.feed(std::string_view(stream.data() + pos, n));
+        pos += n;
+        for (;;) {
+          Message out;
+          std::string err;
+          const Decoder::Result r = dec.next(&out, &err);
+          if (r == Decoder::Result::kNeedMore) break;
+          ASSERT_EQ(r, Decoder::Result::kMessage) << err;
+          got.push_back(out);
+        }
+      }
+      ASSERT_EQ(got.size(), msgs.size());
+      for (std::size_t i = 0; i < msgs.size(); ++i) EXPECT_EQ(got[i], msgs[i]);
+    }
+  }
+}
+
+TEST(Codec, PartialFrameReportsHasPartial) {
+  const std::string frame =
+      encode(Codec::kBinary, sample_messages()[2]);  // the submit
+  Decoder dec(Codec::kBinary);
+  dec.feed(std::string_view(frame.data(), frame.size() - 1));
+  Message out;
+  std::string err;
+  EXPECT_EQ(dec.next(&out, &err), Decoder::Result::kNeedMore);
+  EXPECT_TRUE(dec.has_partial());
+  dec.feed(std::string_view(frame.data() + frame.size() - 1, 1));
+  EXPECT_EQ(dec.next(&out, &err), Decoder::Result::kMessage);
+  EXPECT_FALSE(dec.has_partial());
+}
+
+// ---------------------------------------------------------------------------
+// Defensive decoding: the seeded fixtures. Every one must produce a
+// sticky decoder error with a non-empty description.
+
+void expect_poisoned(Decoder& dec, const std::string& context) {
+  Message out;
+  std::string err;
+  EXPECT_EQ(dec.next(&out, &err), Decoder::Result::kError) << context;
+  EXPECT_FALSE(err.empty()) << context;
+  // Sticky: the same error again, and feeds are ignored from now on.
+  std::string again;
+  EXPECT_EQ(dec.next(&out, &again), Decoder::Result::kError) << context;
+  EXPECT_EQ(again, err) << context;
+  dec.feed("more bytes");
+  EXPECT_EQ(dec.next(&out, &again), Decoder::Result::kError) << context;
+}
+
+TEST(Codec, FixtureOversizeFrameFailsOnThePrefixAlone) {
+  const std::string bytes = strip_magic(fixture("bad_oversize.bin"));
+  // The length prefix alone must trip the limit — the decoder never
+  // waits for a 16 MiB body that will not come.
+  Decoder dec(Codec::kBinary);
+  dec.feed(std::string_view(bytes.data(), 4));
+  Message out;
+  std::string err;
+  EXPECT_EQ(dec.next(&out, &err), Decoder::Result::kError);
+  EXPECT_NE(err.find("exceeds limit"), std::string::npos) << err;
+  expect_poisoned(dec, "oversize");
+}
+
+TEST(Codec, FixtureUnknownTagFails) {
+  Decoder dec(Codec::kBinary);
+  dec.feed(strip_magic(fixture("bad_tag.bin")));
+  Message out;
+  std::string err;
+  EXPECT_EQ(dec.next(&out, &err), Decoder::Result::kError);
+  EXPECT_NE(err.find("unknown frame tag"), std::string::npos) << err;
+  expect_poisoned(dec, "unknown tag");
+}
+
+TEST(Codec, FixtureTruncatedBodyFails) {
+  Decoder dec(Codec::kBinary);
+  dec.feed(strip_magic(fixture("bad_truncated_body.bin")));
+  Message out;
+  std::string err;
+  EXPECT_EQ(dec.next(&out, &err), Decoder::Result::kError);
+  EXPECT_NE(err.find("truncated"), std::string::npos) << err;
+  expect_poisoned(dec, "truncated body");
+}
+
+TEST(Codec, FixtureTruncatedJsonLineFailsAfterTheGoodLine) {
+  Decoder dec(Codec::kJson);
+  dec.feed(fixture("bad_truncated.jsonl"));
+  Message out;
+  std::string err;
+  // First line is a valid hello; the truncated submit poisons the stream.
+  ASSERT_EQ(dec.next(&out, &err), Decoder::Result::kMessage) << err;
+  EXPECT_EQ(out.type, MsgType::kHello);
+  EXPECT_EQ(dec.next(&out, &err), Decoder::Result::kError);
+  EXPECT_FALSE(err.empty());
+  expect_poisoned(dec, "truncated json");
+}
+
+TEST(Codec, FixtureUnknownJsonTypeFails) {
+  Decoder dec(Codec::kJson);
+  dec.feed(fixture("bad_unknown_type.jsonl"));
+  Message out;
+  std::string err;
+  ASSERT_EQ(dec.next(&out, &err), Decoder::Result::kMessage) << err;
+  EXPECT_EQ(dec.next(&out, &err), Decoder::Result::kError);
+  EXPECT_NE(err.find("unknown message type"), std::string::npos) << err;
+  expect_poisoned(dec, "unknown json type");
+}
+
+TEST(Codec, FixtureNonJsonLineFails) {
+  Decoder dec(Codec::kJson);
+  dec.feed(fixture("bad_not_json.jsonl"));
+  Message out;
+  std::string err;
+  ASSERT_EQ(dec.next(&out, &err), Decoder::Result::kMessage) << err;
+  EXPECT_EQ(dec.next(&out, &err), Decoder::Result::kError);
+  expect_poisoned(dec, "not json");
+}
+
+TEST(Codec, TrailingBytesInFrameFail) {
+  // A hand-built kDone frame claiming one extra body byte.
+  std::string frame;
+  frame.push_back(2);  // u32 LE length = 2 (tag + 1 stray byte)
+  frame.push_back(0);
+  frame.push_back(0);
+  frame.push_back(0);
+  frame.push_back(0x03);  // kDone
+  frame.push_back('X');
+  Decoder dec(Codec::kBinary);
+  dec.feed(frame);
+  Message out;
+  std::string err;
+  EXPECT_EQ(dec.next(&out, &err), Decoder::Result::kError);
+  EXPECT_NE(err.find("trailing bytes"), std::string::npos) << err;
+}
+
+TEST(Codec, EmptyFrameFails) {
+  const std::string frame(4, '\0');  // u32 LE length = 0
+  Decoder dec(Codec::kBinary);
+  dec.feed(frame);
+  Message out;
+  std::string err;
+  EXPECT_EQ(dec.next(&out, &err), Decoder::Result::kError);
+  EXPECT_NE(err.find("empty frame"), std::string::npos) << err;
+}
+
+TEST(Codec, WrongShapeJsonFieldFails) {
+  Decoder dec(Codec::kJson);
+  dec.feed("{\"type\":\"ack\",\"id\":\"nope\"}\n");
+  Message out;
+  std::string err;
+  EXPECT_EQ(dec.next(&out, &err), Decoder::Result::kError);
+  EXPECT_NE(err.find("id"), std::string::npos) << err;
+}
+
+TEST(Codec, HostileVectorCountFails) {
+  // A submit frame whose init-vector count claims 2^31 elements inside a
+  // tiny body: the decoder must reject the count, not allocate for it.
+  std::string body;
+  auto put_u64 = [&body](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      body.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+    }
+  };
+  auto put_u32 = [&body](std::uint32_t v) {
+    for (int i = 0; i < 4; ++i) {
+      body.push_back(static_cast<char>((v >> (8 * i)) & 0xffu));
+    }
+  };
+  put_u64(1);            // id
+  put_u32(0);            // name: empty
+  put_u64(0x3ff0000000000000ULL);  // demand = 1.0
+  put_u64(0);            // arrival
+  put_u64(0);            // deadline
+  put_u32(0);            // priority
+  put_u32(0x80000000u);  // init count: hostile
+  std::string frame;
+  const std::uint32_t len = static_cast<std::uint32_t>(1 + body.size());
+  for (int i = 0; i < 4; ++i) {
+    frame.push_back(static_cast<char>((len >> (8 * i)) & 0xffu));
+  }
+  frame.push_back(0x02);  // kSubmit
+  frame.append(body);
+  Decoder dec(Codec::kBinary);
+  dec.feed(frame);
+  Message out;
+  std::string err;
+  EXPECT_EQ(dec.next(&out, &err), Decoder::Result::kError);
+  EXPECT_NE(err.find("count exceeds frame"), std::string::npos) << err;
+}
+
+TEST(Codec, OverlongJsonLineWithoutNewlineFails) {
+  Decoder dec(Codec::kJson, /*max_frame=*/64);
+  dec.feed("{\"type\":\"error\",\"text\":\"" + std::string(128, 'x'));
+  Message out;
+  std::string err;
+  EXPECT_EQ(dec.next(&out, &err), Decoder::Result::kError);
+  EXPECT_NE(err.find("exceeds limit"), std::string::npos) << err;
+}
+
+// ---------------------------------------------------------------------------
+// Wire-form conversions against a named graph.
+
+net::Graph named_diamond() {
+  net::Graph g;
+  const net::NodeId s = g.add_node("s");
+  const net::NodeId m = g.add_node("m");
+  const net::NodeId t = g.add_node("t");
+  const net::NodeId b = g.add_node("b");
+  g.add_link(s, m, net::Capacity{4.0}, 1);
+  g.add_link(m, t, net::Capacity{4.0}, 1);
+  g.add_link(s, b, net::Capacity{4.0}, 1);
+  g.add_link(b, t, net::Capacity{4.0}, 1);
+  return g;
+}
+
+TEST(Wire, RequestRoundTripsThroughNames) {
+  const net::Graph g = named_diamond();
+  const auto index = node_index(g);
+  service::UpdateRequest r;
+  r.id = 9;
+  r.name = "flow9";
+  r.p_init = net::Path{0, 1, 2};
+  r.p_fin = net::Path{0, 3, 2};
+  r.demand = net::Demand{1.5};
+  r.arrival = 1000;
+  r.deadline = 9000;
+  r.priority = 2;
+
+  const WireRequest w = to_wire(g, r);
+  EXPECT_EQ(w.init, (std::vector<std::string>{"s", "m", "t"}));
+  EXPECT_EQ(w.fin, (std::vector<std::string>{"s", "b", "t"}));
+
+  const service::UpdateRequest back = from_wire(index, w);
+  EXPECT_EQ(back.id, r.id);
+  EXPECT_EQ(back.name, r.name);
+  EXPECT_EQ(back.p_init.nodes(), r.p_init.nodes());
+  EXPECT_EQ(back.p_fin.nodes(), r.p_fin.nodes());
+  EXPECT_EQ(back.demand.value(), r.demand.value());
+  EXPECT_EQ(back.arrival, r.arrival);
+  EXPECT_EQ(back.deadline, r.deadline);
+  EXPECT_EQ(back.priority, r.priority);
+}
+
+TEST(Wire, FromWireRejectsMalformedRequests) {
+  const net::Graph g = named_diamond();
+  const auto index = node_index(g);
+  WireRequest good;
+  good.id = 1;
+  good.init = {"s", "m", "t"};
+  good.fin = {"s", "b", "t"};
+  good.demand = net::Demand{1.0};
+
+  WireRequest ghost = good;
+  ghost.fin = {"s", "ghost", "t"};
+  EXPECT_THROW(from_wire(index, ghost), std::runtime_error);
+
+  WireRequest short_path = good;
+  short_path.init = {"s"};
+  EXPECT_THROW(from_wire(index, short_path), std::runtime_error);
+
+  WireRequest bad_demand = good;
+  bad_demand.demand = net::Demand{0.0};
+  EXPECT_THROW(from_wire(index, bad_demand), std::runtime_error);
+
+  EXPECT_NO_THROW(from_wire(index, good));
+}
+
+}  // namespace
+}  // namespace chronus::rpc

@@ -1,0 +1,21 @@
+// Seeded violation: a socket read inside a critical section. Even on a
+// nonblocking fd the syscall sits at the kernel boundary, and the rpc
+// reactor's rule is that no I/O ever happens under a lock — every other
+// contender for mu_ would stall behind the peer's send pacing.
+#include <sys/socket.h>
+
+#include <mutex>
+
+struct WireIntake {
+  std::size_t pump() {
+    std::lock_guard<std::mutex> lock(mu_);
+    char chunk[4096];
+    ssize_t n = recv(fd_, chunk, sizeof(chunk), 0);  // I/O under the lock
+    if (n > 0) buffered_ += static_cast<std::size_t>(n);
+    return buffered_;
+  }
+
+  std::mutex mu_;
+  int fd_ = -1;
+  std::size_t buffered_ = 0;
+};

@@ -17,8 +17,9 @@
 //                     lock region bounded by its scope. Findings:
 //                     double-lock (guard on a mutex already held in an
 //                     enclosing region), lock-across-blocking (a blocking
-//                     call — join, wait_idle, sleep_for/until, system —
-//                     inside a lock region), naked-lock (manual
+//                     call — join, wait_idle, sleep_for/until, system,
+//                     and the socket syscalls accept/accept4/recv/send/
+//                     poll — inside a lock region), naked-lock (manual
 //                     .lock()/.unlock() pairs instead of RAII).
 //                     src/util is exempt: util/thread_annotations.hpp is
 //                     the one legitimate home of manual lock calls.
@@ -527,9 +528,12 @@ void lock_pass(const SourceFile& f, std::vector<Finding>& findings) {
   std::map<std::string, long> lock_calls;    // receiver -> first line
   std::set<std::string> unlock_calls;
 
-  static const std::set<std::string> kBlocking = {"join", "wait_idle",
-                                                  "sleep_for", "sleep_until",
-                                                  "system"};
+  // Socket syscalls count as blocking: even on an O_NONBLOCK fd they sit
+  // at the kernel boundary, and the rpc reactor's design rule is that no
+  // I/O ever happens inside a lock region (src/rpc/reactor.hpp).
+  static const std::set<std::string> kBlocking = {
+      "join", "wait_idle", "sleep_for", "sleep_until", "system",
+      "accept", "accept4", "recv", "send", "poll"};
 
   for (std::size_t i = 0; i < t.size(); ++i) {
     const Token& tok = t[i];

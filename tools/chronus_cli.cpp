@@ -8,7 +8,9 @@
 //   chronus_cli dot --instance=fig1.inst [--schedule=fig1.sched]
 //   chronus_cli trace --requests=200 [--rate=40] [--conflict=0.5] > w.trace
 //   chronus_cli serve --trace=w.trace [--workers=4] [--json=report.json]
-//                     [--metrics=metrics.json]
+//                     [--metrics=metrics.json] [--via-intake]
+//                     [--listen=PORT] [--codec=binary|json] [--connections=N]
+//                     [--intake-cap=N] [--intake-soft=N] [--trigger-depth=N]
 //
 // Algorithms for `schedule`: greedy (Algorithm 2, verifier-guarded),
 // pure (paper-literal Algorithm 2), chain (longest-chain-first), restart
@@ -18,9 +20,16 @@
 // `serve` drives the online update service (src/service) over a request
 // trace: admission, ledger reservation, worker-pool planning and timed
 // execution; exits non-zero if any accepted plan failed re-verification.
+// With --listen=PORT (0 = ephemeral) the trace is instead served through
+// the rpc socket front-end (src/rpc): an rpc::Server is started on
+// loopback and the trace is replayed into it by the multi-connection load
+// driver, printing one report per planning round. --via-intake keeps the
+// in-process path but routes the requests through the bounded
+// service::IntakeQueue, the same queue the socket sessions feed.
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <thread>
 
 #include "core/feasibility_tree.hpp"
 #include "core/multi_flow.hpp"
@@ -32,6 +41,9 @@
 #include "obs/metrics.hpp"
 #include "opt/mutp_bnb.hpp"
 #include "opt/order_bnb.hpp"
+#include "rpc/load_driver.hpp"
+#include "rpc/server.hpp"
+#include "service/intake_queue.hpp"
 #include "service/workload.hpp"
 #include "timenet/verifier.hpp"
 #include "util/cli.hpp"
@@ -57,7 +69,10 @@ int usage() {
                "  serve    --trace=FILE [--workers=N] [--epoch-ms=N]"
                " [--step-ms=N] [--seed=N]\n"
                "           [--max-defers=N] [--plan-only] [--json=FILE]"
-               " [--metrics=FILE]\n");
+               " [--metrics=FILE]\n"
+               "           [--via-intake] [--intake-cap=N] [--intake-soft=N]\n"
+               "           [--listen=PORT] [--codec=binary|json]"
+               " [--connections=N] [--trigger-depth=N]\n");
   return 2;
 }
 
@@ -227,8 +242,80 @@ int cmd_serve(const util::Cli& cli) {
       static_cast<int>(cli.get_int("max-defers", opts.admission.max_defers));
   const std::string json_path = cli.get("json", "");
 
+  const std::size_t intake_cap =
+      static_cast<std::size_t>(cli.get_int("intake-cap", 256));
+  const std::size_t intake_soft =
+      static_cast<std::size_t>(cli.get_int("intake-soft", 0));
+  const long long listen_port = cli.get_int("listen", -1);
+
+  service::ServiceReport report;
+  if (listen_port >= 0) {
+    // Socket front-end: serve the request stream to ourselves over
+    // loopback through the rpc server, exactly as a remote client would.
+    rpc::ServerOptions sopts;
+    sopts.port = static_cast<std::uint16_t>(listen_port);
+    sopts.intake_capacity = intake_cap;
+    sopts.intake_soft_limit = intake_soft;
+    sopts.round_trigger_depth =
+        static_cast<std::size_t>(cli.get_int("trigger-depth", 0));
+    sopts.service = opts;
+    rpc::Server server(trace.graph, sopts);
+    server.start();
+    std::fprintf(stderr, "# listening on %s:%u\n", sopts.host.c_str(),
+                 static_cast<unsigned>(server.port()));
+
+    rpc::LoadOptions lopts;
+    lopts.port = server.port();
+    lopts.codec =
+        cli.get("codec", "binary") == "json" ? rpc::Codec::kJson
+                                             : rpc::Codec::kBinary;
+    lopts.connections =
+        static_cast<std::size_t>(cli.get_int("connections", 4));
+    const rpc::LoadResult load =
+        rpc::run_load(trace.graph, trace.requests, lopts);
+    server.join();
+    const rpc::ServerStats stats = server.stats();
+    std::fprintf(stderr,
+                 "# rpc: %llu session(s), %llu submit(s), %llu deferred, "
+                 "%llu rejected, %llu round(s)\n",
+                 static_cast<unsigned long long>(stats.sessions),
+                 static_cast<unsigned long long>(stats.submits),
+                 static_cast<unsigned long long>(stats.deferred),
+                 static_cast<unsigned long long>(stats.rejected),
+                 static_cast<unsigned long long>(stats.rounds));
+    if (!load.ok) {
+      std::fprintf(stderr, "# load driver failed: %s\n", load.error.c_str());
+      return 1;
+    }
+    const auto rounds = server.round_reports();
+    int violations = 0;
+    for (std::size_t i = 0; i < rounds.size(); ++i) {
+      std::printf("== round %zu ==\n%s", i + 1, rounds[i].to_string().c_str());
+      violations += rounds[i].violations;
+    }
+    if (violations != 0) {
+      std::fprintf(stderr, "# %d verifier violation(s)\n", violations);
+      return 1;
+    }
+    return 0;
+  }
+
   service::UpdateService svc(trace.graph, opts);
-  const service::ServiceReport report = svc.run(trace);
+  if (cli.get_bool("via-intake", false)) {
+    // Same run, but fed through the bounded transport-agnostic intake
+    // queue (a producer thread stands in for the wire).
+    service::IntakeQueue intake(intake_cap, intake_soft);
+    std::thread producer([&trace, &intake] {
+      for (const service::UpdateRequest& r : trace.requests) {
+        if (!intake.push_wait(r)) break;
+      }
+      intake.close();
+    });
+    report = svc.run_intake(intake);
+    producer.join();
+  } else {
+    report = svc.run(trace);
+  }
   std::printf("%s", report.to_string().c_str());
 
   if (!json_path.empty()) {
