@@ -6,7 +6,9 @@
 // ContractViolation.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <fstream>
+#include <limits>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -423,6 +425,107 @@ TEST(Codec, OverlongJsonLineWithoutNewlineFails) {
   std::string err;
   EXPECT_EQ(dec.next(&out, &err), Decoder::Result::kError);
   EXPECT_NE(err.find("exceeds limit"), std::string::npos) << err;
+}
+
+// ---------------------------------------------------------------------------
+// Numeric edges: boundary integers, non-finite doubles, and "negative"
+// lengths — the values a fuzzer finds first and a hand test forgets.
+
+TEST(Codec, U64BoundaryIdsRoundTripBothCodecs) {
+  // Ids straddling the int64 boundary: the JSON parser must take its
+  // exact-u64 path instead of rounding through double.
+  const std::uint64_t ids[] = {
+      0,
+      static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()),
+      static_cast<std::uint64_t>(std::numeric_limits<std::int64_t>::max()) + 1,
+      std::numeric_limits<std::uint64_t>::max()};
+  for (std::uint64_t id : ids) {
+    Message m;
+    m.type = MsgType::kAck;
+    m.id = id;
+    for (Codec c : {Codec::kBinary, Codec::kJson}) {
+      EXPECT_EQ(decode_one(c, encode(c, m)).id, id)
+          << id << " over " << to_string(c);
+    }
+  }
+}
+
+TEST(Codec, Int64BoundarySpansRoundTripBothCodecs) {
+  Message m;
+  m.type = MsgType::kRecord;
+  m.record.id = 1;
+  m.record.status = "completed";
+  m.record.degradation = "full";
+  m.record.plan_span = std::numeric_limits<std::int64_t>::min();
+  m.record.exec_duration = std::numeric_limits<std::int64_t>::max();
+  for (Codec c : {Codec::kBinary, Codec::kJson}) {
+    const Message back = decode_one(c, encode(c, m));
+    EXPECT_EQ(back.record.plan_span, m.record.plan_span) << to_string(c);
+    EXPECT_EQ(back.record.exec_duration, m.record.exec_duration)
+        << to_string(c);
+  }
+}
+
+TEST(Codec, NonFiniteDemandsRoundTripBitExactlyInBinary) {
+  // The binary codec ships the raw IEEE-754 bit pattern, so NaN and the
+  // infinities survive even though NaN != NaN under operator==.
+  const double values[] = {std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity(),
+                           -std::numeric_limits<double>::infinity()};
+  for (double v : values) {
+    Message m;
+    m.type = MsgType::kSubmit;
+    m.submit.id = 1;
+    m.submit.demand = net::Demand{v};
+    const Message back = decode_one(Codec::kBinary, encode(Codec::kBinary, m));
+    std::uint64_t want = 0;
+    std::uint64_t got = 0;
+    const double d = back.submit.demand.value();
+    std::memcpy(&want, &v, sizeof want);
+    std::memcpy(&got, &d, sizeof got);
+    EXPECT_EQ(got, want);
+  }
+}
+
+TEST(Codec, NonFiniteDemandsAreRejectedByTheJsonParser) {
+  // %.17g renders NaN/Inf as "nan"/"inf", which is not JSON; the decoder
+  // must refuse the line rather than invent a number.
+  const double values[] = {std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity()};
+  for (double v : values) {
+    Message m;
+    m.type = MsgType::kSubmit;
+    m.submit.id = 1;
+    m.submit.demand = net::Demand{v};
+    Decoder dec(Codec::kJson);
+    dec.feed(encode(Codec::kJson, m));
+    Message out;
+    std::string err;
+    EXPECT_EQ(dec.next(&out, &err), Decoder::Result::kError);
+    // "nan" trips the null-literal path, "inf" the top-level dispatch;
+    // both must surface as structured JSON parse errors.
+    EXPECT_NE(err.find("JSON"), std::string::npos) << err;
+  }
+}
+
+TEST(Codec, NegativeLengthPrefixIsRejectedNotAllocated) {
+  // 0xFFFFFFFF is -1 if the prefix were misread as signed; either way it
+  // must trip the frame limit immediately, before any buffering.
+  Decoder dec(Codec::kBinary);
+  dec.feed(std::string(4, '\xff'));
+  Message out;
+  std::string err;
+  EXPECT_EQ(dec.next(&out, &err), Decoder::Result::kError);
+  EXPECT_NE(err.find("exceeds limit"), std::string::npos) << err;
+}
+
+TEST(Codec, NegativeJsonValueForUnsignedFieldFails) {
+  Decoder dec(Codec::kJson);
+  dec.feed("{\"type\":\"ack\",\"id\":-1}\n");
+  Message out;
+  std::string err;
+  EXPECT_EQ(dec.next(&out, &err), Decoder::Result::kError);
+  EXPECT_NE(err.find("negative field"), std::string::npos) << err;
 }
 
 // ---------------------------------------------------------------------------

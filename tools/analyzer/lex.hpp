@@ -1,0 +1,215 @@
+// The chronus_analyzer lexer: a comment-, string- and raw-string-aware
+// tokenizer over one translation unit. Every analyzer pass — the classic
+// token passes and the dataflow taint engine — consumes this token stream,
+// which is what lets the tool ignore rule mentions inside comments,
+// strings and raw strings (the whole point over line-oriented
+// chronus_lint).
+//
+// Inline acknowledgements are collected here too:
+//   // chronus-analyzer: allow(<rule>) <justification>
+// covers the comment's own line and the line *after the comment ends* —
+// so the comment may sit at the end of the offending line or on its own
+// line above, and a multi-line /* ... */ block still reaches the
+// statement below it.
+#pragma once
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace chronus_analyzer {
+
+enum class Tok { kIdent, kNumber, kString, kChar, kPunct };
+
+struct Token {
+  Tok kind;
+  std::string text;
+  long line = 0;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  /// Lines carrying a `chronus-analyzer: allow(<rule>)` comment, per rule.
+  std::map<std::string, std::set<long>> allowances;
+};
+
+inline bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+inline bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Records allow(<rule>) markers found in `comment`. `first_line` is the
+/// line the comment starts on, `last_line` the line it ends on (equal for
+/// line comments). The allowance covers every comment line plus the line
+/// after the end, so both same-line and line-above placements match, and
+/// a block comment spanning several lines still covers the statement
+/// immediately below it.
+inline void record_allowances(const std::string& comment, long first_line,
+                              long last_line, LexedFile& out) {
+  static const std::string kMarker = "chronus-analyzer: allow(";
+  for (std::size_t pos = comment.find(kMarker); pos != std::string::npos;
+       pos = comment.find(kMarker, pos + 1)) {
+    const std::size_t open = pos + kMarker.size();
+    const std::size_t close = comment.find(')', open);
+    if (close == std::string::npos) continue;
+    const std::string rule = comment.substr(open, close - open);
+    for (long l = first_line; l <= last_line + 1; ++l) {
+      out.allowances[rule].insert(l);
+    }
+  }
+}
+
+/// Comment-, string- and raw-string-aware tokenizer. Preprocessor
+/// directives are lexed like ordinary tokens (`#`, `include`, "path"),
+/// which is exactly what the include scanner needs.
+inline LexedFile lex(const std::string& src) {
+  LexedFile out;
+  long line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const std::size_t eol = src.find('\n', i);
+      const std::size_t end = eol == std::string::npos ? n : eol;
+      record_allowances(src.substr(i, end - i), line, line, out);
+      i = end;
+      continue;
+    }
+    // Block comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const std::size_t close = src.find("*/", i + 2);
+      const std::size_t end = close == std::string::npos ? n : close + 2;
+      const std::string body = src.substr(i, end - i);
+      const long newlines =
+          static_cast<long>(std::count(body.begin(), body.end(), '\n'));
+      record_allowances(body, line, line + newlines, out);
+      line += newlines;
+      i = end;
+      continue;
+    }
+    // String literal (raw strings are handled at the identifier below,
+    // because their prefix R/u8R/... lexes as an identifier).
+    if (c == '"') {
+      const long start_line = line;
+      std::string text;
+      ++i;
+      while (i < n && src[i] != '"') {
+        if (src[i] == '\\' && i + 1 < n) {
+          text += src[i];
+          text += src[i + 1];
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') ++line;  // unterminated string: stay sane
+        text += src[i++];
+      }
+      if (i < n) ++i;  // closing quote
+      out.tokens.push_back({Tok::kString, text, start_line});
+      continue;
+    }
+    // Character literal — but not a digit separator (1'000'000), which is
+    // consumed by the number scanner and never reaches here.
+    if (c == '\'') {
+      const long start_line = line;
+      ++i;
+      std::string text;
+      while (i < n && src[i] != '\'') {
+        if (src[i] == '\\' && i + 1 < n) {
+          text += src[i];
+          text += src[i + 1];
+          i += 2;
+          continue;
+        }
+        if (src[i] == '\n') {
+          break;  // stray quote (apostrophe in a #error, say): bail out
+        }
+        text += src[i++];
+      }
+      if (i < n && src[i] == '\'') ++i;
+      out.tokens.push_back({Tok::kChar, text, start_line});
+      continue;
+    }
+    // Number (digit separators and exponent signs included).
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])) != 0)) {
+      std::string text;
+      while (i < n) {
+        const char d = src[i];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          text += d;
+          ++i;
+          continue;
+        }
+        if ((d == '+' || d == '-') && !text.empty()) {
+          const char e = text.back();
+          if (e == 'e' || e == 'E' || e == 'p' || e == 'P') {
+            text += d;
+            ++i;
+            continue;
+          }
+        }
+        break;
+      }
+      out.tokens.push_back({Tok::kNumber, text, line});
+      continue;
+    }
+    // Identifier — possibly a raw-string prefix.
+    if (ident_start(c)) {
+      std::string text;
+      while (i < n && ident_char(src[i])) text += src[i++];
+      const bool raw_prefix = i < n && src[i] == '"' &&
+                              (text == "R" || text == "u8R" || text == "uR" ||
+                               text == "LR");
+      if (raw_prefix) {
+        // R"delim( ... )delim"
+        ++i;  // opening quote
+        std::string delim;
+        while (i < n && src[i] != '(') delim += src[i++];
+        if (i < n) ++i;  // '('
+        const std::string closer = ")" + delim + "\"";
+        const std::size_t close = src.find(closer, i);
+        const std::size_t end =
+            close == std::string::npos ? n : close + closer.size();
+        const std::string body = src.substr(i, (close == std::string::npos
+                                                    ? n
+                                                    : close) -
+                                                   i);
+        out.tokens.push_back({Tok::kString, body, line});
+        line += static_cast<long>(std::count(body.begin(), body.end(), '\n'));
+        i = end;
+        continue;
+      }
+      out.tokens.push_back({Tok::kIdent, text, line});
+      continue;
+    }
+    // Punctuation, one char at a time.
+    out.tokens.push_back({Tok::kPunct, std::string(1, c), line});
+    ++i;
+  }
+  return out;
+}
+
+inline bool allowed(const LexedFile& lf, const std::string& rule, long line) {
+  const auto it = lf.allowances.find(rule);
+  return it != lf.allowances.end() && it->second.count(line) > 0;
+}
+
+}  // namespace chronus_analyzer

@@ -1,0 +1,13 @@
+// Fixture: the same acknowledgement placed on its own line ABOVE the
+// finding — must suppress exactly like the same-line placement.
+#include <random>
+
+namespace fixture {
+
+unsigned seed_for_demo() {
+  // chronus-analyzer: allow(stray-random) demo seeding only, never replayed
+  std::random_device dev;
+  return dev();
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Fixture: a MULTI-LINE block-comment acknowledgement. The allowance must
+// reach the statement after the comment's last line — anchoring at the
+// comment's first line (the old behavior) would miss it.
+#include <random>
+
+namespace fixture {
+
+unsigned seed_for_demo() {
+  /* chronus-analyzer: allow(stray-random)
+     Demo seeding only; this fixture pins the block-comment placement,
+     where the allowance covers the line after the comment ends. */
+  std::random_device dev;
+  return dev();
+}
+
+}  // namespace fixture

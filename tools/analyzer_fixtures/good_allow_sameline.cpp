@@ -1,0 +1,12 @@
+// Fixture: a stray-random violation acknowledged on the SAME line as the
+// finding — one of the three allow-comment placements the lexer supports.
+#include <random>
+
+namespace fixture {
+
+unsigned seed_for_demo() {
+  std::random_device dev;  // chronus-analyzer: allow(stray-random) demo seeding only, never replayed
+  return dev();
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Seeded violation: a system_clock read flows into a digest function.
+// Digests certify bit-identical replay across transports and worker
+// counts; a wall-clock stamp in the stream breaks that by construction.
+#include <chrono>
+#include <sstream>
+#include <string>
+
+namespace fixture {
+
+std::string report_digest() {
+  std::ostringstream out;
+  const auto stamp =
+      std::chrono::system_clock::now().time_since_epoch().count();
+  out << "stamp=" << stamp;
+  return out.str();
+}
+
+}  // namespace fixture

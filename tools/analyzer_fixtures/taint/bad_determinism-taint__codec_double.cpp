@@ -1,0 +1,19 @@
+// Seeded violation: a wall-clock double is encoded onto the wire. Frames
+// are replay-compared across transports, so encoded values must be pure
+// functions of logical state.
+#include <chrono>
+#include <string>
+
+namespace fixture {
+
+void put_f64(std::string& out, double v);
+
+void stamp_frame(std::string& body) {
+  const double now_s =
+      std::chrono::duration<double>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
+  put_f64(body, now_s);
+}
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Seeded violation: an environment-derived value lands in a logical
+// metric. logical() keeps every counter for replay comparison, so a
+// getenv-dependent count differs across hosts.
+#include <cstdlib>
+#include <string>
+
+namespace fixture {
+
+void add(const std::string& name, long v);
+
+void record_seed() {
+  const char* env = std::getenv("CHRONUS_SEED");
+  long seed = 0;
+  seed = env != nullptr ? env[0] : 0;
+  add("service.seed", seed);
+}
+
+}  // namespace fixture

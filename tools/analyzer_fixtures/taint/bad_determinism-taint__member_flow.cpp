@@ -1,0 +1,22 @@
+// Seeded violation: the wall-clock value is stored into a member in one
+// method and recorded in another — the engine must propagate member
+// taint across the methods of a TU, not just within one body.
+#include <chrono>
+#include <string>
+
+namespace fixture {
+
+void observe(const std::string& name, long v);
+
+class Probe {
+ public:
+  void begin() {
+    start_ = std::chrono::steady_clock::now().time_since_epoch().count();
+  }
+  void flush() const { observe("probe.latency", start_); }
+
+ private:
+  long start_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Seeded violation: Demand::value() feeds a raw double multiply — the
+// exact mixing chronus_lint's raw-unit regex cannot see once the value
+// hides behind a local.
+namespace fixture {
+
+class Demand {
+ public:
+  double value() const;
+};
+
+double overcommit_ratio(Demand d, double factor) {
+  return d.value() * factor;
+}
+
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Seeded violation: raw arithmetic on a value that crossed the TimeStep
+// boundary via .count(). The algebra belongs inside the strong type; a
+// naked multiply silently mixes step counts with plain integers.
+namespace fixture {
+
+class TimeStep {
+ public:
+  long count() const;
+};
+
+long shifted_raw(TimeStep t, long delta) {
+  const long raw = t.count();
+  return raw * 2 + delta;
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Seeded violation: a decoded count drives a loop's trip count without
+// ever being validated against the remaining frame.
+#include <cstdint>
+
+namespace fixture {
+
+struct Cursor {
+  std::uint32_t u32();
+};
+
+void consume_one(Cursor& cur);
+
+void parse_list(Cursor& cur) {
+  const std::uint32_t entries = cur.u32();
+  for (std::uint32_t i = 0; i < entries; ++i) {
+    consume_one(cur);
+  }
+}
+
+}  // namespace fixture

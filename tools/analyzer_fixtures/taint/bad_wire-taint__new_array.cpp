@@ -1,0 +1,16 @@
+// Seeded violation: a decoded length sizes a raw new[] allocation.
+#include <cstdint>
+
+namespace fixture {
+
+struct Cursor {
+  std::uint32_t u32();
+};
+
+char* alloc_payload(Cursor& cur) {
+  const std::uint32_t len = cur.u32();
+  char* buf = new char[len];
+  return buf;
+}
+
+}  // namespace fixture

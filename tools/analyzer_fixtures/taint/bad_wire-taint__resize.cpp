@@ -1,0 +1,18 @@
+// Seeded violation: a decoded length reaches resize() with no bounds
+// check — a hostile 4-byte count allocates gigabytes. This is the
+// oversize-frame class seeded in testdata/rpc.
+#include <cstdint>
+#include <string>
+
+namespace fixture {
+
+struct Cursor {
+  std::uint32_t u32();
+};
+
+void parse_body(Cursor& cur, std::string& out) {
+  const std::uint32_t n = cur.u32();
+  out.resize(n);
+}
+
+}  // namespace fixture

@@ -1,0 +1,29 @@
+// Clean control: real violations acknowledged inline — once with the
+// allow comment on the line ABOVE the finding, once on the SAME line.
+// Both placements must suppress.
+#include <cstdint>
+#include <cstdlib>
+#include <string>
+
+namespace fixture {
+
+struct Cursor {
+  std::uint32_t u32();
+};
+
+void add(const std::string& name, long v);
+
+void parse_trusted(Cursor& cur, std::string& out) {
+  const std::uint32_t n = cur.u32();
+  // chronus-analyzer: allow(wire-taint) loopback-only fixture transport
+  out.resize(n);
+}
+
+void record_demo() {
+  const char* env = std::getenv("CHRONUS_DEMO");
+  long stamp = 0;
+  stamp = env != nullptr ? env[0] : 0;
+  add("demo.launches", stamp);  // chronus-analyzer: allow(determinism-taint) demo-only counter
+}
+
+}  // namespace fixture

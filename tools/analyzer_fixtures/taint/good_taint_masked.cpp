@@ -1,0 +1,22 @@
+// Clean control: wall-clock values laundered through the two documented
+// masking channels — an instrument named *_wall_us (dropped/zeroed by
+// MetricsSnapshot::logical()) and a mask_* helper.
+#include <chrono>
+#include <string>
+
+namespace fixture {
+
+void observe(const std::string& name, long v);
+long mask_wall(long v);
+
+class Span {
+ public:
+  void finish() {
+    const long us =
+        std::chrono::steady_clock::now().time_since_epoch().count();
+    observe("span.parse_wall_us", us);
+    observe("span.queue_depth", mask_wall(us));
+  }
+};
+
+}  // namespace fixture

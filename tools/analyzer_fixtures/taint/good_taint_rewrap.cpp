@@ -1,0 +1,16 @@
+// Clean control: arithmetic on a .count() value is fine when the
+// statement re-wraps the result into the strong type — that constructor
+// IS the documented crossing point.
+namespace fixture {
+
+class TimeStep {
+ public:
+  explicit TimeStep(long v);
+  long count() const;
+};
+
+TimeStep advance(TimeStep t, long delta) {
+  return TimeStep{t.count() + delta};
+}
+
+}  // namespace fixture

@@ -1,0 +1,24 @@
+// Clean control: the decoded length is validated against the remaining
+// frame before it reaches the allocation — the guard-then-throw idiom
+// from rpc::Cursor sanitises the wire taint.
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace fixture {
+
+struct Cursor {
+  std::uint32_t u32();
+  std::size_t remaining() const;
+};
+
+void parse_body(Cursor& cur, std::string& out) {
+  const std::uint32_t n = cur.u32();
+  if (n > cur.remaining()) {
+    throw std::runtime_error("truncated frame");
+  }
+  out.resize(n);
+}
+
+}  // namespace fixture

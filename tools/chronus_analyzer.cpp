@@ -1,76 +1,71 @@
-// chronus_analyzer — token-level static analysis for the layering and
-// concurrency invariants the line-oriented chronus_lint cannot see.
+// chronus_analyzer — token-level and dataflow static analysis for the
+// invariants the line-oriented chronus_lint cannot see.
 //
-// Where chronus_lint matches patterns per line, this tool lexes every
-// translation unit properly (line/block comments, string/char literals,
-// raw strings, digit separators) and runs three passes over the token
-// stream and the include graph:
+// The tool is split across tools/analyzer/:
+//   lex.hpp       comment/string/raw-string-aware tokenizer + inline
+//                 `// chronus-analyzer: allow(<rule>)` acknowledgements
+//                 (same line or the line(s) above).
+//   passes.hpp    the classic passes: layering against tools/layering.toml
+//                 (layer-back-edge, layer-undeclared, include-cycle,
+//                 manifest-cycle), lock discipline (double-lock,
+//                 lock-across-blocking, naked-lock), determinism &
+//                 exception hygiene (stray-random, throw-in-dtor,
+//                 swallowed-catch).
+//   dataflow.hpp  the per-TU symbol-table + intra-procedural taint engine
+//                 behind determinism-taint, wire-taint and
+//                 unit-provenance.
+//   cache.hpp     content-hash FileFacts cache shared by every per-file
+//                 pass, so a warm tree scan lexes nothing.
 //
-//   layering          `#include "mod/..."` edges across src/ must follow
-//                     the module DAG declared in tools/layering.toml.
-//                     Findings: layer-back-edge (edge not declared),
-//                     layer-undeclared (module missing from the manifest),
-//                     include-cycle (file-level include cycle),
-//                     manifest-cycle (the declared DAG itself is cyclic).
-//   lock discipline   every RAII guard (std::lock_guard / unique_lock /
-//                     scoped_lock / shared_lock / util::MutexLock) opens a
-//                     lock region bounded by its scope. Findings:
-//                     double-lock (guard on a mutex already held in an
-//                     enclosing region), lock-across-blocking (a blocking
-//                     call — join, wait_idle, sleep_for/until, system,
-//                     and the socket syscalls accept/accept4/recv/send/
-//                     poll — inside a lock region), naked-lock (manual
-//                     .lock()/.unlock() pairs instead of RAII).
-//                     src/util is exempt: util/thread_annotations.hpp is
-//                     the one legitimate home of manual lock calls.
-//   determinism &     stray-random (rand/srand/std::random_device outside
-//   exception safety  src/util/rng — all randomness flows through
-//                     util::Rng so runs replay), throw-in-dtor (throwing
-//                     destructors terminate), swallowed-catch
-//                     (`catch (...)` whose body neither rethrows nor
-//                     reports).
-//
-// A finding is acknowledged inline with
-//   // chronus-analyzer: allow(<rule>) <justification>
-// on the offending line or the line above.
+// This file is the driver: a `--jobs=N` worker pool reads + hashes +
+// analyzes (or cache-loads) each file, the cross-file layering pass runs
+// over the summaries, findings are sorted, optionally diffed against a
+// checked-in baseline (`--baseline FILE --baseline-diff`: CI fails only
+// on findings *beyond* the baselined count per rule+file), and emitted as
+// text and/or SARIF.
 //
 // Usage:
-//   chronus_analyzer --root DIR [--manifest FILE] [--sarif=FILE] [subdir...]
-//   chronus_analyzer --self-test --fixtures DIR [--sarif=FILE]
+//   chronus_analyzer [--root DIR] [--manifest FILE] [--passes=classic|
+//       taint|all] [--jobs=N] [--cache=DIR|--no-cache] [--baseline FILE
+//       [--baseline-diff]] [--write-baseline FILE] [--sarif=FILE]
+//       [subdir...]
+//   chronus_analyzer --self-test --fixtures DIR [--no-fixture-tree]
+//       [--sarif=FILE]
 //
 // Exits 0 when clean / self-test matches, 1 on findings, 2 on usage or
 // manifest errors.
 #include <algorithm>
-#include <cctype>
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
-#include <functional>
 #include <iostream>
 #include <map>
 #include <set>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
+#include "analyzer/cache.hpp"
+#include "analyzer/dataflow.hpp"
+#include "analyzer/lex.hpp"
+#include "analyzer/passes.hpp"
 #include "sarif.hpp"
 
 namespace fs = std::filesystem;
 
+using chronus_analyzer::AnalysisCache;
+using chronus_analyzer::FileFacts;
+using chronus_analyzer::LexedFile;
+using chronus_analyzer::Manifest;
+using chronus_analyzer::SourceFile;
+using chronus_tools::Finding;
+
 namespace {
 
-// ---------------------------------------------------------------------------
-// Findings
-// ---------------------------------------------------------------------------
-
-struct Finding {
-  std::string file;  // path relative to the analysis root
-  long line = 0;
-  std::string rule;
-  std::string message;
-};
-
-const std::map<std::string, std::string>& rule_catalog() {
-  static const std::map<std::string, std::string> kRules = {
+const chronus_tools::RuleCatalog& rule_catalog() {
+  static const chronus_tools::RuleCatalog kRules = {
       {"layer-back-edge",
        "include edge not declared in the module DAG (tools/layering.toml)"},
       {"layer-undeclared", "module missing from the layering manifest"},
@@ -86,739 +81,72 @@ const std::map<std::string, std::string>& rule_catalog() {
       {"throw-in-dtor", "throw inside a destructor body"},
       {"swallowed-catch",
        "catch (...) that neither rethrows nor reports"},
+      {"determinism-taint",
+       "wall-clock/ambient value reaches a determinism sink (digest, "
+       "logical metric, codec-encoded field) without masking"},
+      {"wire-taint",
+       "unvalidated wire-derived value reaches an allocation, array "
+       "index, or loop bound"},
+      {"unit-provenance",
+       "raw arithmetic on a value that crossed a TimeStep/Demand/Capacity "
+       "strong-type boundary"},
   };
   return kRules;
 }
 
 // ---------------------------------------------------------------------------
-// Lexer
+// Pass selection
 // ---------------------------------------------------------------------------
 
-enum class Tok { kIdent, kNumber, kString, kChar, kPunct };
+struct PassSet {
+  bool classic = true;  // layering + lock + determinism hygiene
+  bool taint = true;    // the dataflow engine
 
-struct Token {
-  Tok kind;
-  std::string text;
-  long line = 0;
+  std::string config_string() const {
+    return std::string("classic=") + (classic ? "1" : "0") +
+           ";taint=" + (taint ? "1" : "0");
+  }
 };
 
-struct LexedFile {
-  std::vector<Token> tokens;
-  /// Lines carrying a `chronus-analyzer: allow(<rule>)` comment, per rule.
-  std::map<std::string, std::set<long>> allowances;
-};
-
-bool ident_start(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-bool ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-void record_allowances(const std::string& comment, long line,
-                       LexedFile& out) {
-  static const std::string kMarker = "chronus-analyzer: allow(";
-  for (std::size_t pos = comment.find(kMarker); pos != std::string::npos;
-       pos = comment.find(kMarker, pos + 1)) {
-    const std::size_t open = pos + kMarker.size();
-    const std::size_t close = comment.find(')', open);
-    if (close == std::string::npos) continue;
-    const std::string rule = comment.substr(open, close - open);
-    // The allowance covers its own line and the next one, so a comment
-    // above the offending statement works too.
-    out.allowances[rule].insert(line);
-    out.allowances[rule].insert(line + 1);
+/// Runs every enabled per-file pass and packs the result into the
+/// cacheable FileFacts summary. Pure function of (rel, content, passes) —
+/// which is exactly the cache contract.
+FileFacts analyze_file(const fs::path& path, const std::string& rel,
+                       const std::string& content, const PassSet& passes) {
+  SourceFile f;
+  f.path = path;
+  f.rel = rel;
+  if (rel.rfind("src/", 0) == 0) {
+    const std::size_t slash = rel.find('/', 4);
+    if (slash != std::string::npos) f.module = rel.substr(4, slash - 4);
   }
-}
+  f.lexed = chronus_analyzer::lex(content);
 
-/// Comment-, string- and raw-string-aware tokenizer. Preprocessor
-/// directives are lexed like ordinary tokens (`#`, `include`, "path"),
-/// which is exactly what the include scanner needs.
-LexedFile lex(const std::string& src) {
-  LexedFile out;
-  long line = 1;
-  std::size_t i = 0;
-  const std::size_t n = src.size();
-  auto prev_kind = Tok::kPunct;
-
-  while (i < n) {
-    const char c = src[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      continue;
-    }
-    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
-      ++i;
-      continue;
-    }
-    // Line comment.
-    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-      const std::size_t eol = src.find('\n', i);
-      const std::size_t end = eol == std::string::npos ? n : eol;
-      record_allowances(src.substr(i, end - i), line, out);
-      i = end;
-      continue;
-    }
-    // Block comment.
-    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-      const std::size_t close = src.find("*/", i + 2);
-      const std::size_t end = close == std::string::npos ? n : close + 2;
-      const std::string body = src.substr(i, end - i);
-      record_allowances(body, line, out);
-      line += static_cast<long>(std::count(body.begin(), body.end(), '\n'));
-      i = end;
-      continue;
-    }
-    // String literal (raw strings are handled at the identifier below,
-    // because their prefix R/u8R/... lexes as an identifier).
-    if (c == '"') {
-      const long start_line = line;
-      std::string text;
-      ++i;
-      while (i < n && src[i] != '"') {
-        if (src[i] == '\\' && i + 1 < n) {
-          text += src[i];
-          text += src[i + 1];
-          i += 2;
-          continue;
-        }
-        if (src[i] == '\n') ++line;  // unterminated string: stay sane
-        text += src[i++];
-      }
-      if (i < n) ++i;  // closing quote
-      out.tokens.push_back({Tok::kString, text, start_line});
-      prev_kind = Tok::kString;
-      continue;
-    }
-    // Character literal — but not a digit separator (1'000'000), which is
-    // consumed by the number scanner and never reaches here.
-    if (c == '\'') {
-      const long start_line = line;
-      ++i;
-      std::string text;
-      while (i < n && src[i] != '\'') {
-        if (src[i] == '\\' && i + 1 < n) {
-          text += src[i];
-          text += src[i + 1];
-          i += 2;
-          continue;
-        }
-        if (src[i] == '\n') {
-          break;  // stray quote (apostrophe in a #error, say): bail out
-        }
-        text += src[i++];
-      }
-      if (i < n && src[i] == '\'') ++i;
-      out.tokens.push_back({Tok::kChar, text, start_line});
-      prev_kind = Tok::kChar;
-      continue;
-    }
-    // Number (digit separators and exponent signs included).
-    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
-        (c == '.' && i + 1 < n &&
-         std::isdigit(static_cast<unsigned char>(src[i + 1])) != 0)) {
-      std::string text;
-      while (i < n) {
-        const char d = src[i];
-        if (ident_char(d) || d == '.' || d == '\'') {
-          text += d;
-          ++i;
-          continue;
-        }
-        if ((d == '+' || d == '-') && !text.empty()) {
-          const char e = text.back();
-          if (e == 'e' || e == 'E' || e == 'p' || e == 'P') {
-            text += d;
-            ++i;
-            continue;
-          }
-        }
-        break;
-      }
-      out.tokens.push_back({Tok::kNumber, text, line});
-      prev_kind = Tok::kNumber;
-      continue;
-    }
-    // Identifier — possibly a raw-string prefix.
-    if (ident_start(c)) {
-      std::string text;
-      while (i < n && ident_char(src[i])) text += src[i++];
-      const bool raw_prefix = i < n && src[i] == '"' &&
-                              (text == "R" || text == "u8R" || text == "uR" ||
-                               text == "LR");
-      if (raw_prefix) {
-        // R"delim( ... )delim"
-        ++i;  // opening quote
-        std::string delim;
-        while (i < n && src[i] != '(') delim += src[i++];
-        if (i < n) ++i;  // '('
-        const std::string closer = ")" + delim + "\"";
-        const std::size_t close = src.find(closer, i);
-        const std::size_t end =
-            close == std::string::npos ? n : close + closer.size();
-        const std::string body = src.substr(i, (close == std::string::npos
-                                                    ? n
-                                                    : close) -
-                                                   i);
-        out.tokens.push_back({Tok::kString, body, line});
-        line += static_cast<long>(std::count(body.begin(), body.end(), '\n'));
-        i = end;
-        prev_kind = Tok::kString;
-        continue;
-      }
-      out.tokens.push_back({Tok::kIdent, text, line});
-      prev_kind = Tok::kIdent;
-      continue;
-    }
-    // Punctuation, one char at a time.
-    out.tokens.push_back({Tok::kPunct, std::string(1, c), line});
-    prev_kind = Tok::kPunct;
-    ++i;
+  FileFacts facts;
+  facts.rel = f.rel;
+  facts.module = f.module;
+  facts.includes = chronus_analyzer::quoted_includes(f.lexed);
+  facts.allowances = f.lexed.allowances;
+  if (passes.classic) {
+    chronus_analyzer::lock_pass(f, facts.findings);
+    chronus_analyzer::determinism_pass(f, facts.findings);
   }
-  (void)prev_kind;
-  return out;
-}
-
-bool allowed(const LexedFile& lf, const std::string& rule, long line) {
-  const auto it = lf.allowances.find(rule);
-  return it != lf.allowances.end() && it->second.count(line) > 0;
+  if (passes.taint) {
+    chronus_analyzer::taint_pass(f, facts.findings);
+  }
+  return facts;
 }
 
 // ---------------------------------------------------------------------------
-// Layering manifest (tools/layering.toml)
-// ---------------------------------------------------------------------------
-
-struct Manifest {
-  /// module -> modules it may include from (itself is always allowed).
-  std::map<std::string, std::vector<std::string>> allow;
-  std::string error;  // non-empty on parse failure
-};
-
-std::string trim(const std::string& s) {
-  std::size_t a = 0, b = s.size();
-  while (a < b && std::isspace(static_cast<unsigned char>(s[a])) != 0) ++a;
-  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1])) != 0) --b;
-  return s.substr(a, b - a);
-}
-
-/// Parses the `[layers]` table of a deliberately tiny TOML subset:
-/// `module = ["dep", "dep"]` entries, `#` comments, one entry per line.
-Manifest parse_manifest(const fs::path& path) {
-  Manifest m;
-  std::ifstream in(path);
-  if (!in) {
-    m.error = "cannot open manifest " + path.string();
-    return m;
-  }
-  bool in_layers = false;
-  long lineno = 0;
-  for (std::string raw; std::getline(in, raw);) {
-    ++lineno;
-    const std::size_t hash = raw.find('#');
-    std::string s = trim(hash == std::string::npos ? raw : raw.substr(0, hash));
-    if (s.empty()) continue;
-    if (s.front() == '[') {
-      in_layers = s == "[layers]";
-      continue;
-    }
-    if (!in_layers) continue;
-    const std::size_t eq = s.find('=');
-    if (eq == std::string::npos) {
-      m.error = path.string() + ":" + std::to_string(lineno) +
-                ": expected `module = [..]`";
-      return m;
-    }
-    const std::string key = trim(s.substr(0, eq));
-    const std::string val = trim(s.substr(eq + 1));
-    if (val.size() < 2 || val.front() != '[' || val.back() != ']') {
-      m.error = path.string() + ":" + std::to_string(lineno) +
-                ": expected a [\"dep\", ...] list for " + key;
-      return m;
-    }
-    std::vector<std::string> deps;
-    std::string item;
-    std::istringstream items(val.substr(1, val.size() - 2));
-    while (std::getline(items, item, ',')) {
-      item = trim(item);
-      if (item.size() >= 2 && item.front() == '"' && item.back() == '"') {
-        deps.push_back(item.substr(1, item.size() - 2));
-      } else if (!item.empty()) {
-        m.error = path.string() + ":" + std::to_string(lineno) +
-                  ": dependency names must be quoted";
-        return m;
-      }
-    }
-    m.allow[key] = std::move(deps);
-  }
-  return m;
-}
-
-/// Reports a cycle in the declared module DAG, if any (manifest-cycle).
-void check_manifest_acyclic(const Manifest& m, std::vector<Finding>& out) {
-  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
-  std::vector<std::string> stack;
-  const std::function<bool(const std::string&)> dfs =
-      [&](const std::string& mod) -> bool {
-    color[mod] = 1;
-    stack.push_back(mod);
-    const auto it = m.allow.find(mod);
-    if (it != m.allow.end()) {
-      for (const std::string& dep : it->second) {
-        if (dep == mod) continue;
-        const int c = color[dep];
-        if (c == 1) {
-          std::string path;
-          for (const auto& s : stack) path += s + " -> ";
-          out.push_back({"tools/layering.toml", 0, "manifest-cycle",
-                         "declared layering is cyclic: " + path + dep});
-          return true;
-        }
-        if (c == 0 && dfs(dep)) return true;
-      }
-    }
-    color[mod] = 2;
-    stack.pop_back();
-    return false;
-  };
-  for (const auto& [mod, deps] : m.allow) {
-    (void)deps;
-    if (color[mod] == 0 && dfs(mod)) return;
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Pass 1: layering
-// ---------------------------------------------------------------------------
-
-struct SourceFile {
-  fs::path path;
-  std::string rel;     // e.g. "src/net/graph.hpp", forward slashes
-  std::string module;  // e.g. "net"; empty when not under src/<mod>/
-  LexedFile lexed;
-};
-
-/// Quoted includes with their lines, straight from the token stream
-/// (`#` `include` "path" — comments and strings cannot fake this).
-std::vector<std::pair<std::string, long>> quoted_includes(
-    const LexedFile& lf) {
-  std::vector<std::pair<std::string, long>> out;
-  const auto& t = lf.tokens;
-  for (std::size_t i = 0; i + 2 < t.size(); ++i) {
-    if (t[i].kind == Tok::kPunct && t[i].text == "#" &&
-        t[i + 1].kind == Tok::kIdent && t[i + 1].text == "include" &&
-        t[i + 2].kind == Tok::kString) {
-      out.emplace_back(t[i + 2].text, t[i + 2].line);
-    }
-  }
-  return out;
-}
-
-std::string module_of_include(const std::string& inc) {
-  const std::size_t slash = inc.find('/');
-  return slash == std::string::npos ? std::string() : inc.substr(0, slash);
-}
-
-void layering_pass(const std::vector<SourceFile>& files, const Manifest& m,
-                   std::vector<Finding>& findings) {
-  check_manifest_acyclic(m, findings);
-
-  // Module back-edges against the declared DAG.
-  for (const SourceFile& f : files) {
-    if (f.module.empty()) continue;
-    const auto self = m.allow.find(f.module);
-    if (self == m.allow.end()) {
-      findings.push_back(
-          {f.rel, 1, "layer-undeclared",
-           "module '" + f.module +
-               "' is not declared in tools/layering.toml — add it with its "
-               "allowed dependencies"});
-      continue;
-    }
-    for (const auto& [inc, line] : quoted_includes(f.lexed)) {
-      const std::string target = module_of_include(inc);
-      if (target.empty() || target == f.module) continue;
-      if (m.allow.find(target) == m.allow.end()) continue;  // not a module
-      const auto& deps = self->second;
-      if (std::find(deps.begin(), deps.end(), target) == deps.end() &&
-          !allowed(f.lexed, "layer-back-edge", line)) {
-        findings.push_back(
-            {f.rel, line, "layer-back-edge",
-             f.module + " -> " + target + " (#include \"" + inc +
-                 "\") is not a declared edge of the module DAG; layering "
-                 "is " + f.module + " <- [deps] in tools/layering.toml"});
-      }
-    }
-  }
-
-  // File-level include cycles (DFS over src-relative include paths).
-  std::map<std::string, std::vector<std::pair<std::string, long>>> graph;
-  std::set<std::string> known;
-  for (const SourceFile& f : files) known.insert(f.rel);
-  for (const SourceFile& f : files) {
-    for (const auto& [inc, line] : quoted_includes(f.lexed)) {
-      const std::string target = "src/" + inc;
-      if (known.count(target) > 0) graph[f.rel].emplace_back(target, line);
-    }
-  }
-  std::map<std::string, int> color;
-  std::vector<std::string> stack;
-  bool reported = false;
-  const std::function<void(const std::string&)> dfs =
-      [&](const std::string& node) {
-        color[node] = 1;
-        stack.push_back(node);
-        for (const auto& [next, line] : graph[node]) {
-          if (reported) break;
-          const int c = color[next];
-          if (c == 1) {
-            std::string path;
-            const auto at =
-                std::find(stack.begin(), stack.end(), next);
-            for (auto it = at; it != stack.end(); ++it) path += *it + " -> ";
-            findings.push_back({node, line, "include-cycle",
-                                "#include cycle: " + path + next});
-            reported = true;
-            break;
-          }
-          if (c == 0) dfs(next);
-        }
-        color[node] = 2;
-        stack.pop_back();
-      };
-  for (const SourceFile& f : files) {
-    if (color[f.rel] == 0 && !reported) dfs(f.rel);
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Pass 2: lock discipline
-// ---------------------------------------------------------------------------
-
-bool is_guard_name(const std::string& s) {
-  return s == "lock_guard" || s == "unique_lock" || s == "scoped_lock" ||
-         s == "shared_lock" || s == "MutexLock";
-}
-
-/// Joins the tokens of one guard constructor argument into a stable key
-/// ("this->mu_", "state.mu"). Whitespace-free so spelling variants match.
-std::string join_expr(const std::vector<Token>& t, std::size_t b,
-                      std::size_t e) {
-  std::string out;
-  for (std::size_t i = b; i < e; ++i) out += t[i].text;
-  return out;
-}
-
-void lock_pass(const SourceFile& f, std::vector<Finding>& findings) {
-  if (f.rel.rfind("src/util/", 0) == 0) return;  // annotated wrapper home
-  const auto& t = f.lexed.tokens;
-
-  struct Region {
-    std::string mutex;
-    int depth = 0;
-    long line = 0;
-  };
-  std::vector<Region> regions;
-  int depth = 0;
-
-  // Manual lock()/unlock() receivers, for the pairing heuristic: a
-  // receiver that is both .lock()ed and .unlock()ed in one TU is being
-  // hand-rolled where a guard belongs. (weak_ptr::lock has no unlock, so
-  // it never pairs.)
-  std::map<std::string, long> lock_calls;    // receiver -> first line
-  std::set<std::string> unlock_calls;
-
-  // Socket syscalls count as blocking: even on an O_NONBLOCK fd they sit
-  // at the kernel boundary, and the rpc reactor's design rule is that no
-  // I/O ever happens inside a lock region (src/rpc/reactor.hpp).
-  static const std::set<std::string> kBlocking = {
-      "join", "wait_idle", "sleep_for", "sleep_until", "system",
-      "accept", "accept4", "recv", "send", "poll"};
-
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    const Token& tok = t[i];
-    if (tok.kind == Tok::kPunct) {
-      if (tok.text == "{") ++depth;
-      if (tok.text == "}") {
-        --depth;
-        while (!regions.empty() && regions.back().depth > depth) {
-          regions.pop_back();
-        }
-      }
-      continue;
-    }
-    if (tok.kind != Tok::kIdent) continue;
-
-    // RAII guard declaration: guard<...> name(args...) / guard name(args).
-    if (is_guard_name(tok.text)) {
-      std::size_t j = i + 1;
-      if (j < t.size() && t[j].kind == Tok::kPunct && t[j].text == "<") {
-        int angle = 1;
-        ++j;
-        while (j < t.size() && angle > 0) {
-          if (t[j].kind == Tok::kPunct && t[j].text == "<") ++angle;
-          if (t[j].kind == Tok::kPunct && t[j].text == ">") --angle;
-          ++j;
-        }
-      }
-      if (j >= t.size() || t[j].kind != Tok::kIdent) continue;  // a cast etc.
-      ++j;  // variable name
-      if (j >= t.size() || t[j].kind != Tok::kPunct ||
-          (t[j].text != "(" && t[j].text != "{")) {
-        continue;
-      }
-      const std::string open = t[j].text;
-      const std::string close = open == "(" ? ")" : "}";
-      int paren = 1;
-      ++j;
-      std::vector<std::pair<std::size_t, std::size_t>> args;
-      std::size_t arg_begin = j;
-      while (j < t.size() && paren > 0) {
-        const Token& a = t[j];
-        if (a.kind == Tok::kPunct) {
-          if (a.text == "(" || a.text == "{" || a.text == "[") ++paren;
-          if (a.text == ")" || a.text == "}" || a.text == "]") --paren;
-          if (paren == 0) break;
-          if (a.text == "," && paren == 1) {
-            args.emplace_back(arg_begin, j);
-            arg_begin = j + 1;
-          }
-        }
-        ++j;
-      }
-      if (j > arg_begin) args.emplace_back(arg_begin, j);
-      bool deferred = false;
-      for (const auto& [b, e] : args) {
-        const std::string expr = join_expr(t, b, e);
-        if (expr.find("defer_lock") != std::string::npos) deferred = true;
-      }
-      if (deferred || args.empty()) {
-        i = j;
-        continue;
-      }
-      // scoped_lock may take several mutexes; every non-tag argument is
-      // an acquisition.
-      for (const auto& [b, e] : args) {
-        const std::string expr = join_expr(t, b, e);
-        if (expr.find("adopt_lock") != std::string::npos ||
-            expr.find("try_to_lock") != std::string::npos) {
-          continue;
-        }
-        for (const Region& r : regions) {
-          if (r.mutex == expr && !allowed(f.lexed, "double-lock", tok.line)) {
-            findings.push_back(
-                {f.rel, tok.line, "double-lock",
-                 "'" + expr + "' is already held by the guard at line " +
-                     std::to_string(r.line) +
-                     " — recursive locking deadlocks std::mutex"});
-          }
-        }
-        regions.push_back({expr, depth, tok.line});
-      }
-      i = j;
-      continue;
-    }
-
-    // Blocking call while a lock region is active.
-    if (!regions.empty() && kBlocking.count(tok.text) > 0 && i + 1 < t.size() &&
-        t[i + 1].kind == Tok::kPunct && t[i + 1].text == "(" &&
-        !allowed(f.lexed, "lock-across-blocking", tok.line)) {
-      findings.push_back(
-          {f.rel, tok.line, "lock-across-blocking",
-           "'" + tok.text + "(' is called while holding '" +
-               regions.back().mutex + "' (guard at line " +
-               std::to_string(regions.back().line) +
-               ") — blocking under a lock stalls every contender"});
-    }
-
-    // Manual .lock() / .unlock() bookkeeping.
-    if ((tok.text == "lock" || tok.text == "unlock") && i >= 2 &&
-        i + 1 < t.size() && t[i + 1].kind == Tok::kPunct &&
-        t[i + 1].text == "(") {
-      // Receiver: the longest ident/./->/:: chain ending just before.
-      std::size_t b = i;
-      while (b >= 1) {
-        const Token& p = t[b - 1];
-        if (p.kind == Tok::kPunct &&
-            (p.text == "." || p.text == ":" || p.text == ">" ||
-             p.text == "-")) {
-          --b;
-          continue;
-        }
-        if (p.kind == Tok::kIdent && b >= 1 && t[b].kind == Tok::kPunct) {
-          --b;
-          continue;
-        }
-        break;
-      }
-      if (b < i) {  // has a receiver — a bare lock( is some local function
-        const std::string receiver = join_expr(t, b, i - 1);
-        if (!receiver.empty()) {
-          if (tok.text == "lock") {
-            lock_calls.emplace(receiver, tok.line);
-          } else {
-            unlock_calls.insert(receiver);
-          }
-        }
-      }
-    }
-  }
-
-  for (const std::string& receiver : unlock_calls) {
-    const auto it = lock_calls.find(receiver);
-    if (it == lock_calls.end()) continue;
-    if (!allowed(f.lexed, "naked-lock", it->second)) {
-      findings.push_back(
-          {f.rel, it->second, "naked-lock",
-           "manual " + receiver + ".lock()/.unlock() pair — use an RAII "
-           "guard (util::MutexLock / std::lock_guard) so early returns and "
-           "exceptions cannot leak the lock"});
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Pass 3: determinism & exception safety
-// ---------------------------------------------------------------------------
-
-bool in_rng_home(const std::string& rel) {
-  return rel.rfind("src/util/rng", 0) == 0;
-}
-
-void determinism_pass(const SourceFile& f, std::vector<Finding>& findings) {
-  const auto& t = f.lexed.tokens;
-
-  // stray-random -----------------------------------------------------------
-  if (!in_rng_home(f.rel)) {
-    for (std::size_t i = 0; i < t.size(); ++i) {
-      if (t[i].kind != Tok::kIdent) continue;
-      const bool member_access =
-          i >= 1 && t[i - 1].kind == Tok::kPunct &&
-          (t[i - 1].text == "." ||
-           (t[i - 1].text == ">" && i >= 2 && t[i - 2].text == "-"));
-      if (member_access) continue;  // foo.rand() is someone else's rand
-      const bool call = i + 1 < t.size() && t[i + 1].kind == Tok::kPunct &&
-                        (t[i + 1].text == "(" || t[i + 1].text == "{");
-      const bool is_rand_call =
-          (t[i].text == "rand" || t[i].text == "srand") && call;
-      const bool is_device = t[i].text == "random_device";
-      if ((is_rand_call || is_device) &&
-          !allowed(f.lexed, "stray-random", t[i].line)) {
-        findings.push_back(
-            {f.rel, t[i].line, "stray-random",
-             "'" + t[i].text +
-                 "' bypasses util::Rng — unseeded or device randomness "
-                 "breaks bit-identical replay (src/util/rng.hpp)"});
-      }
-    }
-  }
-
-  // throw-in-dtor and swallowed-catch: both need matched-brace bodies.
-  for (std::size_t i = 0; i < t.size(); ++i) {
-    // Destructor head: `~ Name (` ... `)` [qualifiers] `{`. The token
-    // *before* the `~` separates a declaration from a bitwise-not
-    // expression (`return ~hash(x)` must not look like a destructor):
-    // declarations follow `;` `}` `{` `:` or a declaration keyword.
-    const bool decl_position =
-        i == 0 ||
-        (t[i - 1].kind == Tok::kPunct &&
-         (t[i - 1].text == ";" || t[i - 1].text == "}" ||
-          t[i - 1].text == "{" || t[i - 1].text == ":")) ||
-        (t[i - 1].kind == Tok::kIdent &&
-         (t[i - 1].text == "virtual" || t[i - 1].text == "inline" ||
-          t[i - 1].text == "constexpr"));
-    if (t[i].kind == Tok::kPunct && t[i].text == "~" && decl_position &&
-        i + 2 < t.size() && t[i + 1].kind == Tok::kIdent &&
-        t[i + 2].kind == Tok::kPunct && t[i + 2].text == "(") {
-      std::size_t j = i + 3;
-      int paren = 1;
-      while (j < t.size() && paren > 0) {
-        if (t[j].kind == Tok::kPunct && t[j].text == "(") ++paren;
-        if (t[j].kind == Tok::kPunct && t[j].text == ")") --paren;
-        ++j;
-      }
-      // Scan qualifiers until the body opens or the declaration ends.
-      while (j < t.size() &&
-             !(t[j].kind == Tok::kPunct &&
-               (t[j].text == "{" || t[j].text == ";" || t[j].text == "="))) {
-        ++j;
-      }
-      if (j >= t.size() || t[j].text != "{") continue;  // declaration only
-      int body = 1;
-      ++j;
-      while (j < t.size() && body > 0) {
-        if (t[j].kind == Tok::kPunct && t[j].text == "{") ++body;
-        if (t[j].kind == Tok::kPunct && t[j].text == "}") --body;
-        if (t[j].kind == Tok::kIdent && t[j].text == "throw" &&
-            !allowed(f.lexed, "throw-in-dtor", t[j].line)) {
-          findings.push_back(
-              {f.rel, t[j].line, "throw-in-dtor",
-               "throw inside ~" + t[i + 1].text +
-                   "() — destructors are implicitly noexcept; a throw here "
-                   "is std::terminate"});
-        }
-        ++j;
-      }
-      continue;
-    }
-
-    // catch (...) { body }
-    if (t[i].kind == Tok::kIdent && t[i].text == "catch" &&
-        i + 4 < t.size() && t[i + 1].kind == Tok::kPunct &&
-        t[i + 1].text == "(" && t[i + 2].text == "." && t[i + 3].text == "." &&
-        t[i + 4].text == ".") {
-      std::size_t j = i + 5;
-      while (j < t.size() &&
-             !(t[j].kind == Tok::kPunct && t[j].text == "{")) {
-        ++j;
-      }
-      if (j >= t.size()) continue;
-      int body = 1;
-      ++j;
-      bool handles = false;
-      static const std::vector<std::string> kReporters = {
-          "log",  "report", "note",   "record", "message", "warn",
-          "err",  "status", "abort",  "terminate", "add",  "observe",
-          "fail", "retry",  "rethrow"};
-      while (j < t.size() && body > 0) {
-        if (t[j].kind == Tok::kPunct && t[j].text == "{") ++body;
-        if (t[j].kind == Tok::kPunct && t[j].text == "}") --body;
-        // A rethrow, a reporter-shaped identifier, or a string (an error
-        // message being recorded) all count as handling the exception.
-        if (t[j].kind == Tok::kIdent || t[j].kind == Tok::kString) {
-          if (t[j].text == "throw") handles = true;
-          std::string lower;
-          for (const char c : t[j].text) {
-            lower += static_cast<char>(std::tolower(
-                static_cast<unsigned char>(c)));
-          }
-          for (const std::string& r : kReporters) {
-            if (lower.find(r) != std::string::npos) handles = true;
-          }
-        }
-        ++j;
-      }
-      if (!handles && !allowed(f.lexed, "swallowed-catch", t[i].line)) {
-        findings.push_back(
-            {f.rel, t[i].line, "swallowed-catch",
-             "catch (...) swallows every exception without rethrowing or "
-             "reporting — at minimum record the failure, or acknowledge "
-             "with // chronus-analyzer: allow(swallowed-catch) why"});
-      }
-    }
-  }
-}
-
-// ---------------------------------------------------------------------------
-// Tree walking & driver
+// Tree walking — parallel over files, cache-aware
 // ---------------------------------------------------------------------------
 
 bool is_source(const fs::path& p) {
   return p.extension() == ".cpp" || p.extension() == ".hpp";
 }
 
-std::vector<SourceFile> load_tree(const fs::path& root,
-                                  const std::vector<std::string>& subdirs) {
+std::vector<fs::path> list_sources(const fs::path& root,
+                                   const std::vector<std::string>& subdirs) {
   std::vector<fs::path> paths;
   for (const std::string& sub : subdirs) {
     const fs::path dir = root / sub;
@@ -830,41 +158,136 @@ std::vector<SourceFile> load_tree(const fs::path& root,
     }
   }
   std::sort(paths.begin(), paths.end());
-  std::vector<SourceFile> files;
-  files.reserve(paths.size());
-  for (const fs::path& p : paths) {
-    std::ifstream in(p);
-    if (!in) continue;
-    std::ostringstream buf;
-    buf << in.rdbuf();
-    SourceFile f;
-    f.path = p;
-    f.rel = fs::relative(p, root).generic_string();
-    if (f.rel.rfind("src/", 0) == 0) {
-      const std::size_t slash = f.rel.find('/', 4);
-      if (slash != std::string::npos) f.module = f.rel.substr(4, slash - 4);
+  return paths;
+}
+
+struct TreeScan {
+  std::vector<FileFacts> facts;
+  std::size_t cache_hits = 0;
+};
+
+TreeScan scan_tree(const fs::path& root, const std::vector<fs::path>& paths,
+                   const PassSet& passes, const AnalysisCache& cache,
+                   unsigned jobs) {
+  TreeScan scan;
+  scan.facts.resize(paths.size());
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> hits{0};
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= paths.size()) return;
+      std::ifstream in(paths[i], std::ios::binary);
+      if (!in) continue;
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      const std::string content = buf.str();
+      const std::string rel =
+          fs::relative(paths[i], root).generic_string();
+      // The file's identity is part of the key: identical bytes at two
+      // paths must not share an entry (rel feeds module + findings).
+      const std::string key = cache.key_for(rel + '\x1f' + content);
+      if (cache.load(key, &scan.facts[i])) {
+        hits.fetch_add(1);
+        continue;
+      }
+      scan.facts[i] = analyze_file(paths[i], rel, content, passes);
+      cache.store(key, scan.facts[i]);
     }
-    f.lexed = lex(buf.str());
-    files.push_back(std::move(f));
+  };
+
+  if (jobs <= 1 || paths.size() <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    const unsigned n = std::min<unsigned>(
+        jobs, static_cast<unsigned>(paths.size()));
+    pool.reserve(n);
+    for (unsigned i = 0; i < n; ++i) pool.emplace_back(worker);
+    for (std::thread& th : pool) th.join();
   }
-  return files;
+  scan.cache_hits = hits.load();
+  // Drop unreadable files (empty rel) so downstream passes see real facts.
+  scan.facts.erase(
+      std::remove_if(scan.facts.begin(), scan.facts.end(),
+                     [](const FileFacts& f) { return f.rel.empty(); }),
+      scan.facts.end());
+  return scan;
 }
 
-void print_findings(const std::vector<Finding>& findings, std::ostream& os) {
-  for (const auto& f : findings) {
-    os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
-       << "\n";
-  }
+// ---------------------------------------------------------------------------
+// Baseline: rule<TAB>file<TAB>count, sorted; CI fails only on growth
+// ---------------------------------------------------------------------------
+
+using BaselineCounts = std::map<std::pair<std::string, std::string>, long>;
+
+BaselineCounts count_findings(const std::vector<Finding>& findings) {
+  BaselineCounts counts;
+  for (const Finding& f : findings) ++counts[{f.rule, f.file}];
+  return counts;
 }
 
-std::vector<chronus_tools::SarifResult> to_sarif(
-    const std::vector<Finding>& findings) {
-  std::vector<chronus_tools::SarifResult> out;
-  out.reserve(findings.size());
-  for (const auto& f : findings) {
-    out.push_back({f.rule, f.file, f.line, f.message});
+bool load_baseline(const fs::path& path, BaselineCounts* out,
+                   std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open baseline " + path.string();
+    return false;
   }
-  return out;
+  std::string line;
+  long lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty() || line[0] == '#') continue;
+    const std::size_t t1 = line.find('\t');
+    const std::size_t t2 =
+        t1 == std::string::npos ? std::string::npos : line.find('\t', t1 + 1);
+    if (t2 == std::string::npos) {
+      *error = path.string() + ":" + std::to_string(lineno) +
+               ": expected rule<TAB>file<TAB>count";
+      return false;
+    }
+    (*out)[{line.substr(0, t1), line.substr(t1 + 1, t2 - t1 - 1)}] =
+        std::stol(line.substr(t2 + 1));
+  }
+  return true;
+}
+
+bool write_baseline(const fs::path& path, const BaselineCounts& counts) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "# chronus_analyzer findings baseline: rule<TAB>file<TAB>count.\n"
+      << "# Regenerate with --write-baseline after fixing or consciously\n"
+      << "# accepting findings; --baseline-diff fails only on growth.\n";
+  for (const auto& [key, n] : counts) {
+    out << key.first << "\t" << key.second << "\t" << n << "\n";
+  }
+  return out.good();
+}
+
+/// Keeps only the findings in (rule, file) groups that exceed their
+/// baselined count — the whole group is reported so the developer sees
+/// every candidate for "which one is new".
+std::vector<Finding> diff_against_baseline(const std::vector<Finding>& all,
+                                           const BaselineCounts& baseline) {
+  const BaselineCounts current = count_findings(all);
+  std::vector<Finding> fresh;
+  for (const Finding& f : all) {
+    const auto key = std::make_pair(f.rule, f.file);
+    const auto base = baseline.find(key);
+    const long allowed_count = base == baseline.end() ? 0 : base->second;
+    if (current.at(key) > allowed_count) fresh.push_back(f);
+  }
+  return fresh;
+}
+
+void sort_findings(std::vector<Finding>* findings) {
+  std::sort(findings->begin(), findings->end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
 }
 
 // ---------------------------------------------------------------------------
@@ -873,38 +296,46 @@ std::vector<chronus_tools::SarifResult> to_sarif(
 
 /// Fixture contract, mirroring tools/lint_fixtures: each `bad_<rule>*`
 /// file must fire <rule> (the stem between "bad_" and the first "__"),
-/// `good_*` files must be clean, and the `tree/` mini-repo must produce
-/// exactly the layering rules seeded into it (an include cycle and a
-/// module back-edge). Proves every pass catches what it claims to catch.
-int self_test(const fs::path& fixtures, const std::string& sarif_path) {
+/// `good_*` files must be clean under EVERY per-file pass, and (unless
+/// --no-fixture-tree) the `tree/` mini-repo must produce exactly the
+/// layering rules seeded into it. Proves every pass catches what it
+/// claims to catch.
+int self_test(const fs::path& fixtures, const std::string& sarif_path,
+              bool expect_tree) {
   if (!fs::exists(fixtures)) {
     std::cerr << "fixtures directory not found: " << fixtures << "\n";
     return 2;
   }
+  const PassSet all_passes;  // self-test always exercises every pass
   int failures = 0;
+  std::size_t checked = 0;
   std::vector<Finding> everything;
 
+  std::vector<fs::path> entries;
   for (const auto& entry : fs::directory_iterator(fixtures)) {
-    if (!entry.is_regular_file() || !is_source(entry.path())) continue;
-    const std::string stem = entry.path().stem().string();
-    std::ifstream in(entry.path());
+    if (entry.is_regular_file() && is_source(entry.path())) {
+      entries.push_back(entry.path());
+    }
+  }
+  std::sort(entries.begin(), entries.end());
+
+  for (const fs::path& path : entries) {
+    const std::string stem = path.stem().string();
+    std::ifstream in(path, std::ios::binary);
     std::ostringstream buf;
     buf << in.rdbuf();
-    SourceFile f;
-    f.path = entry.path();
-    f.rel = "src/fixture/" + entry.path().filename().string();
-    f.module = "fixture";
-    f.lexed = lex(buf.str());
-    std::vector<Finding> findings;
-    lock_pass(f, findings);
-    determinism_pass(f, findings);
+    const FileFacts facts =
+        analyze_file(path, "src/fixture/" + path.filename().string(),
+                     buf.str(), all_passes);
+    const std::vector<Finding>& findings = facts.findings;
     everything.insert(everything.end(), findings.begin(), findings.end());
+    ++checked;
 
     if (stem.rfind("good_", 0) == 0) {
       if (!findings.empty()) {
         std::cerr << "SELF-TEST FAIL: expected no findings in " << stem
                   << " but got:\n";
-        print_findings(findings, std::cerr);
+        chronus_tools::print_findings(findings, std::cerr);
         ++failures;
       }
       continue;
@@ -918,9 +349,9 @@ int self_test(const fs::path& fixtures, const std::string& sarif_path) {
                       [&](const Finding& x) { return x.rule == rule; });
       if (!hit) {
         std::cerr << "SELF-TEST FAIL: expected a [" << rule << "] finding in "
-                  << entry.path().filename().string() << ", got "
+                  << path.filename().string() << ", got "
                   << findings.size() << " findings\n";
-        print_findings(findings, std::cerr);
+        chronus_tools::print_findings(findings, std::cerr);
         ++failures;
       }
     }
@@ -929,14 +360,16 @@ int self_test(const fs::path& fixtures, const std::string& sarif_path) {
   // The layering mini-tree: fixtures/tree/{layering.toml, src/...}.
   const fs::path tree = fixtures / "tree";
   if (fs::exists(tree)) {
-    const Manifest m = parse_manifest(tree / "layering.toml");
+    const Manifest m = chronus_analyzer::parse_manifest(tree / "layering.toml");
     if (!m.error.empty()) {
       std::cerr << "SELF-TEST FAIL: " << m.error << "\n";
       ++failures;
     } else {
+      const std::vector<fs::path> paths = list_sources(tree, {"src"});
+      const AnalysisCache no_cache({}, "");
+      const TreeScan scan = scan_tree(tree, paths, all_passes, no_cache, 1);
       std::vector<Finding> findings;
-      const std::vector<SourceFile> files = load_tree(tree, {"src"});
-      layering_pass(files, m, findings);
+      chronus_analyzer::layering_pass(scan.facts, m, findings);
       everything.insert(everything.end(), findings.begin(), findings.end());
       for (const char* rule : {"include-cycle", "layer-back-edge"}) {
         const bool hit =
@@ -945,24 +378,24 @@ int self_test(const fs::path& fixtures, const std::string& sarif_path) {
         if (!hit) {
           std::cerr << "SELF-TEST FAIL: the fixtures tree did not fire ["
                     << rule << "]; findings were:\n";
-          print_findings(findings, std::cerr);
+          chronus_tools::print_findings(findings, std::cerr);
           ++failures;
         }
       }
     }
-  } else {
+  } else if (expect_tree) {
     std::cerr << "SELF-TEST FAIL: fixtures tree/ with the seeded layering "
                  "violations is missing\n";
     ++failures;
   }
 
   if (!sarif_path.empty()) {
-    chronus_tools::write_sarif(sarif_path, "chronus_analyzer", rule_catalog(),
-                               to_sarif(everything));
+    chronus_tools::write_findings_sarif(sarif_path, "chronus_analyzer",
+                                        rule_catalog(), everything);
   }
   if (failures == 0) {
-    std::cerr << "chronus_analyzer self-test: all fixtures behaved as "
-                 "seeded\n";
+    std::cerr << "chronus_analyzer self-test: all " << checked
+              << " fixtures behaved as seeded\n";
     return 0;
   }
   return 1;
@@ -973,8 +406,16 @@ struct Options {
   fs::path manifest;
   std::vector<std::string> subdirs;
   bool self_test = false;
+  bool expect_tree = true;
   fs::path fixtures;
   std::string sarif;
+  PassSet passes;
+  unsigned jobs = 0;  // 0 = hardware concurrency
+  fs::path cache_dir;
+  bool no_cache = false;
+  fs::path baseline;
+  bool baseline_diff = false;
+  fs::path write_baseline_path;
 };
 
 }  // namespace
@@ -992,14 +433,44 @@ int main(int argc, char** argv) {
       opt.self_test = true;
     } else if (arg == "--fixtures" && i + 1 < argc) {
       opt.fixtures = argv[++i];
+    } else if (arg == "--no-fixture-tree") {
+      opt.expect_tree = false;
     } else if (arg.rfind("--sarif=", 0) == 0) {
       opt.sarif = arg.substr(8);
+    } else if (arg.rfind("--passes=", 0) == 0) {
+      const std::string which = arg.substr(9);
+      if (which == "classic") {
+        opt.passes = {true, false};
+      } else if (which == "taint") {
+        opt.passes = {false, true};
+      } else if (which == "all") {
+        opt.passes = {true, true};
+      } else {
+        std::cerr << "unknown pass set: " << which
+                  << " (expected classic|taint|all)\n";
+        return 2;
+      }
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      opt.jobs = static_cast<unsigned>(std::stoul(arg.substr(7)));
+    } else if (arg.rfind("--cache=", 0) == 0) {
+      opt.cache_dir = arg.substr(8);
+    } else if (arg == "--no-cache") {
+      opt.no_cache = true;
+    } else if (arg == "--baseline" && i + 1 < argc) {
+      opt.baseline = argv[++i];
+    } else if (arg == "--baseline-diff") {
+      opt.baseline_diff = true;
+    } else if (arg == "--write-baseline" && i + 1 < argc) {
+      opt.write_baseline_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       std::cerr
-          << "usage: chronus_analyzer [--root DIR] [--manifest FILE] "
-             "[--sarif=FILE] [subdir...]\n"
-             "       chronus_analyzer --self-test --fixtures DIR "
-             "[--sarif=FILE]\n";
+          << "usage: chronus_analyzer [--root DIR] [--manifest FILE]\n"
+             "           [--passes=classic|taint|all] [--jobs=N]\n"
+             "           [--cache=DIR | --no-cache]\n"
+             "           [--baseline FILE [--baseline-diff]]\n"
+             "           [--write-baseline FILE] [--sarif=FILE] [subdir...]\n"
+             "       chronus_analyzer --self-test --fixtures DIR\n"
+             "           [--no-fixture-tree] [--sarif=FILE]\n";
       return 0;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown option: " << arg << "\n";
@@ -1008,36 +479,93 @@ int main(int argc, char** argv) {
       opt.subdirs.push_back(arg);
     }
   }
-  if (opt.self_test) return self_test(opt.fixtures, opt.sarif);
+  if (opt.self_test) return self_test(opt.fixtures, opt.sarif, opt.expect_tree);
 
   if (opt.subdirs.empty()) opt.subdirs = {"src"};
   if (opt.manifest.empty()) opt.manifest = opt.root / "tools/layering.toml";
-
-  const Manifest manifest = parse_manifest(opt.manifest);
-  if (!manifest.error.empty()) {
-    std::cerr << manifest.error << "\n";
-    return 2;
+  if (opt.jobs == 0) {
+    opt.jobs = std::max(1u, std::thread::hardware_concurrency());
+  }
+  if (opt.cache_dir.empty() && !opt.no_cache) {
+    opt.cache_dir = opt.root / ".cache" / "chronus_analyzer";
   }
 
-  const std::vector<SourceFile> files = load_tree(opt.root, opt.subdirs);
+  Manifest manifest;
+  if (opt.passes.classic) {
+    manifest = chronus_analyzer::parse_manifest(opt.manifest);
+    if (!manifest.error.empty()) {
+      std::cerr << manifest.error << "\n";
+      return 2;
+    }
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const AnalysisCache cache(opt.no_cache ? fs::path() : opt.cache_dir,
+                            opt.passes.config_string());
+  const std::vector<fs::path> paths = list_sources(opt.root, opt.subdirs);
+  const TreeScan scan =
+      scan_tree(opt.root, paths, opt.passes, cache, opt.jobs);
+
   std::vector<Finding> findings;
-  layering_pass(files, manifest, findings);
-  for (const SourceFile& f : files) {
-    lock_pass(f, findings);
-    determinism_pass(f, findings);
+  if (opt.passes.classic) {
+    chronus_analyzer::layering_pass(scan.facts, manifest, findings);
+  }
+  for (const FileFacts& f : scan.facts) {
+    findings.insert(findings.end(), f.findings.begin(), f.findings.end());
+  }
+  sort_findings(&findings);
+  const auto elapsed_ms =
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count();
+
+  if (!opt.write_baseline_path.empty()) {
+    if (!write_baseline(opt.write_baseline_path, count_findings(findings))) {
+      std::cerr << "cannot write baseline to " << opt.write_baseline_path
+                << "\n";
+      return 2;
+    }
+    std::cerr << "chronus_analyzer: baseline of " << findings.size()
+              << " finding(s) written to " << opt.write_baseline_path << "\n";
+    return 0;
+  }
+
+  std::vector<Finding> reported = findings;
+  if (opt.baseline_diff) {
+    BaselineCounts baseline;
+    if (!opt.baseline.empty()) {
+      std::string error;
+      if (!load_baseline(opt.baseline, &baseline, &error)) {
+        std::cerr << error << "\n";
+        return 2;
+      }
+    }
+    reported = diff_against_baseline(findings, baseline);
+    if (!reported.empty()) {
+      std::cerr << "chronus_analyzer: " << reported.size()
+                << " finding(s) beyond the baseline (" << findings.size()
+                << " total; groups above their baselined count are shown in "
+                   "full)\n";
+    }
   }
 
   if (!opt.sarif.empty() &&
-      !chronus_tools::write_sarif(opt.sarif, "chronus_analyzer",
-                                  rule_catalog(), to_sarif(findings))) {
+      !chronus_tools::write_findings_sarif(opt.sarif, "chronus_analyzer",
+                                           rule_catalog(), reported)) {
     std::cerr << "cannot write SARIF log to " << opt.sarif << "\n";
     return 2;
   }
-  if (findings.empty()) {
-    std::cerr << "chronus_analyzer: clean (" << files.size() << " files)\n";
+  if (reported.empty()) {
+    std::cerr << "chronus_analyzer: clean (" << scan.facts.size()
+              << " files, " << scan.cache_hits << " cache hits, "
+              << opt.jobs << " jobs, " << elapsed_ms << " ms"
+              << (opt.baseline_diff
+                      ? ", " + std::to_string(findings.size()) + " baselined"
+                      : "")
+              << ")\n";
     return 0;
   }
-  print_findings(findings, std::cerr);
-  std::cerr << findings.size() << " finding(s)\n";
+  chronus_tools::print_findings(reported, std::cerr);
+  std::cerr << reported.size() << " finding(s)\n";
   return 1;
 }

@@ -60,12 +60,10 @@ namespace fs = std::filesystem;
 
 namespace {
 
-struct Finding {
-  std::string file;  // path relative to the lint root
-  long line = 0;
-  std::string rule;
-  std::string message;
-};
+// The Finding struct, findings printer and rule-catalog type live in
+// tools/sarif.hpp, shared with chronus_analyzer.
+using chronus_tools::Finding;
+using chronus_tools::print_findings;
 
 struct Options {
   fs::path root;
@@ -75,8 +73,8 @@ struct Options {
   std::string sarif;
 };
 
-const std::map<std::string, std::string>& rule_catalog() {
-  static const std::map<std::string, std::string> kRules = {
+const chronus_tools::RuleCatalog& rule_catalog() {
+  static const chronus_tools::RuleCatalog kRules = {
       {"raw-unit",
        "unit-bearing quantity declared as raw double/float — use "
        "util::Demand / util::Capacity"},
@@ -340,13 +338,6 @@ std::vector<Finding> lint_tree(const fs::path& root,
   return findings;
 }
 
-void print_findings(const std::vector<Finding>& findings, std::ostream& os) {
-  for (const auto& f : findings) {
-    os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
-       << "\n";
-  }
-}
-
 /// Self-test: every fixture file whose name starts with "bad_" must
 /// produce at least one finding of the rule named between "bad_" and the
 /// next "__" (or the whole stem); files starting with "good_" must be
@@ -433,17 +424,11 @@ int main(int argc, char** argv) {
   if (opt.subdirs.empty()) opt.subdirs = {"src"};
 
   const auto findings = lint_tree(opt.root, opt.subdirs);
-  if (!opt.sarif.empty()) {
-    std::vector<chronus_tools::SarifResult> results;
-    results.reserve(findings.size());
-    for (const auto& f : findings) {
-      results.push_back({f.rule, f.file, f.line, f.message});
-    }
-    if (!chronus_tools::write_sarif(opt.sarif, "chronus_lint", rule_catalog(),
-                                    results)) {
-      std::cerr << "cannot write SARIF log to " << opt.sarif << "\n";
-      return 2;
-    }
+  if (!opt.sarif.empty() &&
+      !chronus_tools::write_findings_sarif(opt.sarif, "chronus_lint",
+                                           rule_catalog(), findings)) {
+    std::cerr << "cannot write SARIF log to " << opt.sarif << "\n";
+    return 2;
   }
   if (findings.empty()) {
     std::cerr << "chronus_lint: clean\n";

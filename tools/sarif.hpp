@@ -10,6 +10,7 @@
 
 #include <fstream>
 #include <map>
+#include <ostream>
 #include <string>
 #include <vector>
 
@@ -21,6 +22,29 @@ struct SarifResult {
   long line = 0;
   std::string message;
 };
+
+/// The finding currency shared by chronus_lint and chronus_analyzer: both
+/// tools used to hand-roll an identical struct plus the printing and
+/// SARIF-conversion plumbing around it; this is the single home now.
+struct Finding {
+  std::string file;  // path relative to the analysis root
+  long line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Rule id -> one-line description. The catalog doubles as the SARIF rule
+/// metadata (rules that never fired are still listed so the viewer can
+/// show the full gate) and as the `--help` rule listing.
+using RuleCatalog = std::map<std::string, std::string>;
+
+inline void print_findings(const std::vector<Finding>& findings,
+                           std::ostream& os) {
+  for (const auto& f : findings) {
+    os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+       << "\n";
+  }
+}
 
 inline std::string sarif_escape(const std::string& s) {
   std::string out;
@@ -93,6 +117,20 @@ inline bool write_sarif(const std::string& path, const std::string& tool,
   }
   out << "\n      ]\n    }\n  ]\n}\n";
   return out.good();
+}
+
+/// The Finding-typed front door both tools call: converts to SarifResult
+/// rows and writes the single-run log with the catalog as rule metadata.
+inline bool write_findings_sarif(const std::string& path,
+                                 const std::string& tool,
+                                 const RuleCatalog& catalog,
+                                 const std::vector<Finding>& findings) {
+  std::vector<SarifResult> results;
+  results.reserve(findings.size());
+  for (const auto& f : findings) {
+    results.push_back({f.rule, f.file, f.line, f.message});
+  }
+  return write_sarif(path, tool, catalog, results);
 }
 
 }  // namespace chronus_tools
