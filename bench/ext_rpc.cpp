@@ -59,6 +59,11 @@ int main(int argc, char** argv) {
   auto metrics = bench::metrics_from_cli(cli, "ext_rpc");
   bench::reject_unknown_flags(cli);
   if (json) {
+    // Trajectory declaration (tests/bench_schema_test.cpp): every row is
+    // deterministic except the *_wall_us columns, which the CI comparison
+    // strips by that naming convention; the rest carries a zero band.
+    json->meta("schema", std::string("bench-trajectory-v1"));
+    json->meta("noise_band_pct", std::int64_t{0});
     json->meta("requests", static_cast<std::int64_t>(requests));
     json->meta("workers", static_cast<std::int64_t>(workers));
     json->meta("seed", static_cast<std::int64_t>(seed));

@@ -30,6 +30,11 @@ int main(int argc, char** argv) {
   auto metrics = bench::metrics_from_cli(cli, "ext_service");
   bench::reject_unknown_flags(cli);
   if (json) {
+    // Trajectory declaration (tests/bench_schema_test.cpp): the rows are
+    // virtual-time quantities from fixed seeds, so the CI gate compares
+    // them exactly — a zero noise band.
+    json->meta("schema", std::string("bench-trajectory-v1"));
+    json->meta("noise_band_pct", std::int64_t{0});
     json->meta("requests", static_cast<std::int64_t>(requests));
     json->meta("workers", static_cast<std::int64_t>(workers));
     json->meta("rescue_sites", static_cast<std::int64_t>(rescue));

@@ -9,8 +9,12 @@
 #include "core/greedy_scheduler.hpp"
 #include "core/loop_check.hpp"
 #include "net/generators.hpp"
+#include "opt/mutp_bnb.hpp"
 #include "opt/order_bnb.hpp"
+#include "timenet/path_enum.hpp"
+#include "timenet/time_extended.hpp"
 #include "timenet/verifier.hpp"
+#include "util/arena.hpp"
 
 using namespace chronus;
 
@@ -111,6 +115,89 @@ void BM_OrderPlanGreedy(benchmark::State& state) {
 }
 BENCHMARK(BM_OrderPlanGreedy)->Arg(10)->Arg(100);
 
+// ---- allocator trajectory families ----------------------------------------
+// Each family below runs the identical workload under both backings
+// (arena:0 = legacy heap, arena:1 = bump arena). The CI bench-smoke job
+// pairs the two variants from the same run — machine speed cancels — and
+// enforces the speedup floor declared in the custom context below.
+
+util::ScopedArenaBacking backing_for(const benchmark::State& state,
+                                     int arg_index) {
+  return util::ScopedArenaBacking(state.range(arg_index) != 0
+                                      ? util::ArenaBacking::kArena
+                                      : util::ArenaBacking::kHeap);
+}
+
+void BM_TimeExtendedBuild(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)), 8);
+  const auto backing = backing_for(state, 1);
+  for (auto _ : state) {
+    timenet::TimeExtendedNetwork gt(inst.graph(), timenet::TimePoint{0},
+                                    timenet::TimePoint{7});
+    benchmark::DoNotOptimize(gt.link_count());
+  }
+}
+BENCHMARK(BM_TimeExtendedBuild)
+    ->ArgNames({"n", "arena"})
+    ->Args({40, 0})->Args({40, 1})
+    ->Args({200, 0})->Args({200, 1});
+
+void BM_PathEnum(benchmark::State& state) {
+  const auto inst = make_instance(30, 9);
+  const auto backing = backing_for(state, 0);
+  timenet::EnumerateOptions opts;
+  opts.t_end = timenet::TimePoint{8};
+  opts.max_paths = 4096;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(timenet::enumerate_timed_paths(
+        inst.graph(), inst.p_init().front(), timenet::TimePoint{0},
+        inst.p_init().back(), opts));
+  }
+}
+BENCHMARK(BM_PathEnum)->ArgNames({"arena"})->Arg(0)->Arg(1);
+
+void BM_MutpPlan(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)), 10);
+  const auto backing = backing_for(state, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt::solve_mutp(inst));
+  }
+}
+// Paired for trajectory visibility but NOT in the gated family list: the
+// MUTP search is dominated by TransitionState::try_update (the
+// incremental verifier, still heap-backed), so its arena speedup is
+// Amdahl-bound near 1.0x until that layer is converted (EXPERIMENTS.md).
+BENCHMARK(BM_MutpPlan)->ArgNames({"n", "arena"})->Args({12, 0})->Args({12, 1});
+
+void BM_OrderPlanExact(benchmark::State& state) {
+  const auto inst = make_instance(static_cast<std::size_t>(state.range(0)), 11);
+  const auto backing = backing_for(state, 1);
+  opt::OrderOptions opts;
+  opts.exact_limit = 18;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(opt::solve_order_replacement(inst, opts));
+  }
+}
+BENCHMARK(BM_OrderPlanExact)
+    ->ArgNames({"n", "arena"})
+    ->Args({14, 0})->Args({14, 1});
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  // Trajectory declaration (tests/bench_schema_test.cpp validates it, CI
+  // bench-smoke enforces it): wall timings on shared runners are noisy, so
+  // the gate requires paired arena speedups of at least
+  // min_speedup * (1 - noise_band), not the raw floor.
+  benchmark::AddCustomContext("chronus_schema", "bench-trajectory-v1");
+  benchmark::AddCustomContext("chronus_noise_band_pct", "25");
+  benchmark::AddCustomContext("chronus_arena_min_speedup", "1.3");
+  benchmark::AddCustomContext(
+      "chronus_arena_families",
+      "BM_TimeExtendedBuild,BM_PathEnum,BM_OrderPlanExact");
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,105 @@
+// Arena-backed search-state vocabulary shared by the two branch-and-bound
+// solvers (mutp_bnb.cpp, order_bnb.cpp).
+//
+// Both searches are written once as templates over a traits bundle; the
+// heap traits keep the original std::set / std::map / ostringstream state
+// (the CHRONUS_ARENA=off escape hatch) while the arena traits swap in the
+// flat structures below. The differential harness
+// (tests/planner_differential_test.cpp) holds the two instantiations to
+// bit-identical schedules and logical metrics.
+//
+// Encoding note: the arena memo keys are fixed-width little-endian binary
+// (append_u32/append_u64) where the heap memo keys are decimal text. Both
+// encodings are injective on the same underlying tuples, so two states
+// collide under one encoding iff they collide under the other — the memo
+// hit sequence, and with it every search counter, is identical.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <utility>
+
+#include "net/graph.hpp"
+#include "util/arena.hpp"
+#include "util/contracts.hpp"
+
+namespace chronus::opt::arena_search {
+
+/// A sorted flat node set: ascending iteration like std::set, but erase
+/// and (re)insert are memmoves inside one bump-allocated buffer. The
+/// search only ever re-inserts previously erased elements, so capacity is
+/// reserved once and never grows mid-search.
+class SortedNodeVec {
+ public:
+  explicit SortedNodeVec(util::Arena* arena)
+      : v_(util::ArenaAllocator<net::NodeId>(arena)) {}
+
+  template <typename It>
+  void assign_sorted(It first, It last) {
+    v_.assign(first, last);
+    CHRONUS_EXPECTS(std::is_sorted(v_.begin(), v_.end()),
+                    "SortedNodeVec::assign_sorted needs ascending input");
+  }
+
+  void insert(net::NodeId x) {
+    v_.insert(std::lower_bound(v_.begin(), v_.end(), x), x);
+  }
+  void erase(net::NodeId x) {
+    const auto it = std::lower_bound(v_.begin(), v_.end(), x);
+    if (it != v_.end() && *it == x) v_.erase(it);
+  }
+
+  bool empty() const { return v_.empty(); }
+  std::size_t size() const { return v_.size(); }
+  auto begin() const { return v_.begin(); }
+  auto end() const { return v_.end(); }
+
+ private:
+  util::ArenaVector<net::NodeId> v_;
+};
+
+/// Flat membership mask over dense node ids.
+class NodeMask {
+ public:
+  NodeMask(util::Arena* arena, std::size_t node_count)
+      : m_(node_count, 0, util::ArenaAllocator<unsigned char>(arena)) {}
+
+  void insert(net::NodeId v) { m_[v] = 1; }
+  void erase(net::NodeId v) { m_[v] = 0; }
+  bool contains(net::NodeId v) const { return m_[v] != 0; }
+
+ private:
+  util::ArenaVector<unsigned char> m_;
+};
+
+/// Fixed-width binary key fragments (see encoding note above).
+inline void append_u32(util::ArenaString& s, std::uint32_t v) {
+  char b[sizeof(v)];
+  std::memcpy(b, &v, sizeof(v));
+  s.append(b, sizeof(v));
+}
+inline void append_u64(util::ArenaString& s, std::uint64_t v) {
+  char b[sizeof(v)];
+  std::memcpy(b, &v, sizeof(v));
+  s.append(b, sizeof(v));
+}
+
+/// Section separator inside binary keys: never a valid node id.
+inline constexpr std::uint32_t kKeySeparator =
+    static_cast<std::uint32_t>(net::kInvalidNode);
+
+/// Placement-construct a T inside the arena and return its (stable)
+/// address. The object's destructor never runs — its memory is released
+/// wholesale when the arena dies — so T must only own arena-backed
+/// resources. Used for pool slots whose addresses must survive pool
+/// growth (a plain vector-of-T pool would invalidate references held by
+/// shallower recursion frames on reallocation).
+template <typename T, typename... Args>
+T* arena_new(util::Arena* arena, Args&&... args) {
+  util::ArenaAllocator<T> alloc(arena);
+  T* p = alloc.allocate(1);
+  return ::new (static_cast<void*>(p)) T(std::forward<Args>(args)...);
+}
+
+}  // namespace chronus::opt::arena_search

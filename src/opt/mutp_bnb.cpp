@@ -3,13 +3,19 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <memory>
 #include <set>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "opt/arena_search.hpp"
 #include "timenet/transition_state.hpp"
 #include "timenet/verifier.hpp"
+#include "util/arena.hpp"
 #include "util/stopwatch.hpp"
 
 namespace chronus::opt {
@@ -25,12 +31,129 @@ bool is_clean(const net::UpdateInstance& inst,
   return !report.aborted && report.ok();
 }
 
+// ---------------------------------------------------------------------------
+// Search-state traits. The branch-and-bound below is written once, as a
+// template over this bundle; HeapTraits keeps the original std::set /
+// std::map<std::string> / ostringstream state (the CHRONUS_ARENA=off
+// escape hatch), ArenaTraits swaps in bump-allocated flat structures and
+// binary memo keys. Identical control flow by construction; identical
+// memo behaviour because both key encodings are injective on the same
+// tuples (see arena_search.hpp).
+
+struct HeapTraits {
+  // chronus-analyzer: allow(hot-alloc) — escape-hatch state, heap on purpose
+  using Pending = std::set<net::NodeId>;
+  // chronus-analyzer: allow(hot-alloc)
+  using CandVec = std::vector<net::NodeId>;
+
+  // Pool slots are held by pointer so the reference a recursion frame
+  // keeps across deeper calls survives pool growth.
+  struct CandPool {
+    // chronus-analyzer: allow(hot-alloc)
+    std::vector<std::unique_ptr<CandVec>> pool;
+    CandVec& at_depth(std::size_t d) {
+      // chronus-analyzer: allow(hot-alloc)
+      while (d >= pool.size()) pool.push_back(std::make_unique<CandVec>());
+      pool[d]->clear();
+      return *pool[d];
+    }
+  };
+
+  struct Memo {
+    std::int64_t drain = 0;
+    // chronus-analyzer: allow(hot-alloc)
+    std::map<std::string, timenet::TimePoint> memo;
+
+    /// True if an at-least-as-early visit of this state is memoized;
+    /// records the visit otherwise.
+    bool probe(timenet::TimePoint t, const timenet::UpdateSchedule& sched,
+               const Pending& pending) {
+      // chronus-analyzer: allow(hot-alloc)
+      std::ostringstream os;
+      for (const net::NodeId v : pending) os << v << ',';
+      os << ';';
+      // Updates older than the drain bound cannot influence any class that
+      // is still in flight; only the recent update pattern (relative to t)
+      // matters for the remaining subproblem.
+      for (const auto& [v, tv] : sched.entries()) {
+        if (tv >= t - drain) os << v << ':' << (t - tv) << ',';
+      }
+      const std::string key = os.str();
+      const auto it = memo.find(key);
+      if (it != memo.end() && it->second <= t) return true;
+      memo[key] = t;
+      return false;
+    }
+  };
+};
+
+struct ArenaTraits {
+  using Pending = arena_search::SortedNodeVec;
+  using CandVec = util::ArenaVector<net::NodeId>;
+
+  // Pool slots are arena_new'd so their addresses survive pool growth
+  // (see HeapTraits::CandPool).
+  struct CandPool {
+    util::Arena* arena;
+    util::ArenaVector<CandVec*> pool;
+
+    explicit CandPool(util::Arena* a)
+        : arena(a), pool(util::ArenaAllocator<CandVec*>(a)) {}
+    CandVec& at_depth(std::size_t d) {
+      while (d >= pool.size()) {
+        pool.push_back(arena_search::arena_new<CandVec>(
+            arena, util::ArenaAllocator<net::NodeId>(arena)));
+      }
+      pool[d]->clear();
+      return *pool[d];
+    }
+  };
+
+  struct Memo {
+    std::int64_t drain = 0;
+    util::ArenaString key;  // reused scratch; contents rebuilt per probe
+    std::map<util::ArenaString, timenet::TimePoint,
+             std::less<util::ArenaString>,
+             util::ArenaAllocator<
+                 std::pair<const util::ArenaString, timenet::TimePoint>>>
+        memo;
+
+    explicit Memo(util::Arena* a)
+        : key(util::ArenaAllocator<char>(a)),
+          memo(std::less<util::ArenaString>(),
+               util::ArenaAllocator<
+                   std::pair<const util::ArenaString, timenet::TimePoint>>(
+                   a)) {}
+
+    bool probe(timenet::TimePoint t, const timenet::UpdateSchedule& sched,
+               const Pending& pending) {
+      key.clear();
+      for (const net::NodeId v : pending) arena_search::append_u32(key, v);
+      arena_search::append_u32(key, arena_search::kKeySeparator);
+      for (const auto& [v, tv] : sched.entries()) {
+        if (tv >= t - drain) {
+          arena_search::append_u32(key, v);
+          arena_search::append_u64(key, static_cast<std::uint64_t>(t - tv));
+        }
+      }
+      const auto it = memo.find(key);
+      if (it != memo.end()) {
+        if (it->second <= t) return true;
+        it->second = t;
+        return false;
+      }
+      memo.emplace(key, t);
+      return false;
+    }
+  };
+};
+
+template <typename Traits>
 struct Search {
   const net::UpdateInstance* inst = nullptr;
   timenet::TransitionState* state = nullptr;
   util::Deadline deadline{0};
   int max_candidates = 16;
-  std::int64_t drain = 0;
 
   std::int64_t incumbent = std::numeric_limits<std::int64_t>::max();
   timenet::UpdateSchedule best;
@@ -44,29 +167,22 @@ struct Search {
   // excluded so mutp.nodes_visited >= mutp.incumbent_updates always holds
   // (property-tested in tests/property_test.cpp).
   std::uint64_t incumbent_updates = 0;
-  std::map<std::string, timenet::TimePoint> memo;
+  typename Traits::Memo memo;
+  typename Traits::CandPool cands;
 
-  void dfs(timenet::TimePoint t, std::set<net::NodeId>& pending);
-  void branch(timenet::TimePoint t, std::set<net::NodeId>& pending,
-              const std::vector<net::NodeId>& cand, std::size_t idx);
+  Search(typename Traits::Memo m, typename Traits::CandPool c)
+      : memo(std::move(m)), cands(std::move(c)) {}
 
-  std::string state_key(timenet::TimePoint t,
-                        const timenet::UpdateSchedule& sched,
-                        const std::set<net::NodeId>& pending) const {
-    std::ostringstream os;
-    for (const net::NodeId v : pending) os << v << ',';
-    os << ';';
-    // Updates older than the drain bound cannot influence any class that is
-    // still in flight; only the recent update pattern (relative to t)
-    // matters for the remaining subproblem.
-    for (const auto& [v, tv] : sched.entries()) {
-      if (tv >= t - drain) os << v << ':' << (t - tv) << ',';
-    }
-    return os.str();
-  }
+  void dfs(timenet::TimePoint t, std::size_t depth,
+           typename Traits::Pending& pending);
+  void branch(timenet::TimePoint t, std::size_t depth,
+              typename Traits::Pending& pending,
+              const typename Traits::CandVec& cand, std::size_t idx);
 };
 
-void Search::dfs(timenet::TimePoint t, std::set<net::NodeId>& pending) {
+template <typename Traits>
+void Search<Traits>::dfs(timenet::TimePoint t, std::size_t depth,
+                         typename Traits::Pending& pending) {
   if (timed_out || deadline.expired()) {
     timed_out = true;
     return;
@@ -90,15 +206,12 @@ void Search::dfs(timenet::TimePoint t, std::set<net::NodeId>& pending) {
     return;
   }
 
-  const std::string key = state_key(t, sched, pending);
-  const auto it = memo.find(key);
-  if (it != memo.end() && it->second <= t) {
+  if (memo.probe(t, sched, pending)) {
     ++memo_hits;
     return;
   }
-  memo[key] = t;
 
-  std::vector<net::NodeId> cand;
+  typename Traits::CandVec& cand = cands.at_depth(depth);
   for (const net::NodeId v : pending) {
     if (deadline.expired()) {  // candidate checks dominate at large n
       timed_out = true;
@@ -113,11 +226,14 @@ void Search::dfs(timenet::TimePoint t, std::set<net::NodeId>& pending) {
     truncated = true;
     cand.resize(static_cast<std::size_t>(max_candidates));
   }
-  branch(t, pending, cand, 0);
+  branch(t, depth, pending, cand, 0);
 }
 
-void Search::branch(timenet::TimePoint t, std::set<net::NodeId>& pending,
-                    const std::vector<net::NodeId>& cand, std::size_t idx) {
+template <typename Traits>
+void Search<Traits>::branch(timenet::TimePoint t, std::size_t depth,
+                            typename Traits::Pending& pending,
+                            const typename Traits::CandVec& cand,
+                            std::size_t idx) {
   if (timed_out || deadline.expired()) {
     timed_out = true;
     return;
@@ -125,7 +241,7 @@ void Search::branch(timenet::TimePoint t, std::set<net::NodeId>& pending,
   if (idx == cand.size()) {
     // Waiting before the very first update only shifts the schedule; skip.
     if (state->schedule().empty()) return;
-    dfs(t + 1, pending);
+    dfs(t + 1, depth + 1, pending);
     return;
   }
   const net::NodeId v = cand[idx];
@@ -133,11 +249,103 @@ void Search::branch(timenet::TimePoint t, std::set<net::NodeId>& pending,
   // maximizing per-step parallelism finds strong incumbents early.
   if (state->try_update(v, t)) {
     pending.erase(v);
-    branch(t, pending, cand, idx + 1);
+    branch(t, depth, pending, cand, idx + 1);
     pending.insert(v);
     state->undo();
   }
-  branch(t, pending, cand, idx + 1);
+  branch(t, depth, pending, cand, idx + 1);
+}
+
+/// What solve_mutp needs back from either instantiation.
+struct SearchOutcome {
+  std::int64_t incumbent = 0;
+  timenet::UpdateSchedule best;
+  bool found = false;
+  bool timed_out = false;
+  bool truncated = false;
+  std::uint64_t nodes = 0;
+  std::uint64_t prunes = 0;
+  std::uint64_t memo_hits = 0;
+  std::uint64_t incumbent_updates = 0;
+};
+
+struct SearchSeed {
+  bool found = false;
+  timenet::UpdateSchedule best;
+  std::int64_t incumbent = 0;
+  std::int64_t drain = 0;
+};
+
+template <typename Traits>
+SearchOutcome finish(Search<Traits>& s) {
+  SearchOutcome o;
+  o.incumbent = s.incumbent;
+  o.best = std::move(s.best);
+  o.found = s.found;
+  o.timed_out = s.timed_out;
+  o.truncated = s.truncated;
+  o.nodes = s.nodes;
+  o.prunes = s.prunes;
+  o.memo_hits = s.memo_hits;
+  o.incumbent_updates = s.incumbent_updates;
+  return o;
+}
+
+template <typename Traits>
+void seed_search(Search<Traits>& s, const net::UpdateInstance& inst,
+                 const MutpOptions& opts, const SearchSeed& seed) {
+  s.inst = &inst;
+  s.deadline = util::Deadline(opts.timeout_sec);
+  s.max_candidates = opts.max_candidates_exact;
+  s.memo.drain = seed.drain;
+  s.found = seed.found;
+  s.best = seed.best;
+  s.incumbent = seed.incumbent;
+}
+
+SearchOutcome search_heap(const net::UpdateInstance& inst,
+                          const MutpOptions& opts,
+                          const std::vector<net::NodeId>& to_update,
+                          const SearchSeed& seed) {
+  Search<HeapTraits> s{HeapTraits::Memo{}, HeapTraits::CandPool{}};
+  seed_search(s, inst, opts, seed);
+  timenet::TransitionState state(inst);
+  s.state = &state;
+  // chronus-analyzer: allow(hot-alloc)
+  std::set<net::NodeId> pending(to_update.begin(), to_update.end());
+  if (s.deadline.expired()) {
+    s.timed_out = true;  // the incumbent phase already consumed the budget
+  } else {
+    s.dfs(timenet::TimePoint{0}, 0, pending);
+  }
+  return finish(s);
+}
+
+SearchOutcome search_arena(const net::UpdateInstance& inst,
+                           const MutpOptions& opts,
+                           const std::vector<net::NodeId>& to_update,
+                           const SearchSeed& seed) {
+  util::Arena arena;
+  util::ArenaScope claim(arena);
+  Search<ArenaTraits> s{ArenaTraits::Memo(&arena),
+                        ArenaTraits::CandPool(&arena)};
+  seed_search(s, inst, opts, seed);
+  timenet::TransitionState state(inst);
+  s.state = &state;
+  ArenaTraits::Pending pending(&arena);
+  pending.assign_sorted(to_update.begin(), to_update.end());
+  if (s.deadline.expired()) {
+    s.timed_out = true;  // the incumbent phase already consumed the budget
+  } else {
+    s.dfs(timenet::TimePoint{0}, 0, pending);
+  }
+  SearchOutcome o = finish(s);
+  const util::ArenaStats& st = arena.stats();
+  obs::add("arena.mutp.bytes", st.bytes_requested);
+  obs::add("arena.mutp.allocs", st.allocs);
+  obs::add("arena.mutp.chunks", st.chunks);
+  obs::add("arena.mutp.high_water", st.high_water);
+  return o;
 }
 
 }  // namespace
@@ -155,11 +363,8 @@ MutpResult solve_mutp(const net::UpdateInstance& inst,
   }
 
   const net::Graph& g = inst.graph();
-  Search s;
-  s.inst = &inst;
-  s.deadline = util::Deadline(opts.timeout_sec);
-  s.max_candidates = opts.max_candidates_exact;
-  s.drain = static_cast<std::int64_t>(g.node_count() + 2) * g.max_delay();
+  SearchSeed seed;
+  seed.drain = static_cast<std::int64_t>(g.node_count() + 2) * g.max_delay();
 
   // Greedy incumbent: bounds the search and survives timeouts. The pure
   // (unguarded) greedy is tried first — it is the only variant that scales
@@ -183,24 +388,20 @@ MutpResult solve_mutp(const net::UpdateInstance& inst,
   }
   if (greedy.feasible() &&
       (fast_clean || is_clean(inst, greedy.schedule, validate_budget))) {
-    s.found = true;
-    s.best = greedy.schedule;
-    s.incumbent =
+    seed.found = true;
+    seed.best = greedy.schedule;
+    seed.incumbent =
         greedy.schedule.empty() ? 0 : greedy.schedule.last_time().count() + 1;
   } else {
     // Horizon cap: beyond this every in-flight class has drained twice over;
     // a schedule longer than it gains nothing.
-    s.incumbent = 2 * s.drain + static_cast<std::int64_t>(to_update.size()) + 2;
+    seed.incumbent =
+        2 * seed.drain + static_cast<std::int64_t>(to_update.size()) + 2;
   }
 
-  timenet::TransitionState state(inst);
-  s.state = &state;
-  std::set<net::NodeId> pending(to_update.begin(), to_update.end());
-  if (s.deadline.expired()) {
-    s.timed_out = true;  // the incumbent phase already consumed the budget
-  } else {
-    s.dfs(timenet::TimePoint{0}, pending);
-  }
+  const SearchOutcome s = util::arena_enabled()
+                              ? search_arena(inst, opts, to_update, seed)
+                              : search_heap(inst, opts, to_update, seed);
 
   obs::add("mutp.calls");
   obs::add("mutp.nodes_visited", s.nodes);

@@ -3,10 +3,16 @@
 #include <algorithm>
 #include <limits>
 #include <map>
+#include <memory>
 #include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "obs/metrics.hpp"
 #include "obs/span.hpp"
+#include "opt/arena_search.hpp"
+#include "util/arena.hpp"
 #include "util/stopwatch.hpp"
 
 namespace chronus::opt {
@@ -14,7 +20,10 @@ namespace chronus::opt {
 namespace {
 
 /// Cycle check on the union graph (see header). Each switch contributes at
-/// most two outgoing edges, so this is O(V).
+/// most two outgoing edges, so this is O(V). This map-based form is the
+/// public round_is_loop_safe implementation and the CHRONUS_ARENA=off
+/// search backend; the arena search uses FlatLoopCheck below (same
+/// verdicts, flat epoch-stamped arrays instead of per-call maps).
 bool union_graph_acyclic(const net::UpdateInstance& inst,
                          const std::set<net::NodeId>& updated,
                          const std::set<net::NodeId>& round) {
@@ -60,76 +69,431 @@ bool union_graph_acyclic(const net::UpdateInstance& inst,
   return true;
 }
 
+/// The arena search's union-graph cycle check: next-hop functions and the
+/// touched-node set are flattened once per search, and every safe() call
+/// reuses epoch-stamped color/adjacency arrays — no per-call allocation,
+/// no tree lookups. Verdict-identical to union_graph_acyclic (both decide
+/// acyclicity of the same union graph; held together by the differential
+/// harness).
+class FlatLoopCheck {
+ public:
+  FlatLoopCheck(util::Arena* arena, const net::UpdateInstance& inst)
+      : nodes_(util::ArenaAllocator<net::NodeId>(arena)),
+        old_nx_(util::ArenaAllocator<net::NodeId>(arena)),
+        new_nx_(util::ArenaAllocator<net::NodeId>(arena)),
+        stamp_(util::ArenaAllocator<std::uint64_t>(arena)),
+        color_(util::ArenaAllocator<unsigned char>(arena)),
+        out_(util::ArenaAllocator<net::NodeId>(arena)),
+        out_n_(util::ArenaAllocator<unsigned char>(arena)),
+        stack_(util::ArenaAllocator<Frame>(arena)) {
+    const std::size_t n = inst.graph().node_count();
+    const auto touched = inst.touched_nodes();
+    nodes_.assign(touched.begin(), touched.end());
+    old_nx_.assign(n, net::kInvalidNode);
+    new_nx_.assign(n, net::kInvalidNode);
+    for (const net::NodeId v : nodes_) {
+      if (const auto on = inst.old_next(v)) old_nx_[v] = *on;
+      if (const auto nn = inst.new_next(v)) new_nx_[v] = *nn;
+    }
+    stamp_.assign(n, 0);
+    color_.assign(n, 0);
+    out_.assign(2 * n, net::kInvalidNode);
+    out_n_.assign(n, 0);
+    stack_.reserve(nodes_.size());
+  }
+
+  /// Acyclicity with `round` membership decided by any predicate.
+  template <typename Updated, typename RoundContains>
+  bool safe_with(const Updated& updated, RoundContains in_round) {
+    ++epoch_;
+    for (const net::NodeId v : nodes_) {
+      stamp_[v] = epoch_;
+      color_[v] = 0;
+      unsigned char cnt = 0;
+      const net::NodeId on = old_nx_[v];
+      const net::NodeId nn = new_nx_[v];
+      if (updated.contains(v)) {
+        if (nn != net::kInvalidNode) out_[2 * v + cnt++] = nn;
+      } else if (in_round(v)) {
+        if (on != net::kInvalidNode) out_[2 * v + cnt++] = on;
+        if (nn != net::kInvalidNode && (on == net::kInvalidNode || nn != on)) {
+          out_[2 * v + cnt++] = nn;
+        }
+      } else {
+        if (on != net::kInvalidNode) out_[2 * v + cnt++] = on;
+      }
+      out_n_[v] = cnt;
+    }
+    for (const net::NodeId start : nodes_) {
+      if (color_[start] != 0) continue;
+      stack_.clear();
+      stack_.push_back(Frame{start, 0});
+      color_[start] = 1;
+      while (!stack_.empty()) {
+        Frame& f = stack_.back();
+        if (f.i >= out_n_[f.v]) {
+          color_[f.v] = 2;
+          stack_.pop_back();
+          continue;
+        }
+        const net::NodeId w = out_[2 * f.v + f.i++];
+        if (stamp_[w] != epoch_) continue;  // sink: not a touched node
+        const unsigned char c = color_[w];
+        if (c == 1) return false;
+        if (c == 0) {
+          color_[w] = 1;
+          stack_.push_back(Frame{w, 0});
+        }
+      }
+    }
+    return true;
+  }
+
+ private:
+  struct Frame {
+    net::NodeId v;
+    unsigned char i;
+  };
+
+  util::ArenaVector<net::NodeId> nodes_;
+  util::ArenaVector<net::NodeId> old_nx_;
+  util::ArenaVector<net::NodeId> new_nx_;
+  util::ArenaVector<std::uint64_t> stamp_;
+  util::ArenaVector<unsigned char> color_;
+  util::ArenaVector<net::NodeId> out_;
+  util::ArenaVector<unsigned char> out_n_;
+  util::ArenaVector<Frame> stack_;
+  std::uint64_t epoch_ = 0;
+};
+
+/// A round under construction: sorted flat vector plus membership mask.
+/// branch() inserts candidates in ascending order and erases in LIFO
+/// order, so push_back/pop_back keep the vector sorted — iteration
+/// matches the std::set round of the heap backend exactly.
+class RoundVec {
+ public:
+  RoundVec(util::Arena* arena, std::size_t node_count)
+      : v_(util::ArenaAllocator<net::NodeId>(arena)),
+        mask_(arena, node_count) {}
+
+  void insert(net::NodeId v) {
+    CHRONUS_EXPECTS(v_.empty() || v_.back() < v,
+                    "RoundVec inserts must be ascending");
+    v_.push_back(v);
+    mask_.insert(v);
+  }
+  void erase(net::NodeId v) {
+    CHRONUS_EXPECTS(!v_.empty() && v_.back() == v,
+                    "RoundVec erases must be LIFO");
+    mask_.erase(v);
+    v_.pop_back();
+  }
+  void clear() {
+    for (const net::NodeId v : v_) mask_.erase(v);
+    v_.clear();
+  }
+
+  bool contains(net::NodeId v) const { return mask_.contains(v); }
+  bool empty() const { return v_.empty(); }
+  auto begin() const { return v_.begin(); }
+  auto end() const { return v_.end(); }
+
+ private:
+  util::ArenaVector<net::NodeId> v_;
+  arena_search::NodeMask mask_;
+};
+
+// ---------------------------------------------------------------------------
+// Search-state traits: the branch-and-bound is one template; the heap
+// bundle keeps the original std::set / std::map<std::string> state (the
+// CHRONUS_ARENA=off escape hatch), the arena bundle swaps in the flat
+// structures. See mutp_bnb.cpp for the shared reasoning.
+
+struct HeapTraits {
+  // chronus-analyzer: allow(hot-alloc) — escape-hatch state, heap on purpose
+  using Pending = std::set<net::NodeId>;
+  // chronus-analyzer: allow(hot-alloc)
+  using Updated = std::set<net::NodeId>;
+  // chronus-analyzer: allow(hot-alloc)
+  using CandVec = std::vector<net::NodeId>;
+  // chronus-analyzer: allow(hot-alloc)
+  using Round = std::set<net::NodeId>;
+
+  // Pool slots are held by pointer so the reference a recursion frame
+  // keeps across deeper calls survives pool growth.
+  struct CandPool {
+    // chronus-analyzer: allow(hot-alloc)
+    std::vector<std::unique_ptr<CandVec>> pool;
+    CandVec& at_depth(std::size_t d) {
+      // chronus-analyzer: allow(hot-alloc)
+      while (d >= pool.size()) pool.push_back(std::make_unique<CandVec>());
+      pool[d]->clear();
+      return *pool[d];
+    }
+  };
+
+  struct RoundPool {
+    // chronus-analyzer: allow(hot-alloc)
+    std::vector<std::unique_ptr<Round>> pool;
+    Round& at_depth(std::size_t d) {
+      // chronus-analyzer: allow(hot-alloc)
+      while (d >= pool.size()) pool.push_back(std::make_unique<Round>());
+      pool[d]->clear();
+      return *pool[d];
+    }
+  };
+
+  struct Rounds {
+    // chronus-analyzer: allow(hot-alloc)
+    std::vector<std::vector<net::NodeId>> rounds;
+    template <typename RoundT>
+    void push(const RoundT& r) {
+      rounds.emplace_back(r.begin(), r.end());
+    }
+    void pop() { rounds.pop_back(); }
+    std::size_t size() const { return rounds.size(); }
+    std::vector<std::vector<net::NodeId>> snapshot() const { return rounds; }
+  };
+
+  struct Memo {
+    // chronus-analyzer: allow(hot-alloc)
+    std::map<std::string, std::size_t> memo;  // pending-set -> fewest rounds
+
+    template <typename PendingT>
+    bool probe(const PendingT& pending, std::size_t used) {
+      // chronus-analyzer: allow(hot-alloc)
+      std::ostringstream os;
+      for (const net::NodeId v : pending) os << v << ',';
+      const std::string key = os.str();
+      const auto it = memo.find(key);
+      if (it != memo.end() && it->second <= used) return true;
+      memo[key] = used;
+      return false;
+    }
+  };
+
+  struct LoopCheck {
+    const net::UpdateInstance* inst = nullptr;
+
+    bool safe(const Updated& updated, const Round& round) {
+      return round_is_loop_safe(*inst, updated, round);
+    }
+    bool safe_single(const Updated& updated, net::NodeId v) {
+      return round_is_loop_safe(*inst, updated, {v});
+    }
+  };
+
+  struct Bundle {
+    Memo memo;
+    LoopCheck loops;
+    CandPool cands;
+    RoundPool round_pool;
+    Rounds current;
+
+    explicit Bundle(const net::UpdateInstance& inst) { loops.inst = &inst; }
+  };
+};
+
+struct ArenaTraits {
+  using Pending = arena_search::SortedNodeVec;
+  using Updated = arena_search::NodeMask;
+  using CandVec = util::ArenaVector<net::NodeId>;
+  using Round = RoundVec;
+
+  // Pool slots are arena_new'd so their addresses survive pool growth
+  // (see HeapTraits::CandPool).
+  struct CandPool {
+    util::Arena* arena;
+    util::ArenaVector<CandVec*> pool;
+
+    explicit CandPool(util::Arena* a)
+        : arena(a), pool(util::ArenaAllocator<CandVec*>(a)) {}
+    CandVec& at_depth(std::size_t d) {
+      while (d >= pool.size()) {
+        pool.push_back(arena_search::arena_new<CandVec>(
+            arena, util::ArenaAllocator<net::NodeId>(arena)));
+      }
+      pool[d]->clear();
+      return *pool[d];
+    }
+  };
+
+  struct RoundPool {
+    util::Arena* arena;
+    std::size_t node_count;
+    util::ArenaVector<Round*> pool;
+
+    RoundPool(util::Arena* a, std::size_t n)
+        : arena(a), node_count(n), pool(util::ArenaAllocator<Round*>(a)) {}
+    Round& at_depth(std::size_t d) {
+      while (d >= pool.size()) {
+        pool.push_back(arena_search::arena_new<Round>(arena, arena,
+                                                      node_count));
+      }
+      pool[d]->clear();
+      return *pool[d];
+    }
+  };
+
+  /// Stack of completed rounds: per-depth slots are assigned in place so
+  /// a long search never grows the arena with dead round copies.
+  struct Rounds {
+    util::Arena* arena;
+    util::ArenaVector<util::ArenaVector<net::NodeId>*> pool;
+    std::size_t n = 0;
+
+    explicit Rounds(util::Arena* a)
+        : arena(a),
+          pool(util::ArenaAllocator<util::ArenaVector<net::NodeId>*>(a)) {}
+    template <typename RoundT>
+    void push(const RoundT& r) {
+      if (n == pool.size()) {
+        pool.push_back(
+            arena_search::arena_new<util::ArenaVector<net::NodeId>>(
+                arena, util::ArenaAllocator<net::NodeId>(arena)));
+      }
+      pool[n]->assign(r.begin(), r.end());
+      ++n;
+    }
+    void pop() { --n; }
+    std::size_t size() const { return n; }
+    std::vector<std::vector<net::NodeId>> snapshot() const {
+      std::vector<std::vector<net::NodeId>> out;
+      out.reserve(n);
+      for (std::size_t i = 0; i < n; ++i) {
+        out.emplace_back(pool[i]->begin(), pool[i]->end());
+      }
+      return out;
+    }
+  };
+
+  struct Memo {
+    util::ArenaString key;  // reused scratch; contents rebuilt per probe
+    std::map<util::ArenaString, std::size_t, std::less<util::ArenaString>,
+             util::ArenaAllocator<
+                 std::pair<const util::ArenaString, std::size_t>>>
+        memo;
+
+    explicit Memo(util::Arena* a)
+        : key(util::ArenaAllocator<char>(a)),
+          memo(std::less<util::ArenaString>(),
+               util::ArenaAllocator<
+                   std::pair<const util::ArenaString, std::size_t>>(a)) {}
+
+    template <typename PendingT>
+    bool probe(const PendingT& pending, std::size_t used) {
+      key.clear();
+      for (const net::NodeId v : pending) arena_search::append_u32(key, v);
+      const auto it = memo.find(key);
+      if (it != memo.end()) {
+        if (it->second <= used) return true;
+        it->second = used;
+        return false;
+      }
+      memo.emplace(key, used);
+      return false;
+    }
+  };
+
+  struct LoopCheck {
+    FlatLoopCheck flat;
+
+    LoopCheck(util::Arena* a, const net::UpdateInstance& inst)
+        : flat(a, inst) {}
+    bool safe(const Updated& updated, const Round& round) {
+      return flat.safe_with(updated,
+                            [&round](net::NodeId w) { return round.contains(w); });
+    }
+    bool safe_single(const Updated& updated, net::NodeId v) {
+      return flat.safe_with(updated,
+                            [v](net::NodeId w) { return w == v; });
+    }
+  };
+
+  struct Bundle {
+    Memo memo;
+    LoopCheck loops;
+    CandPool cands;
+    RoundPool round_pool;
+    Rounds current;
+
+    Bundle(util::Arena* a, const net::UpdateInstance& inst)
+        : memo(a),
+          loops(a, inst),
+          cands(a),
+          round_pool(a, inst.graph().node_count()),
+          current(a) {}
+  };
+};
+
+template <typename Traits>
 struct Search {
   const net::UpdateInstance* inst = nullptr;
   util::Deadline deadline{0};
 
   std::size_t incumbent = std::numeric_limits<std::size_t>::max();
   std::vector<std::vector<net::NodeId>> best;
-  std::vector<std::vector<net::NodeId>> current;
   bool found = false;
   bool timed_out = false;
   std::uint64_t nodes = 0;
   std::uint64_t prunes = 0;
   std::uint64_t memo_hits = 0;
   std::uint64_t incumbent_updates = 0;  // dfs-internal only (see mutp_bnb)
-  std::map<std::string, std::size_t> memo;  // pending-set -> fewest rounds used
+  typename Traits::Bundle b;
 
-  void dfs(std::set<net::NodeId>& pending, std::set<net::NodeId>& updated);
-  void branch(std::set<net::NodeId>& pending, std::set<net::NodeId>& updated,
-              const std::vector<net::NodeId>& cand, std::size_t idx,
-              std::set<net::NodeId>& round);
+  explicit Search(typename Traits::Bundle bundle) : b(std::move(bundle)) {}
+
+  void dfs(std::size_t depth, typename Traits::Pending& pending,
+           typename Traits::Updated& updated);
+  void branch(std::size_t depth, typename Traits::Pending& pending,
+              typename Traits::Updated& updated,
+              const typename Traits::CandVec& cand, std::size_t idx,
+              typename Traits::Round& round);
 };
 
-std::string pending_key(const std::set<net::NodeId>& pending) {
-  std::ostringstream os;
-  for (const net::NodeId v : pending) os << v << ',';
-  return os.str();
-}
-
-void Search::dfs(std::set<net::NodeId>& pending,
-                 std::set<net::NodeId>& updated) {
+template <typename Traits>
+void Search<Traits>::dfs(std::size_t depth, typename Traits::Pending& pending,
+                         typename Traits::Updated& updated) {
   if (timed_out || deadline.expired()) {
     timed_out = true;
     return;
   }
   ++nodes;
   if (pending.empty()) {
-    if (current.size() < incumbent) {
-      incumbent = current.size();
-      best = current;
+    if (b.current.size() < incumbent) {
+      incumbent = b.current.size();
+      best = b.current.snapshot();
       found = true;
       ++incumbent_updates;
     }
     return;
   }
-  if (current.size() + 1 >= incumbent) {
+  if (b.current.size() + 1 >= incumbent) {
     ++prunes;
     return;
   }
 
-  const std::string key = pending_key(pending);
-  const auto it = memo.find(key);
-  if (it != memo.end() && it->second <= current.size()) {
+  if (b.memo.probe(pending, b.current.size())) {
     ++memo_hits;
     return;
   }
-  memo[key] = current.size();
 
-  std::vector<net::NodeId> cand;
+  typename Traits::CandVec& cand = b.cands.at_depth(depth);
   for (const net::NodeId v : pending) {
-    if (round_is_loop_safe(*inst, updated, {v})) cand.push_back(v);
+    if (b.loops.safe_single(updated, v)) cand.push_back(v);
   }
   if (cand.empty()) return;  // stuck: no single switch is safe
 
-  std::set<net::NodeId> round;
-  branch(pending, updated, cand, 0, round);
+  typename Traits::Round& round = b.round_pool.at_depth(depth);
+  branch(depth, pending, updated, cand, 0, round);
 }
 
-void Search::branch(std::set<net::NodeId>& pending,
-                    std::set<net::NodeId>& updated,
-                    const std::vector<net::NodeId>& cand, std::size_t idx,
-                    std::set<net::NodeId>& round) {
+template <typename Traits>
+void Search<Traits>::branch(std::size_t depth,
+                            typename Traits::Pending& pending,
+                            typename Traits::Updated& updated,
+                            const typename Traits::CandVec& cand,
+                            std::size_t idx, typename Traits::Round& round) {
   if (timed_out || deadline.expired()) {
     timed_out = true;
     return;
@@ -140,9 +504,9 @@ void Search::branch(std::set<net::NodeId>& pending,
       pending.erase(v);
       updated.insert(v);
     }
-    current.emplace_back(round.begin(), round.end());
-    dfs(pending, updated);
-    current.pop_back();
+    b.current.push(round);
+    dfs(depth + 1, pending, updated);
+    b.current.pop();
     for (const net::NodeId v : round) {
       updated.erase(v);
       pending.insert(v);
@@ -151,11 +515,11 @@ void Search::branch(std::set<net::NodeId>& pending,
   }
   const net::NodeId v = cand[idx];
   round.insert(v);
-  if (round_is_loop_safe(*inst, updated, round)) {
-    branch(pending, updated, cand, idx + 1, round);
+  if (b.loops.safe(updated, round)) {
+    branch(depth, pending, updated, cand, idx + 1, round);
   }
   round.erase(v);
-  branch(pending, updated, cand, idx + 1, round);
+  branch(depth, pending, updated, cand, idx + 1, round);
 }
 
 std::vector<std::vector<net::NodeId>> greedy_maximal(
@@ -177,6 +541,80 @@ std::vector<std::vector<net::NodeId>> greedy_maximal(
     rounds.emplace_back(round.begin(), round.end());
   }
   return rounds;
+}
+
+/// What solve_order_replacement needs back from either instantiation.
+struct SearchOutcome {
+  std::vector<std::vector<net::NodeId>> best;
+  bool found = false;
+  bool timed_out = false;
+  std::uint64_t nodes = 0;
+  std::uint64_t prunes = 0;
+  std::uint64_t memo_hits = 0;
+  std::uint64_t incumbent_updates = 0;
+};
+
+template <typename Traits>
+SearchOutcome finish(Search<Traits>& s) {
+  SearchOutcome o;
+  o.best = std::move(s.best);
+  o.found = s.found;
+  o.timed_out = s.timed_out;
+  o.nodes = s.nodes;
+  o.prunes = s.prunes;
+  o.memo_hits = s.memo_hits;
+  o.incumbent_updates = s.incumbent_updates;
+  return o;
+}
+
+SearchOutcome search_heap(const net::UpdateInstance& inst,
+                          const util::Deadline& deadline,
+                          const std::set<net::NodeId>& pending_in,
+                          const std::set<net::NodeId>& pre_installed,
+                          const std::vector<std::vector<net::NodeId>>& greedy) {
+  Search<HeapTraits> s{HeapTraits::Bundle(inst)};
+  s.inst = &inst;
+  s.deadline = deadline;
+  if (!greedy.empty()) {
+    s.found = true;
+    s.best = greedy;
+    s.incumbent = greedy.size();
+  }
+  // chronus-analyzer: allow(hot-alloc)
+  std::set<net::NodeId> pending = pending_in;
+  // chronus-analyzer: allow(hot-alloc)
+  std::set<net::NodeId> updated = pre_installed;
+  s.dfs(0, pending, updated);
+  return finish(s);
+}
+
+SearchOutcome search_arena(const net::UpdateInstance& inst,
+                           const util::Deadline& deadline,
+                           const std::set<net::NodeId>& pending_in,
+                           const std::set<net::NodeId>& pre_installed,
+                           const std::vector<std::vector<net::NodeId>>& greedy) {
+  util::Arena arena;
+  util::ArenaScope claim(arena);
+  Search<ArenaTraits> s{ArenaTraits::Bundle(&arena, inst)};
+  s.inst = &inst;
+  s.deadline = deadline;
+  if (!greedy.empty()) {
+    s.found = true;
+    s.best = greedy;
+    s.incumbent = greedy.size();
+  }
+  ArenaTraits::Pending pending(&arena);
+  pending.assign_sorted(pending_in.begin(), pending_in.end());
+  ArenaTraits::Updated updated(&arena, inst.graph().node_count());
+  for (const net::NodeId v : pre_installed) updated.insert(v);
+  s.dfs(0, pending, updated);
+  SearchOutcome o = finish(s);
+  const util::ArenaStats& st = arena.stats();
+  obs::add("arena.order.bytes", st.bytes_requested);
+  obs::add("arena.order.allocs", st.allocs);
+  obs::add("arena.order.chunks", st.chunks);
+  obs::add("arena.order.high_water", st.high_water);
+  return o;
 }
 
 }  // namespace
@@ -236,16 +674,10 @@ OrderResult solve_order_replacement(const net::UpdateInstance& inst,
     return res;
   }
 
-  Search s;
-  s.inst = &inst;
-  s.deadline = deadline;
-  if (!greedy.empty()) {
-    s.found = true;
-    s.best = greedy;
-    s.incumbent = greedy.size();
-  }
-  std::set<net::NodeId> updated = pre_installed;
-  s.dfs(pending, updated);
+  const SearchOutcome s =
+      util::arena_enabled()
+          ? search_arena(inst, deadline, pending, pre_installed, greedy)
+          : search_heap(inst, deadline, pending, pre_installed, greedy);
 
   obs::add("order.calls");
   obs::add("order.nodes_visited", s.nodes);

@@ -5,6 +5,19 @@
 // The schedulers themselves work on compact per-time structures, but the
 // explicit expansion is exposed for tests, exposition (Fig. 2/5) and the
 // OPT formulation, matching the paper's model one-to-one.
+//
+// Two storage backends sit behind one API (DESIGN.md §16):
+//
+//   * arena (default): structure-of-arrays columns for the timed links
+//     (endpoints, times, capacities, base ids) plus a CSR out-index
+//     (per-slot offsets into one flat id array), all bump-allocated from
+//     a per-network util::Arena sized in a counting pre-pass — one slab
+//     walk instead of one heap allocation per slot.
+//   * heap (CHRONUS_ARENA=off): the original array-of-structs layout with
+//     a vector-of-vectors out-index, kept verbatim as the escape hatch.
+//
+// Both backends expose bit-identical link ids, orders and contents
+// (asserted by tests/planner_differential_test.cpp).
 #pragma once
 
 #include <cstdint>
@@ -14,6 +27,7 @@
 
 #include "net/graph.hpp"
 #include "timenet/schedule.hpp"
+#include "util/arena.hpp"
 
 namespace chronus::timenet {
 
@@ -38,6 +52,11 @@ class TimeExtendedNetwork {
   TimeExtendedNetwork(const net::Graph& g, TimePoint t_begin, TimePoint t_end,
                       bool keep_boundary_links = false);
 
+  // The arena backend hands out addresses inside the owned arena, so the
+  // network is pinned: neither backend is copyable or movable.
+  TimeExtendedNetwork(const TimeExtendedNetwork&) = delete;
+  TimeExtendedNetwork& operator=(const TimeExtendedNetwork&) = delete;
+
   TimePoint t_begin() const { return t_begin_; }
   TimePoint t_end() const { return t_end_; }
   std::size_t time_steps() const {
@@ -47,7 +66,15 @@ class TimeExtendedNetwork {
   /// Number of node copies = node_count * time_steps.
   std::size_t node_copies() const;
 
-  const std::vector<TimedLink>& links() const { return links_; }
+  /// Number of timed links in the expansion.
+  std::size_t link_count() const;
+
+  /// The timed link with id `i` (ids are stable across both backends:
+  /// ascending (t, base_link) construction order).
+  TimedLink link(std::size_t i) const;
+
+  /// All timed links in id order, materialized.
+  std::vector<TimedLink> links() const;
 
   /// Outgoing timed links of v(t); empty if t outside the window.
   std::vector<TimedLink> out_links(net::NodeId v, TimePoint t) const;
@@ -62,12 +89,29 @@ class TimeExtendedNetwork {
   std::string to_string(const TimedLink& l) const;
 
  private:
+  void build_heap(const net::Graph& g, bool keep_boundary_links);
+  void build_arena(const net::Graph& g, bool keep_boundary_links);
+
   const net::Graph* base_;
   TimePoint t_begin_;
   TimePoint t_end_;
+  bool arena_mode_;
+
+  // Heap backend (escape hatch): AoS links + per-slot index vectors.
   std::vector<TimedLink> links_;
-  // links_ indexed per (node, time) for out_links lookups.
   std::vector<std::vector<std::uint32_t>> out_index_;
+
+  // Arena backend: SoA columns + CSR out-index, all inside arena_.
+  util::Arena arena_;
+  util::ArenaVector<net::NodeId> from_node_;
+  util::ArenaVector<net::NodeId> to_node_;
+  util::ArenaVector<TimePoint> from_time_;
+  util::ArenaVector<TimePoint> to_time_;
+  util::ArenaVector<net::Capacity> cap_;
+  util::ArenaVector<net::LinkId> base_id_;
+  util::ArenaVector<std::uint32_t> slot_off_;    // slots + 1 CSR offsets
+  util::ArenaVector<std::uint32_t> slot_links_;  // flat timed-link ids
+
   std::size_t slot(net::NodeId v, TimePoint t) const;
 };
 

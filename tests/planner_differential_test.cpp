@@ -1,0 +1,225 @@
+// The differential digest harness for the allocator rewrite: every hot
+// path that grew an arena backend (G_T construction, path enumeration,
+// both branch-and-bound planners, the whole update service) is replayed
+// under CHRONUS_ARENA=off (the verbatim legacy heap code) and under the
+// arena backing, and the outputs are held bit-identical — schedules,
+// rounds, timed-link ids, enumerated paths, ServiceReport digests and the
+// logical() metric slice. The arena may only change *where* the bytes
+// live, never *what* the planner computes.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/greedy_scheduler.hpp"
+#include "io/trace_io.hpp"
+#include "net/generators.hpp"
+#include "obs/metrics.hpp"
+#include "opt/mutp_bnb.hpp"
+#include "opt/order_bnb.hpp"
+#include "service/service.hpp"
+#include "service/workload.hpp"
+#include "timenet/path_enum.hpp"
+#include "timenet/time_extended.hpp"
+#include "util/arena.hpp"
+
+namespace chronus {
+namespace {
+
+using timenet::TimePoint;
+using util::ArenaBacking;
+using util::ScopedArenaBacking;
+
+/// A timed link flattened to an equality-comparable tuple. Capacity is
+/// omitted deliberately: both backends read it off the same base link id,
+/// so base-link equality subsumes it.
+struct LinkKey {
+  net::NodeId u = net::kInvalidNode;
+  std::int64_t tu = 0;
+  net::NodeId v = net::kInvalidNode;
+  std::int64_t tv = 0;
+  net::LinkId base = net::kInvalidLink;
+
+  bool operator==(const LinkKey&) const = default;
+};
+
+LinkKey key(const timenet::TimedLink& l) {
+  return LinkKey{l.from.node, l.from.time.count(), l.to.node,
+                 l.to.time.count(), l.base_link};
+}
+
+/// Everything one corpus replay produces, flattened for operator==.
+struct Transcript {
+  std::vector<core::ScheduleStatus> greedy_status;
+  std::vector<timenet::UpdateSchedule> greedy;
+  std::vector<core::ScheduleStatus> mutp_status;
+  std::vector<timenet::UpdateSchedule> mutp;
+  std::vector<std::uint64_t> mutp_nodes;
+  std::vector<bool> mutp_optimal;
+  std::vector<bool> order_feasible;
+  std::vector<std::vector<std::vector<net::NodeId>>> rounds;
+  std::vector<std::uint64_t> order_nodes;
+  std::vector<LinkKey> gt_links;      // id order, then per-slot out order
+  std::vector<timenet::TimedPath> paths;
+  obs::MetricsSnapshot logical;
+};
+
+std::vector<net::UpdateInstance> make_corpus() {
+  // The property-test corpus: seeds 800+p, five instances per seed.
+  std::vector<net::UpdateInstance> corpus;
+  for (int p = 0; p < 5; ++p) {
+    util::Rng rng(800 + static_cast<std::uint64_t>(p));
+    net::RandomInstanceOptions opt;
+    opt.n = 8;
+    for (int i = 0; i < 5; ++i) corpus.push_back(net::random_instance(opt, rng));
+  }
+  return corpus;
+}
+
+Transcript replay(const std::vector<net::UpdateInstance>& corpus,
+                  ArenaBacking backing) {
+  obs::MetricsRegistry reg;
+  obs::ScopedMetrics metrics(reg);
+  ScopedArenaBacking arena(backing);
+
+  Transcript t;
+  for (const net::UpdateInstance& inst : corpus) {
+    core::GreedyOptions gopts;
+    gopts.record_steps = false;
+    const auto plan = core::greedy_schedule(inst, gopts);
+    t.greedy_status.push_back(plan.status);
+    t.greedy.push_back(plan.schedule);
+
+    const auto m = opt::solve_mutp(inst);
+    t.mutp_status.push_back(m.status);
+    t.mutp.push_back(m.schedule);
+    t.mutp_nodes.push_back(m.nodes_explored);
+    t.mutp_optimal.push_back(m.proved_optimal);
+
+    const auto o = opt::solve_order_replacement(inst);
+    t.order_feasible.push_back(o.feasible);
+    t.rounds.push_back(o.rounds);
+    t.order_nodes.push_back(o.nodes_explored);
+
+    // G_T expansion: ids, contents and per-slot CSR out-orders.
+    const net::Graph& g = inst.graph();
+    const TimePoint t0{0};
+    const TimePoint t1{3};
+    timenet::TimeExtendedNetwork gt(g, t0, t1);
+    for (std::size_t i = 0; i < gt.link_count(); ++i) {
+      t.gt_links.push_back(key(gt.link(i)));
+    }
+    for (std::size_t v = 0; v < g.node_count(); ++v) {
+      for (TimePoint tt = t0; tt <= t1; tt += 1) {
+        for (const timenet::TimedLink& l :
+             gt.out_links(static_cast<net::NodeId>(v), tt)) {
+          t.gt_links.push_back(key(l));
+        }
+      }
+    }
+
+    // Path enumeration over the instance's own endpoints.
+    timenet::EnumerateOptions popts;
+    popts.t_end = TimePoint{6};
+    popts.max_paths = 2000;
+    const auto paths = timenet::enumerate_timed_paths(
+        g, inst.p_init().front(), TimePoint{0}, inst.p_init().back(), popts);
+    t.paths.insert(t.paths.end(), paths.begin(), paths.end());
+  }
+  t.logical = reg.snapshot().logical();
+  return t;
+}
+
+/// The arena runs additionally flush their allocator telemetry
+/// (arena.gt.*, arena.pathenum.*, arena.mutp.*, arena.order.*), which the
+/// heap runs by definition cannot emit; everything else must match.
+obs::MetricsSnapshot drop_arena_counters(obs::MetricsSnapshot s) {
+  for (auto it = s.counters.begin(); it != s.counters.end();) {
+    if (it->first.rfind("arena.", 0) == 0) {
+      it = s.counters.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return s;
+}
+
+std::uint64_t arena_counter_total(const obs::MetricsSnapshot& s) {
+  std::uint64_t total = 0;
+  for (const auto& [name, value] : s.counters) {
+    if (name.rfind("arena.", 0) == 0) total += value;
+  }
+  return total;
+}
+
+TEST(ArenaDifferential, CorpusReplaysBitIdenticallyAcrossBackings) {
+  const auto corpus = make_corpus();
+  const Transcript heap = replay(corpus, ArenaBacking::kHeap);
+  const Transcript arena = replay(corpus, ArenaBacking::kArena);
+
+  EXPECT_EQ(heap.greedy_status, arena.greedy_status);
+  EXPECT_EQ(heap.greedy, arena.greedy);
+  EXPECT_EQ(heap.mutp_status, arena.mutp_status);
+  EXPECT_EQ(heap.mutp, arena.mutp);
+  EXPECT_EQ(heap.mutp_nodes, arena.mutp_nodes);
+  EXPECT_EQ(heap.mutp_optimal, arena.mutp_optimal);
+  EXPECT_EQ(heap.order_feasible, arena.order_feasible);
+  EXPECT_EQ(heap.rounds, arena.rounds);
+  EXPECT_EQ(heap.order_nodes, arena.order_nodes);
+  EXPECT_EQ(heap.gt_links, arena.gt_links);
+  EXPECT_EQ(heap.paths, arena.paths);
+
+  // Logical metric slices match once the arena's own telemetry — absent
+  // by construction from the heap run — is set aside.
+  EXPECT_EQ(arena_counter_total(heap.logical), 0u);
+  EXPECT_GT(arena_counter_total(arena.logical), 0u);
+  EXPECT_EQ(heap.logical, drop_arena_counters(arena.logical));
+}
+
+TEST(ArenaDifferential, ArenaReplayIsSelfDeterministic) {
+  // Bump-vs-bump: two arena replays agree on everything *including* the
+  // arena.* telemetry, which is a pure function of the allocation
+  // sequence (no addresses, no clocks).
+  const auto corpus = make_corpus();
+  const Transcript once = replay(corpus, ArenaBacking::kArena);
+  const Transcript twice = replay(corpus, ArenaBacking::kArena);
+  EXPECT_EQ(once.mutp, twice.mutp);
+  EXPECT_EQ(once.rounds, twice.rounds);
+  EXPECT_EQ(once.logical, twice.logical);
+  EXPECT_GT(arena_counter_total(once.logical), 0u);
+}
+
+std::string run_digest(const service::ServiceTrace& trace, int workers,
+                       ArenaBacking backing) {
+  ScopedArenaBacking arena(backing);
+  service::ServiceOptions opts;
+  opts.workers = workers;
+  return service::UpdateService(trace.graph, opts).run(trace.requests).digest();
+}
+
+TEST(ArenaDifferential, WorkloadDigestMatchesAcrossBackings) {
+  // The 200-request synthetic workload (the bench driver's default) end
+  // to end through the service: admission, worker-pool planning, timed
+  // execution. One digest, both backings.
+  const service::ServiceTrace trace = service::make_workload({});
+  ASSERT_EQ(trace.requests.size(), 200u);
+  const std::string heap = run_digest(trace, 4, ArenaBacking::kHeap);
+  const std::string arena = run_digest(trace, 4, ArenaBacking::kArena);
+  EXPECT_EQ(heap, arena);
+
+  // And the pool-size invariance holds in arena mode too: the arenas are
+  // per-request, never shared across workers.
+  EXPECT_EQ(run_digest(trace, 1, ArenaBacking::kArena), arena);
+}
+
+TEST(ArenaDifferential, RecordedTraceDigestMatchesAcrossBackings) {
+  const service::ServiceTrace trace =
+      io::read_trace_file(std::string(CHRONUS_TESTDATA_DIR) + "/sample.trace");
+  ASSERT_FALSE(trace.requests.empty());
+  EXPECT_EQ(run_digest(trace, 4, ArenaBacking::kHeap),
+            run_digest(trace, 4, ArenaBacking::kArena));
+}
+
+}  // namespace
+}  // namespace chronus

@@ -1,0 +1,16 @@
+// Seeded: a using-alias of a default-allocator container exists to be
+// instantiated — flagging the one alias line is one acknowledgement
+// instead of one per use site.
+#include <map>
+#include <string>
+
+namespace fixture {
+
+using Memo = std::map<std::string, long>;
+
+long lookup(const Memo& memo, const std::string& key) {
+  const auto it = memo.find(key);
+  return it == memo.end() ? 0 : it->second;
+}
+
+}  // namespace fixture

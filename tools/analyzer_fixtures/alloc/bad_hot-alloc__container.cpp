@@ -1,0 +1,17 @@
+// Seeded: default-allocator std:: containers in allocating positions —
+// a local object, a braced temporary, and a constructor-argument
+// declaration — must each fire [hot-alloc].
+#include <set>
+#include <vector>
+
+namespace fixture {
+
+int widen(const std::vector<int>& input) {  // reference: not an allocation
+  std::vector<int> out;
+  for (const int v : input) out.push_back(v * 2);
+  std::set<int> uniq(out.begin(), out.end());
+  return static_cast<int>(uniq.size()) +
+         static_cast<int>(std::vector<int>{1, 2, 3}.size());
+}
+
+}  // namespace fixture

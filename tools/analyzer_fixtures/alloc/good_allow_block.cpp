@@ -1,0 +1,14 @@
+// Clean: a multi-line /* block */ allow(hot-alloc) still reaches the
+// statement immediately below it.
+#include <set>
+
+namespace fixture {
+
+int distinct(int a, int b, int c) {
+  /* The escape-hatch bundle keeps its original heap state on purpose:
+     chronus-analyzer: allow(hot-alloc) — legacy verbatim path. */
+  std::set<int> uniq{a, b, c};
+  return static_cast<int>(uniq.size());
+}
+
+}  // namespace fixture

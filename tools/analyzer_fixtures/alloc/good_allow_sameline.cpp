@@ -1,0 +1,12 @@
+// Clean: a same-line allow(hot-alloc) acknowledgement silences the rule.
+#include <vector>
+
+namespace fixture {
+
+std::vector<long> cold_path_snapshot() {
+  std::vector<long> out;  // chronus-analyzer: allow(hot-alloc) cold path
+  out.push_back(1);
+  return out;
+}
+
+}  // namespace fixture

@@ -1,0 +1,43 @@
+// Clean: the sanctioned patterns. Arena-allocated containers, placement
+// new into arena memory, and container types in non-allocating positions
+// (references, nested names, signatures, trailing return types) must all
+// stay silent under [hot-alloc].
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+namespace fixture {
+
+template <typename T>
+struct ArenaAllocator {
+  using value_type = T;
+  T* allocate(std::size_t n) {
+    return static_cast<T*>(::operator new(n * sizeof(T)));
+  }
+  void deallocate(T* p, std::size_t) noexcept { ::operator delete(p); }
+};
+
+using ArenaRow = std::vector<int, ArenaAllocator<int>>;
+
+int sum_row(const std::vector<int>& row) {  // reference parameter
+  int total = 0;
+  for (const int v : row) total += v;
+  return total;
+}
+
+std::vector<int>::size_type row_width(const std::vector<int>& row) {
+  return row.size();  // nested-name use, no object constructed
+}
+
+auto arena_copy(const ArenaRow& row) -> std::vector<int, ArenaAllocator<int>> {
+  std::vector<int, ArenaAllocator<int>> out;
+  out.assign(row.begin(), row.end());
+  return out;
+}
+
+int construct_in_place(void* slot) {
+  int* value = new (slot) int(7);  // placement new: arena memory, no heap
+  return *value;
+}
+
+}  // namespace fixture

@@ -14,6 +14,9 @@
 //   dataflow.hpp  the per-TU symbol-table + intra-procedural taint engine
 //                 behind determinism-taint, wire-taint and
 //                 unit-provenance.
+//   alloc.hpp     the hot-path allocation pass (hot-alloc): keeps the
+//                 arena-managed modules (src/timenet, src/opt) off the
+//                 default heap.
 //   cache.hpp     content-hash FileFacts cache shared by every per-file
 //                 pass, so a warm tree scan lexes nothing.
 //
@@ -26,7 +29,7 @@
 //
 // Usage:
 //   chronus_analyzer [--root DIR] [--manifest FILE] [--passes=classic|
-//       taint|all] [--jobs=N] [--cache=DIR|--no-cache] [--baseline FILE
+//       taint|alloc|all] [--jobs=N] [--cache=DIR|--no-cache] [--baseline FILE
 //       [--baseline-diff]] [--write-baseline FILE] [--sarif=FILE]
 //       [subdir...]
 //   chronus_analyzer --self-test --fixtures DIR [--no-fixture-tree]
@@ -47,6 +50,7 @@
 #include <thread>
 #include <vector>
 
+#include "analyzer/alloc.hpp"
 #include "analyzer/cache.hpp"
 #include "analyzer/dataflow.hpp"
 #include "analyzer/lex.hpp"
@@ -90,6 +94,10 @@ const chronus_tools::RuleCatalog& rule_catalog() {
       {"unit-provenance",
        "raw arithmetic on a value that crossed a TimeStep/Demand/Capacity "
        "strong-type boundary"},
+      {"hot-alloc",
+       "heap allocation (new/make_unique/make_shared/ostringstream/"
+       "default-allocator container) on an arena-managed hot path "
+       "(src/timenet, src/opt) without an allow(hot-alloc) acknowledgement"},
   };
   return kRules;
 }
@@ -101,10 +109,11 @@ const chronus_tools::RuleCatalog& rule_catalog() {
 struct PassSet {
   bool classic = true;  // layering + lock + determinism hygiene
   bool taint = true;    // the dataflow engine
+  bool alloc = true;    // hot-path allocation discipline (arena modules)
 
   std::string config_string() const {
     return std::string("classic=") + (classic ? "1" : "0") +
-           ";taint=" + (taint ? "1" : "0");
+           ";taint=" + (taint ? "1" : "0") + ";alloc=" + (alloc ? "1" : "0");
   }
 };
 
@@ -133,6 +142,9 @@ FileFacts analyze_file(const fs::path& path, const std::string& rel,
   }
   if (passes.taint) {
     chronus_analyzer::taint_pass(f, facts.findings);
+  }
+  if (passes.alloc) {
+    chronus_analyzer::hot_alloc_pass(f, facts.findings);
   }
   return facts;
 }
@@ -440,14 +452,16 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--passes=", 0) == 0) {
       const std::string which = arg.substr(9);
       if (which == "classic") {
-        opt.passes = {true, false};
+        opt.passes = {true, false, false};
       } else if (which == "taint") {
-        opt.passes = {false, true};
+        opt.passes = {false, true, false};
+      } else if (which == "alloc") {
+        opt.passes = {false, false, true};
       } else if (which == "all") {
-        opt.passes = {true, true};
+        opt.passes = {true, true, true};
       } else {
         std::cerr << "unknown pass set: " << which
-                  << " (expected classic|taint|all)\n";
+                  << " (expected classic|taint|alloc|all)\n";
         return 2;
       }
     } else if (arg.rfind("--jobs=", 0) == 0) {
@@ -465,7 +479,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::cerr
           << "usage: chronus_analyzer [--root DIR] [--manifest FILE]\n"
-             "           [--passes=classic|taint|all] [--jobs=N]\n"
+             "           [--passes=classic|taint|alloc|all] [--jobs=N]\n"
              "           [--cache=DIR | --no-cache]\n"
              "           [--baseline FILE [--baseline-diff]]\n"
              "           [--write-baseline FILE] [--sarif=FILE] [subdir...]\n"
