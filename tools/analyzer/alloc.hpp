@@ -75,12 +75,17 @@ inline void hot_alloc_pass(const SourceFile& f, std::vector<Finding>& findings) 
     if (tok.kind != Tok::kIdent) continue;
 
     // `new T...` — but not placement new, which is exactly how objects are
-    // constructed into arena memory (`new (arena.allocate(...)) T`).
+    // constructed into arena memory (`new (arena.allocate(...)) T`), and
+    // not the header name in `#include <new>`.
     if (tok.text == "new") {
       const bool placement = i + 1 < t.size() &&
                              t[i + 1].kind == Tok::kPunct &&
                              t[i + 1].text == "(";
-      if (!placement) flag(tok.line, "'new' expression");
+      const bool header_name =
+          i >= 1 && t[i - 1].kind == Tok::kPunct && t[i - 1].text == "<" &&
+          i + 1 < t.size() && t[i + 1].kind == Tok::kPunct &&
+          t[i + 1].text == ">";
+      if (!placement && !header_name) flag(tok.line, "'new' expression");
       continue;
     }
 

@@ -27,7 +27,17 @@
 
 namespace chronus_analyzer {
 
-inline constexpr const char* kCacheFormat = "chronus-analyzer-cache v1";
+inline constexpr const char* kCacheFormat = "chronus-analyzer-cache v2";
+
+/// Tool release, folded into every cache key: a new analyzer binary must
+/// never reuse entries written by an older one, even when the on-disk
+/// format happens to still parse.
+inline constexpr const char* kAnalyzerVersion = "chronus-analyzer 0.10";
+
+/// Bumped whenever any pass's *semantics* change without a record-format
+/// change (new sink, retuned heuristic, widened source set). This is what
+/// makes a pass upgrade invalidate warm caches in CI.
+inline constexpr int kPassRevision = 10;
 
 inline std::uint64_t fnv1a(const std::string& s,
                            std::uint64_t h = 1469598103934665603ull) {
@@ -89,6 +99,32 @@ inline std::string cache_unescape(const std::string& s) {
   return out;
 }
 
+/// One `F` record: line, rule, file, message, then (file, line, note)
+/// triples for each related location (the SARIF call-chain witness).
+inline void write_finding(std::ostream& out, const Finding& fi) {
+  out << "F\t" << fi.line << "\t" << cache_escape(fi.rule) << "\t"
+      << cache_escape(fi.file) << "\t" << cache_escape(fi.message);
+  for (const auto& r : fi.related) {
+    out << "\t" << cache_escape(r.file) << "\t" << r.line << "\t"
+        << cache_escape(r.note);
+  }
+  out << "\n";
+}
+
+inline bool parse_finding_cols(const std::vector<std::string>& cols,
+                               Finding* fi) {
+  if (cols.size() < 5 || (cols.size() - 5) % 3 != 0) return false;
+  fi->file = cache_unescape(cols[3]);
+  fi->line = std::stol(cols[1]);
+  fi->rule = cache_unescape(cols[2]);
+  fi->message = cache_unescape(cols[4]);
+  for (std::size_t c = 5; c + 3 <= cols.size(); c += 3) {
+    fi->related.push_back({cache_unescape(cols[c]), std::stol(cols[c + 1]),
+                           cache_unescape(cols[c + 2])});
+  }
+  return true;
+}
+
 inline std::string serialize_facts(const FileFacts& f) {
   std::ostringstream out;
   out << kCacheFormat << "\n";
@@ -102,9 +138,26 @@ inline std::string serialize_facts(const FileFacts& f) {
       out << "A\t" << line << "\t" << cache_escape(rule) << "\n";
     }
   }
+  for (const auto& [rule, lines] : f.fn_allowances) {
+    for (const long line : lines) {
+      out << "AF\t" << line << "\t" << cache_escape(rule) << "\n";
+    }
+  }
   for (const auto& fi : f.findings) {
-    out << "F\t" << fi.line << "\t" << cache_escape(fi.rule) << "\t"
-        << cache_escape(fi.file) << "\t" << cache_escape(fi.message) << "\n";
+    write_finding(out, fi);
+  }
+  for (const auto& fn : f.fns) {
+    out << "FN\t" << fn.head_line << "\t" << fn.end_line << "\t"
+        << fn.local_return_taint << "\t" << (fn.propagates_param ? 1 : 0)
+        << "\t" << (fn.local_blocks ? 1 : 0) << "\t" << fn.block_line << "\t"
+        << cache_escape(fn.name) << "\t" << cache_escape(fn.qname) << "\t"
+        << cache_escape(fn.block_callee) << "\n";
+    for (const auto& cs : fn.calls) {
+      out << "C\t" << cs.line << "\t" << (cs.member_call ? 1 : 0) << "\t"
+          << (cs.in_return ? 1 : 0) << "\t" << cs.lock_line << "\t"
+          << cache_escape(cs.name) << "\t" << cache_escape(cs.lock_expr)
+          << "\n";
+    }
   }
   return out.str();
 }
@@ -133,10 +186,35 @@ inline bool parse_facts(const std::string& text, FileFacts* out) {
                                  std::stol(cols[1]));
     } else if (tag == "A" && cols.size() == 3) {
       out->allowances[cache_unescape(cols[2])].insert(std::stol(cols[1]));
-    } else if (tag == "F" && cols.size() == 5) {
-      out->findings.push_back({cache_unescape(cols[3]), std::stol(cols[1]),
-                               cache_unescape(cols[2]),
-                               cache_unescape(cols[4])});
+    } else if (tag == "AF" && cols.size() == 3) {
+      out->fn_allowances[cache_unescape(cols[2])].insert(std::stol(cols[1]));
+    } else if (tag == "F") {
+      Finding fi;
+      if (!parse_finding_cols(cols, &fi)) return false;
+      out->findings.push_back(std::move(fi));
+    } else if (tag == "FN" && cols.size() == 10) {
+      FnDef fn;
+      fn.head_line = std::stol(cols[1]);
+      fn.end_line = std::stol(cols[2]);
+      fn.local_return_taint =
+          static_cast<unsigned>(std::stoul(cols[3]));
+      fn.propagates_param = cols[4] == "1";
+      fn.local_blocks = cols[5] == "1";
+      fn.block_line = std::stol(cols[6]);
+      fn.name = cache_unescape(cols[7]);
+      fn.qname = cache_unescape(cols[8]);
+      fn.block_callee = cache_unescape(cols[9]);
+      out->fns.push_back(std::move(fn));
+    } else if (tag == "C" && cols.size() == 7) {
+      if (out->fns.empty()) return false;  // call record before any FN
+      CallSite cs;
+      cs.line = std::stol(cols[1]);
+      cs.member_call = cols[2] == "1";
+      cs.in_return = cols[3] == "1";
+      cs.lock_line = std::stol(cols[4]);
+      cs.name = cache_unescape(cols[5]);
+      cs.lock_expr = cache_unescape(cols[6]);
+      out->fns.back().calls.push_back(std::move(cs));
     } else {
       return false;  // unknown record: treat the entry as corrupt
     }
@@ -151,8 +229,10 @@ class AnalysisCache {
   /// `dir` empty disables the cache. `config` folds the enabled pass set
   /// (and anything else result-affecting) into every key.
   AnalysisCache(std::filesystem::path dir, const std::string& config)
-      : dir_(std::move(dir)), seed_(fnv1a(std::string(kCacheFormat) + "\x1f" +
-                                          config)) {
+      : dir_(std::move(dir)),
+        seed_(fnv1a(std::string(kCacheFormat) + "\x1f" + kAnalyzerVersion +
+                    "\x1f" + std::to_string(kPassRevision) + "\x1f" +
+                    config)) {
     if (dir_.empty()) return;
     std::error_code ec;
     std::filesystem::create_directories(dir_, ec);
@@ -186,6 +266,60 @@ class AnalysisCache {
       std::ofstream out(tmp_path, std::ios::binary);
       if (!out) return;
       out << serialize_facts(facts);
+      if (!out.good()) return;
+    }
+    std::error_code ec;
+    std::filesystem::rename(tmp_path, final_path, ec);
+    if (ec) std::filesystem::remove(tmp_path, ec);
+  }
+
+  // -- interprocedural findings store (phase C) -----------------------------
+  // Same directory, `.ipf` suffix. The caller composes the key from the
+  // file's bytes *plus* the hash of every whole-program summary reachable
+  // from it, so editing a leaf callee transitively invalidates exactly
+  // its callers. An existing-but-empty entry is a hit with zero findings
+  // (hit/miss is file existence, not content).
+
+  bool load_findings(const std::string& key,
+                     std::vector<Finding>* out) const {
+    if (!enabled_) return false;
+    std::ifstream in(dir_ / (key + ".ipf"), std::ios::binary);
+    if (!in) return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::istringstream text(buf.str());
+    std::string line;
+    if (!std::getline(text, line) || line != kCacheFormat) return false;
+    std::vector<Finding> findings;
+    while (std::getline(text, line)) {
+      std::vector<std::string> cols;
+      std::size_t start = 0;
+      for (std::size_t i = 0; i <= line.size(); ++i) {
+        if (i == line.size() || line[i] == '\t') {
+          cols.push_back(line.substr(start, i - start));
+          start = i + 1;
+        }
+      }
+      if (cols.empty() || cols[0] != "F") return false;
+      Finding fi;
+      if (!parse_finding_cols(cols, &fi)) return false;
+      findings.push_back(std::move(fi));
+    }
+    *out = std::move(findings);
+    return true;
+  }
+
+  void store_findings(const std::string& key, const std::string& rel,
+                      const std::vector<Finding>& findings) const {
+    if (!enabled_) return;
+    const std::filesystem::path final_path = dir_ / (key + ".ipf");
+    const std::filesystem::path tmp_path =
+        dir_ / (key + "." + hex64(fnv1a(rel)) + ".ipftmp");
+    {
+      std::ofstream out(tmp_path, std::ios::binary);
+      if (!out) return;
+      out << kCacheFormat << "\n";
+      for (const auto& fi : findings) write_finding(out, fi);
       if (!out.good()) return;
     }
     std::error_code ec;

@@ -32,6 +32,18 @@
 //                      bounds-checking helper (`need`, `clamp`,
 //                      `bounded`, or any name containing `valid`/`check`/
 //                      `sanit`), or flowing through std::min/std::clamp.
+//   arena-escape       a pointer/reference/view whose storage lives in a
+//                      function-local bump arena (declared `Arena a;` in
+//                      this frame) escapes the owning ArenaScope: stored
+//                      into a member or global, captured by a lambda that
+//                      leaves the function, or returned. Caller-owned
+//                      arenas (an `Arena&`/`Arena*` parameter) only flag
+//                      on stores into globals — handing a caller-arena
+//                      pointer back to the caller is the documented
+//                      arena_new/allocate_array idiom, and an object
+//                      storing views of its *own* member arena
+//                      (time_extended.cpp's build_arena) is clean because
+//                      object and arena share a lifetime.
 //   unit-provenance    raw arithmetic (+ - * / and compound assignment)
 //                      on a value that crossed a strong-type boundary via
 //                      TimeStep/TimePoint::count() or Demand/Capacity::
@@ -57,22 +69,42 @@
 
 #include "analyzer/lex.hpp"
 #include "analyzer/passes.hpp"
+#include "analyzer/summaries.hpp"
 
 namespace chronus_analyzer {
 
 enum : unsigned {
-  kTaintWall = 1u << 0,  // wall clock / environment / device randomness
-  kTaintWire = 1u << 1,  // bytes or lengths decoded from the network
-  kTaintUnit = 1u << 2,  // escaped a TimeStep/Demand/Capacity strong type
+  kTaintWall = kSumWall,  // wall clock / environment / device randomness
+  kTaintWire = kSumWire,  // bytes or lengths decoded from the network
+  kTaintUnit = kSumUnit,  // escaped a TimeStep/Demand/Capacity strong type
+  // The arena lifetime axis (PR 10): a pointer/reference/container view
+  // whose storage lives in a bump arena. Local = the arena is owned by
+  // the current function (dies with its ArenaScope); Param = the arena is
+  // caller-owned (a parameter or an object member), so the value's
+  // lifetime is the caller's/owner's problem, not this function's.
+  kTaintArenaLocal = kSumArenaLocal,
+  kTaintArenaParam = kSumArenaParam,
+};
+
+/// Which rule families the engine may emit. Phase-C invocations select
+/// these from the --passes set; summary-collection invocations emit
+/// nothing regardless.
+enum : unsigned {
+  kEmitTaintRules = 1u << 0,  // determinism-taint / wire-taint / unit-prov.
+  kEmitEscape = 1u << 1,      // arena-escape
 };
 
 /// TU-wide facts accumulated on the first engine pass and consumed on the
 /// second: function return taint, member-field taint (propagated across
 /// the methods of one TU), and declared types for receiver resolution.
+/// When `global` is set (the interprocedural phase), calls to functions
+/// defined in *other* TUs resolve through the whole-program summary
+/// table, which is what makes `now() → helper() → digest` visible.
 struct TaintSummaries {
   std::map<std::string, unsigned> fn_return;
   std::map<std::string, unsigned> member;
   std::map<std::string, std::string> type_of;
+  const GlobalSummaries* global = nullptr;
 };
 
 inline bool is_strong_type_name(const std::string& s) {
@@ -83,8 +115,13 @@ inline bool is_strong_type_name(const std::string& s) {
 class TaintEngine {
  public:
   TaintEngine(const SourceFile& f, TaintSummaries& sum,
-              std::vector<Finding>* out)
-      : f_(f), t_(f.lexed.tokens), sum_(sum), out_(out) {}
+              std::vector<Finding>* out,
+              unsigned emit_mask = kEmitTaintRules | kEmitEscape)
+      : f_(f),
+        t_(f.lexed.tokens),
+        sum_(sum),
+        out_(out),
+        emit_mask_(emit_mask) {}
 
   void run() {
     collect_types();
@@ -161,7 +198,8 @@ class TaintEngine {
     for (std::size_t i = 0; i + 1 < t_.size(); ++i) {
       if (!ident(i)) continue;
       const std::string& ty = t_[i].text;
-      if (!is_strong_type_name(ty) && ty != "Decoder" && ty != "Cursor") {
+      if (!is_strong_type_name(ty) && ty != "Decoder" && ty != "Cursor" &&
+          ty != "Arena" && ty != "ArenaAllocator") {
         continue;
       }
       std::size_t j = i + 1;
@@ -233,6 +271,12 @@ class TaintEngine {
     }
     digest_fn_ = lower.find("digest") != std::string::npos ||
                  lower.find("hash") != std::string::npos;
+    // The definition span, for `allow-fn(<rule>)` suppression.
+    cur_head_line_ =
+        fn.params_begin >= 2 ? t_[fn.params_begin - 2].line : 0;
+    cur_end_line_ = fn.body_end > 0 && fn.body_end - 1 < t_.size()
+                        ? t_[fn.body_end - 1].line
+                        : cur_head_line_;
     scopes_.clear();
     scopes_.emplace_back();
     declare_params(fn.params_begin, fn.params_end);
@@ -316,7 +360,12 @@ class TaintEngine {
           }
         }
         if (!name.empty() && name != "void" && !type.empty()) {
-          scopes_.back()[name] = {type, 0};
+          // A parameter of arena type hands this function a caller-owned
+          // arena: values carved from it carry the Param lifetime bit.
+          const unsigned bits = (type == "Arena" || type == "ArenaAllocator")
+                                    ? kTaintArenaParam
+                                    : 0u;
+          scopes_.back()[name] = {type, bits};
         }
         arg_b = i + 1;
       }
@@ -410,6 +459,24 @@ class TaintEngine {
            s == "i64" || s == "f64" || s == "boolean";
   }
 
+  /// `sym.used()` / `sym->capacity()` — a non-aliasing accessor on an
+  /// arena-typed symbol at token `i`.
+  bool arena_stat_access(std::size_t i) const {
+    static const std::set<std::string> kStats = {
+        "used",      "capacity", "size",        "empty",
+        "remaining", "count",    "high_water",  "bytes_allocated",
+        "block_count"};
+    std::size_t m = 0;
+    if (punct(i + 1, ".")) {
+      m = i + 2;
+    } else if (punct(i + 1, "-") && punct(i + 2, ">")) {
+      m = i + 3;
+    } else {
+      return false;
+    }
+    return ident(m) && punct(m + 1, "(") && kStats.count(t_[m].text) > 0;
+  }
+
   unsigned eval(std::size_t b, std::size_t e) {
     unsigned bits = 0;
     bool masked = false, bounded = false;
@@ -476,9 +543,29 @@ class TaintEngine {
       if (called) {
         const auto fr = sum_.fn_return.find(s);
         if (fr != sum_.fn_return.end()) bits |= fr->second;
+        // Whole-program resolution: a free call to a function defined in
+        // another TU contributes its fixpoint return taint, which is what
+        // carries `now() → helper() → digest` through any depth. Member
+        // calls stay TU-local — resolving `.size()` by bare name across
+        // the program would be noise, not signal.
+        if (sum_.global != nullptr) {
+          const unsigned ext = sum_.global->return_taint_of(s);
+          if (ext != 0) {
+            bits |= ext;
+            note_external(s);
+          }
+        }
         continue;
       }
-      bits |= lookup(s);
+      unsigned sym = lookup(s);
+      // An arena *statistic* (`arena.used()`, `.capacity()`...) is a
+      // plain number — it does not alias arena storage, so the lifetime
+      // bits must not ride along.
+      if ((sym & (kTaintArenaLocal | kTaintArenaParam)) != 0 &&
+          arena_stat_access(i)) {
+        sym &= ~(kTaintArenaLocal | kTaintArenaParam);
+      }
+      bits |= sym;
     }
     if (masked) bits &= ~kTaintWall;
     if (bounded) bits &= ~kTaintWire;
@@ -537,6 +624,7 @@ class TaintEngine {
   // -- statement processing -------------------------------------------------
 
   void process_stmt(std::size_t b, std::size_t e) {
+    ext_used_.clear();
     while (b < e && (punct(b, ")") || ident_is(b, "else") ||
                      ident_is(b, "do") || ident_is(b, "try"))) {
       ++b;
@@ -548,6 +636,15 @@ class TaintEngine {
     if (ident_is(b, "return")) {
       const unsigned bits = eval(b + 1, e);
       if (bits != 0) sum_.fn_return[fn_name_] |= bits;
+      // arena-escape: the storage behind this value unwinds with the
+      // function's own ArenaScope the moment it returns.
+      if ((bits & kTaintArenaLocal) != 0) {
+        emit("arena-escape", t_[b].line,
+             "arena-backed value returned past the owning ArenaScope — the "
+             "storage dies when '" + fn_name_ +
+                 "' returns; allocate from a caller-provided arena or copy "
+                 "out");
+      }
       check_sinks(b, e);
       return;
     }
@@ -576,6 +673,7 @@ class TaintEngine {
   bool try_declaration(std::size_t b, std::size_t e) {
     std::size_t i = b;
     std::vector<std::string> idents;
+    bool saw_indirection = false;
     while (i < e) {
       if (ident(i) && !is_keyword(t_[i].text)) {
         idents.push_back(t_[i].text);
@@ -593,6 +691,7 @@ class TaintEngine {
         continue;
       }
       if (punct(i, "*") || punct(i, "&")) {
+        saw_indirection = true;
         ++i;
         continue;
       }
@@ -615,6 +714,10 @@ class TaintEngine {
       const std::size_t close = match(i);
       bits = eval(i + 1, close - 1);
     }
+    // `Arena arena;` by value declares a function-owned arena: everything
+    // carved from it dies with this frame. A `Arena&`/`Arena*` local is an
+    // alias — its lifetime bits come from the initializer instead.
+    if (type == "Arena" && !saw_indirection) bits |= kTaintArenaLocal;
     scopes_.back()[name] = {type, bits};
     if (!name.empty() && name.back() == '_' && bits != 0) {
       sum_.member[name] |= bits;
@@ -651,13 +754,14 @@ class TaintEngine {
              punct(i - 1, "^"))) {
           return;  // comparison or op-assign we don't model
         }
-        // LHS base symbol: the first ident of the chain.
+        // LHS base symbol: the first ident of the chain. A `p[i] = x` or
+        // `*p = x` shape stores INTO the pointee — the base keeps its own
+        // lifetime/taint history instead of being overwritten by the rhs.
         std::string base;
+        bool element_store = punct(b, "*");
         for (std::size_t j = b; j < i; ++j) {
-          if (ident(j)) {
-            base = t_[j].text;
-            break;
-          }
+          if (punct(j, "[")) element_store = true;
+          if (ident(j) && base.empty()) base = t_[j].text;
         }
         if (base.empty()) return;
         if (base == "this") {  // this->member_ = ...
@@ -676,7 +780,28 @@ class TaintEngine {
           if (((lhs | rhs) & kTaintUnit) != 0) unit_finding(t_[i].line);
           set_taint(base, lhs | rhs, /*merge=*/true);
         } else {
-          set_taint(base, rhs, /*merge=*/false);
+          // arena-escape: stores into storage that outlives the arena.
+          // Members (trailing-underscore / this->) outlive a *local*
+          // arena's scope; globals (qualified or g_-named) outlive every
+          // arena, caller-owned ones included.
+          bool qualified_lhs = false;
+          for (std::size_t j = b; j + 1 < i; ++j) {
+            if (punct(j, ":") && punct(j + 1, ":")) qualified_lhs = true;
+          }
+          const bool member_lhs = !base.empty() && base.back() == '_';
+          const bool global_lhs = qualified_lhs || base.rfind("g_", 0) == 0;
+          if ((rhs & kTaintArenaLocal) != 0 && (member_lhs || global_lhs)) {
+            emit("arena-escape", t_[i].line,
+                 "arena-backed value stored into '" + base +
+                     "' which outlives the owning ArenaScope — copy the "
+                     "data out or allocate it from the long-lived side's "
+                     "arena");
+          } else if ((rhs & kTaintArenaParam) != 0 && global_lhs) {
+            emit("arena-escape", t_[i].line,
+                 "caller-arena-backed value stored into global '" + base +
+                     "' — globals outlive every arena; copy the data out");
+          }
+          set_taint(base, rhs, /*merge=*/element_store);
         }
         return;
       }
@@ -684,6 +809,7 @@ class TaintEngine {
   }
 
   void process_if_header(std::size_t b, std::size_t e) {
+    ext_used_.clear();
     check_sinks(b, e);
     // The guard heuristic: a wire-tainted symbol mentioned in an `if`
     // comparison has been bounds-checked (the guard-then-throw idiom in
@@ -708,6 +834,7 @@ class TaintEngine {
 
   void process_loop_header(const std::string& kw, std::size_t b,
                            std::size_t e) {
+    ext_used_.clear();
     std::size_t cond_b = b, cond_e = e;
     if (kw == "for") {
       // for (init; cond; inc) — init is an ordinary statement, the
@@ -859,6 +986,57 @@ class TaintEngine {
     }
 
     unit_arithmetic_sink(b, e);
+    arena_lambda_sink(b, e);
+  }
+
+  /// arena-escape: a lambda whose capture list names an arena-local
+  /// value, in a statement that lets the lambda outlive this function —
+  /// `return [p]...` or a store into a member/global. A `[` is a capture
+  /// list only when it does not follow an ident / `)` / `]` (those are
+  /// subscripts).
+  void arena_lambda_sink(std::size_t b, std::size_t e) {
+    bool escaping_ctx = ident_is(b, "return");
+    if (!escaping_ctx) {
+      int depth = 0;
+      for (std::size_t i = b; i < e; ++i) {
+        if (t_[i].kind != Tok::kPunct) continue;
+        const std::string& p = t_[i].text;
+        if (p == "(" || p == "[" || p == "{") ++depth;
+        if (p == ")" || p == "]" || p == "}") --depth;
+        if (depth == 0 && p == "=" && i > b && !punct(i + 1, "=")) {
+          std::string base;
+          for (std::size_t j = b; j < i; ++j) {
+            if (ident(j) && t_[j].text != "this") {
+              base = t_[j].text;
+              break;
+            }
+          }
+          escaping_ctx = !base.empty() && (base.back() == '_' ||
+                                           base.rfind("g_", 0) == 0);
+          break;
+        }
+      }
+    }
+    if (!escaping_ctx) return;
+    for (std::size_t i = b; i < e; ++i) {
+      if (!punct(i, "[")) continue;
+      if (i > b && (ident(i - 1) || punct(i - 1, ")") || punct(i - 1, "]"))) {
+        continue;  // subscript
+      }
+      const std::size_t close = match(i);
+      for (std::size_t j = i + 1; j + 1 < close; ++j) {
+        if (!ident(j)) continue;
+        if ((lookup(t_[j].text) & kTaintArenaLocal) != 0) {
+          emit("arena-escape", t_[j].line,
+               "lambda captures arena-local '" + t_[j].text +
+                   "' and escapes '" + fn_name_ +
+                   "' — the capture dangles once the owning ArenaScope "
+                   "unwinds; capture a copy instead");
+          break;
+        }
+      }
+      i = close - 1;
+    }
   }
 
   void unit_arithmetic_sink(std::size_t b, std::size_t e) {
@@ -903,30 +1081,104 @@ class TaintEngine {
          "(e.g. TimeStep{t.count() + d}) to document the crossing");
   }
 
+  bool rule_on(const std::string& rule) const {
+    if (rule == "arena-escape") return (emit_mask_ & kEmitEscape) != 0;
+    return (emit_mask_ & kEmitTaintRules) != 0;
+  }
+
+  void note_external(const std::string& name) {
+    for (const std::string& s : ext_used_) {
+      if (s == name) return;
+    }
+    ext_used_.push_back(name);
+  }
+
   void emit(const std::string& rule, long line, const std::string& msg) {
-    if (out_ == nullptr) return;
+    if (out_ == nullptr || !rule_on(rule)) return;
     if (allowed(f_.lexed, rule, line)) return;
+    if (fn_allowed(f_.lexed.fn_allowances, rule, cur_head_line_,
+                   cur_end_line_)) {
+      return;
+    }
     if (!emitted_.insert({rule, line}).second) return;
-    out_->push_back({f_.rel, line, rule, msg});
+    Finding fd{f_.rel, line, rule, msg};
+    attach_chain(rule, &fd);
+    out_->push_back(std::move(fd));
+  }
+
+  /// When an external summary contributed the triggering bits, attach the
+  /// callee's witness chain as SARIF relatedLocations so the report shows
+  /// the whole `source → helper → sink` path, not just the sink line.
+  void attach_chain(const std::string& rule, Finding* fd) const {
+    if (sum_.global == nullptr || ext_used_.empty()) return;
+    unsigned want = 0;
+    if (rule == "determinism-taint") {
+      want = kSumWall;
+    } else if (rule == "wire-taint") {
+      want = kSumWire;
+    } else if (rule == "arena-escape") {
+      want = kSumArenaLocal | kSumArenaParam;
+    } else {
+      return;
+    }
+    for (const std::string& name : ext_used_) {
+      const FnSummary* s = sum_.global->merged(name);
+      if (s == nullptr || (s->returns_taint & want) == 0) continue;
+      const std::vector<RelatedLocation>& chain =
+          (want & kSumWall) != 0
+              ? s->wall_chain
+              : (want & kSumWire) != 0 ? s->wire_chain : s->arena_chain;
+      for (const auto& r : chain) {
+        if (fd->related.size() >= kMaxChain) break;
+        fd->related.push_back(r);
+      }
+      if (!fd->related.empty()) return;
+    }
   }
 
   const SourceFile& f_;
   const std::vector<Token>& t_;
   TaintSummaries& sum_;
   std::vector<Finding>* out_;
+  unsigned emit_mask_ = kEmitTaintRules | kEmitEscape;
   std::vector<std::map<std::string, Sym>> scopes_;
   std::string fn_name_;
   bool digest_fn_ = false;
+  long cur_head_line_ = 0, cur_end_line_ = 0;
+  std::vector<std::string> ext_used_;
   std::set<std::pair<std::string, long>> emitted_;
 };
 
-/// The taint pass entry point: two engine passes over the TU — the first
-/// accumulates function-return and member-field summaries, the second
-/// propagates with those summaries visible everywhere and emits findings.
+/// The TU-local taint pass entry point: two engine passes over the TU —
+/// the first accumulates function-return and member-field summaries, the
+/// second propagates with those summaries visible everywhere and emits
+/// findings. No whole-program table: transitive flows stay invisible.
 inline void taint_pass(const SourceFile& f, std::vector<Finding>& findings) {
   TaintSummaries sum;
   TaintEngine(f, sum, nullptr).run();
   TaintEngine(f, sum, &findings).run();
+}
+
+/// Phase-A helper: one summary-collection engine pass. The returned
+/// per-function return-taint map is what the driver copies into the
+/// FnDef.local_return_taint records feeding the whole-program fixpoint.
+inline TaintSummaries collect_taint_summaries(const SourceFile& f) {
+  TaintSummaries sum;
+  TaintEngine(f, sum, nullptr).run();
+  return sum;
+}
+
+/// Phase-C entry: the interprocedural run. Two passes as in taint_pass,
+/// with the whole-program summary table visible to both, and the emit
+/// mask selecting which rule families (--passes) may fire.
+inline void interproc_dataflow_pass(const SourceFile& f,
+                                    const GlobalSummaries& g,
+                                    unsigned emit_mask,
+                                    std::vector<Finding>& findings) {
+  TaintSummaries sum;
+  sum.global = &g;
+  TaintEngine(f, sum, nullptr, emit_mask).run();
+  TaintEngine(f, sum, &findings, emit_mask).run();
 }
 
 }  // namespace chronus_analyzer

@@ -34,6 +34,12 @@ struct LexedFile {
   std::vector<Token> tokens;
   /// Lines carrying a `chronus-analyzer: allow(<rule>)` comment, per rule.
   std::map<std::string, std::set<long>> allowances;
+  /// Lines carrying a `chronus-analyzer: allow-fn(<rule>)` comment, per
+  /// rule. The marker acknowledges every finding of <rule> anywhere in
+  /// the function whose definition the marker line falls inside (or whose
+  /// head it sits directly above) — the right scope for interprocedural
+  /// findings whose anchor line is a callee deep in the body.
+  std::map<std::string, std::set<long>> fn_allowances;
 };
 
 inline bool ident_start(char c) {
@@ -60,6 +66,20 @@ inline void record_allowances(const std::string& comment, long first_line,
     const std::string rule = comment.substr(open, close - open);
     for (long l = first_line; l <= last_line + 1; ++l) {
       out.allowances[rule].insert(l);
+    }
+  }
+  // The function-scope form. Only the marker lines are recorded here —
+  // mapping a marker to the function span it governs needs the function
+  // table, which the interprocedural passes own (callgraph.hpp).
+  static const std::string kFnMarker = "chronus-analyzer: allow-fn(";
+  for (std::size_t pos = comment.find(kFnMarker); pos != std::string::npos;
+       pos = comment.find(kFnMarker, pos + 1)) {
+    const std::size_t open = pos + kFnMarker.size();
+    const std::size_t close = comment.find(')', open);
+    if (close == std::string::npos) continue;
+    const std::string rule = comment.substr(open, close - open);
+    for (long l = first_line; l <= last_line + 1; ++l) {
+      out.fn_allowances[rule].insert(l);
     }
   }
 }

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "analyzer/callgraph.hpp"
 #include "analyzer/lex.hpp"
 #include "sarif.hpp"
 
@@ -44,7 +45,12 @@ struct FileFacts {
   std::string module;
   std::vector<std::pair<std::string, long>> includes;  // quoted, with lines
   std::map<std::string, std::set<long>> allowances;
-  std::vector<Finding> findings;  // per-file pass findings (lock/det/taint)
+  /// Function-scope `allow-fn(<rule>)` marker lines (see lex.hpp).
+  std::map<std::string, std::set<long>> fn_allowances;
+  /// The TU's function-definition table feeding the whole-program call
+  /// graph and summary fixpoint (callgraph.hpp / summaries.hpp).
+  std::vector<FnDef> fns;
+  std::vector<Finding> findings;  // per-file pass findings (lock/det/alloc)
 };
 
 inline bool facts_allowed(const FileFacts& f, const std::string& rule,

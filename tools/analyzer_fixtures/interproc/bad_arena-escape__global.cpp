@@ -1,0 +1,15 @@
+// Seeded violation: a pointer carved from a function-local arena escapes
+// into a global. The storage dies with the frame; the global keeps
+// pointing at it forever.
+#include <cstddef>
+
+namespace fixture {
+
+int* g_scratch = nullptr;
+
+void warm_scratch(std::size_t n) {
+  util::Arena arena;
+  g_scratch = static_cast<int*>(arena.allocate(n * sizeof(int), alignof(int)));
+}
+
+}  // namespace fixture

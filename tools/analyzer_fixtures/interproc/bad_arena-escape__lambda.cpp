@@ -1,0 +1,20 @@
+// Seeded violation: a lambda captures a pointer carved from a local
+// arena and is stored into a member, so the capture outlives the
+// ArenaScope that owns the storage it points at.
+#include <cstddef>
+
+namespace fixture {
+
+class Replay {
+ public:
+  void arm() {
+    util::Arena arena;
+    int* frame = static_cast<int*>(arena.allocate(32 * sizeof(int), alignof(int)));
+    on_tick_ = [frame](int i) { return frame[i]; };
+  }
+
+ private:
+  fixture_detail::TickFn on_tick_;
+};
+
+}  // namespace fixture

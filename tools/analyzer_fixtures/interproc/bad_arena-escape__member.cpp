@@ -1,0 +1,20 @@
+// Seeded violation: a pointer carved from a function-local arena is
+// stashed in a member field. The ArenaScope unwinds when build() returns
+// and the cached pointer dangles on the very next read.
+#include <cstddef>
+
+namespace fixture {
+
+class PathCache {
+ public:
+  void build() {
+    util::Arena arena;
+    util::ArenaScope scope(arena);
+    hops_ = static_cast<int*>(arena.allocate(64 * sizeof(int), alignof(int)));
+  }
+
+ private:
+  int* hops_ = nullptr;
+};
+
+}  // namespace fixture

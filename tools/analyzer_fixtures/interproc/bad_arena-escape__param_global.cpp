@@ -1,0 +1,15 @@
+// Seeded violation: even a CALLER-provided arena must not leak into a
+// global — the global outlives every arena, including the caller's.
+// (Returning caller-arena storage is fine; storing it globally is not.)
+#include <cstddef>
+
+namespace fixture {
+
+long* g_last_row = nullptr;
+
+void record_row(util::Arena& arena, std::size_t n) {
+  g_last_row =
+      static_cast<long*>(arena.allocate(n * sizeof(long), alignof(long)));
+}
+
+}  // namespace fixture

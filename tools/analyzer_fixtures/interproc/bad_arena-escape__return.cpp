@@ -1,0 +1,15 @@
+// Seeded violation: a function-local arena's storage is returned to the
+// caller. The ArenaScope unwinds on return and the pointer dangles.
+#include <cstddef>
+
+namespace fixture {
+
+int* make_table() {
+  util::Arena arena;
+  util::ArenaScope scope(arena);
+  int* table = static_cast<int*>(arena.allocate(256 * sizeof(int), alignof(int)));
+  table[0] = 1;  // element stores keep the base's lifetime history
+  return table;
+}
+
+}  // namespace fixture

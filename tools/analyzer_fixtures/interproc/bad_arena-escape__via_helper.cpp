@@ -1,0 +1,26 @@
+// Seeded violation: the arena-backed pointer takes a detour through a
+// helper. carve_row() legitimately returns caller-arena storage (the
+// arena_new idiom) — but the caller's arena is function-local, so caching
+// the result in a member still escapes the ArenaScope. Only the
+// cross-function summary sees this.
+#include <cstddef>
+
+namespace fixture {
+
+double* carve_row(util::Arena& arena, std::size_t n) {
+  return static_cast<double*>(
+      arena.allocate(n * sizeof(double), alignof(double)));
+}
+
+class RowCache {
+ public:
+  void refresh() {
+    util::Arena arena;
+    row_ = carve_row(arena, 16);
+  }
+
+ private:
+  double* row_ = nullptr;
+};
+
+}  // namespace fixture

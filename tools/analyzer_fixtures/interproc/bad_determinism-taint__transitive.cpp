@@ -1,0 +1,23 @@
+// Seeded violation: the wall-clock read hides inside a helper; its
+// summary carries the taint into the digest function. Digests certify
+// bit-identical replay, so any ambient input poisons them.
+#include <chrono>
+
+namespace fixture {
+
+long stamp_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+unsigned long mix(unsigned long h, unsigned long v) {
+  return (h ^ v) * 1099511628211ul;
+}
+
+unsigned long state_digest(unsigned long seed) {
+  const long started = stamp_us();
+  return mix(seed, static_cast<unsigned long>(started));
+}
+
+}  // namespace fixture

@@ -1,0 +1,20 @@
+// Seeded violation: queue_age_ms() derives its result from
+// system_clock::now(); recording it into a logical counter breaks the
+// bit-identical replay of MetricsSnapshot::logical(). The taint only
+// surfaces through the helper's summary.
+#include <chrono>
+
+namespace fixture {
+
+double queue_age_ms(long enqueued_ms) {
+  const auto now_ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                          std::chrono::system_clock::now().time_since_epoch())
+                          .count();
+  return static_cast<double>(now_ms - enqueued_ms);
+}
+
+void sample(metrics::Registry& registry, long enqueued_ms) {
+  registry.counter("update_queue_age_ms").add(queue_age_ms(enqueued_ms));
+}
+
+}  // namespace fixture

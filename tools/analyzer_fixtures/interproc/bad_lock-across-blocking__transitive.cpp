@@ -1,0 +1,25 @@
+// Seeded violation: the call under the lock looks innocent, but its
+// summary reaches poll(2) one hop down — publish() stalls every
+// contender on mu_ for as long as the socket stays quiet.
+#include <mutex>
+
+namespace fixture {
+
+class Worker {
+ public:
+  void drain_queue() { flush_socket(); }
+
+  void flush_socket() { poll(nullptr, 0, -1); }
+
+  void publish() {
+    std::lock_guard<std::mutex> guard(mu_);
+    seq_ = seq_ + 1;
+    drain_queue();
+  }
+
+ private:
+  std::mutex mu_;
+  long seq_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,25 @@
+// Seeded violation: the blocking primitive hides three calls down
+// (open -> settle_all -> settle_round -> settle -> accept(2)). Only the
+// fixpointed function summaries can see through the whole chain.
+#include <mutex>
+
+namespace fixture {
+
+int settle() { return accept(3, nullptr, nullptr); }
+
+int settle_round() { return settle(); }
+
+int settle_all() { return settle_round(); }
+
+class Gate {
+ public:
+  void open() {
+    std::lock_guard<std::mutex> guard(mu_);
+    settle_all();
+  }
+
+ private:
+  std::mutex mu_;
+};
+
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Seeded violation: the decoder read hides inside frame_count(); the
+// unvalidated 32-bit count still reaches .resize() in the caller via the
+// helper's wire-taint summary. A hostile peer allocates gigabytes.
+#include <cstddef>
+
+namespace fixture {
+
+std::size_t frame_count(rpc::Cursor& cur) { return cur.u32(); }
+
+void load_frames(FrameTable& table, rpc::Cursor& cur) {
+  const std::size_t n = frame_count(cur);
+  table.slots.resize(n);
+}
+
+}  // namespace fixture

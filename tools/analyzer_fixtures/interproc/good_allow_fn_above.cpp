@@ -1,0 +1,18 @@
+// Clean: function-scope acknowledgement, marker on the line above the
+// definition head. The allow-fn form suppresses the named rule for the
+// whole function body, not just one line.
+#include <cstddef>
+
+namespace fixture {
+
+int* g_boot_table = nullptr;
+
+// The boot table lives for the process lifetime; its arena is never reset.
+// chronus-analyzer: allow-fn(arena-escape)
+void install_boot_table() {
+  util::Arena arena;
+  g_boot_table =
+      static_cast<int*>(arena.allocate(64 * sizeof(int), alignof(int)));
+}
+
+}  // namespace fixture

@@ -1,0 +1,17 @@
+// Clean: function-scope acknowledgement, block-comment form directly
+// above the definition head.
+#include <cstddef>
+
+namespace fixture {
+
+short* g_row = nullptr;
+
+/* chronus-analyzer: allow-fn(arena-escape)
+   The registry row is copied out by the consumer before the next call;
+   the dangling window is acknowledged in DESIGN.md section 17. */
+void publish_row() {
+  util::Arena arena;
+  g_row = static_cast<short*>(arena.allocate(8 * sizeof(short), alignof(short)));
+}
+
+}  // namespace fixture

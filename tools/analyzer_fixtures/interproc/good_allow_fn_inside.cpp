@@ -1,0 +1,17 @@
+// Clean: function-scope acknowledgement, marker inside the body. Any
+// marker line within the definition span covers the whole function.
+#include <cstddef>
+
+namespace fixture {
+
+long* g_defaults = nullptr;
+
+void seed_defaults() {
+  util::Arena arena;
+  // chronus-analyzer: allow-fn(arena-escape) defaults are installed once
+  // at startup and intentionally immortal.
+  g_defaults =
+      static_cast<long*>(arena.allocate(16 * sizeof(long), alignof(long)));
+}
+
+}  // namespace fixture

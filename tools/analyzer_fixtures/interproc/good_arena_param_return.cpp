@@ -1,0 +1,26 @@
+// Clean: the arena_new idiom (src/opt/arena_search.hpp). A helper that
+// carves from a CALLER-provided arena may return the pointer — the
+// caller owns the lifetime. Only function-local arenas must not leak.
+#include <cstddef>
+#include <new>
+
+namespace fixture {
+
+template <typename T>
+T* arena_new(util::Arena* arena, const T& seed) {
+  void* slot = arena->allocate(sizeof(T), alignof(T));
+  return new (slot) T(seed);
+}
+
+long* carve_totals(util::Arena& arena, std::size_t n) {
+  return static_cast<long*>(arena.allocate(n * sizeof(long), alignof(long)));
+}
+
+long sum_batch(util::Arena& arena, std::size_t n) {
+  long* totals = carve_totals(arena, n);
+  long acc = 0;
+  for (std::size_t i = 0; i < n; ++i) acc += totals[i];
+  return acc;
+}
+
+}  // namespace fixture

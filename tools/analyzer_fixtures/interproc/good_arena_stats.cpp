@@ -1,0 +1,30 @@
+// Clean: arena statistics accessors return plain numbers, not
+// arena-backed storage — returning or caching them is not an escape.
+#include <cstddef>
+
+namespace fixture {
+
+std::size_t peak_usage(std::size_t n) {
+  util::Arena arena;
+  util::ArenaScope scope(arena);
+  int* scratch = static_cast<int*>(arena.allocate(n * sizeof(int), alignof(int)));
+  scratch[0] = 1;
+  return arena.used();
+}
+
+class PoolMonitor {
+ public:
+  void sample(std::size_t n) {
+    util::Arena arena;
+    char* buf = static_cast<char*>(arena.allocate(n, 1));
+    buf[0] = 'x';
+    bytes_ = arena.used();
+    blocks_ = arena.block_count();
+  }
+
+ private:
+  std::size_t bytes_ = 0;
+  std::size_t blocks_ = 0;
+};
+
+}  // namespace fixture

@@ -1,0 +1,11 @@
+// Clean: leaf of the three-deep call chain the summary-cache
+// invalidation test edits. Its function summary is deliberately empty
+// (no taint, no blocking) so the test can flip it and watch the
+// invalidation ripple up through chain_mid and chain_top.
+#pragma once
+
+namespace fixture::util {
+
+inline long chain_leaf(long ticks) { return ticks * 2; }
+
+}  // namespace fixture::util

@@ -1,0 +1,11 @@
+// Clean: middle link of the three-deep call chain. Re-analyzed only
+// when chain_leaf's summary changes.
+#pragma once
+
+#include "util/chain_leaf.hpp"
+
+namespace fixture::util {
+
+inline long chain_mid(long ticks) { return chain_leaf(ticks) + 1; }
+
+}  // namespace fixture::util

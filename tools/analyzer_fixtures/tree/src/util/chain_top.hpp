@@ -1,0 +1,11 @@
+// Clean: top of the three-deep call chain. Two hops from chain_leaf;
+// still re-analyzed when the leaf's summary changes.
+#pragma once
+
+#include "util/chain_mid.hpp"
+
+namespace fixture::util {
+
+inline long chain_top(long ticks) { return chain_mid(ticks) + 2; }
+
+}  // namespace fixture::util

@@ -11,9 +11,14 @@
 //                 lock-across-blocking, naked-lock), determinism &
 //                 exception hygiene (stray-random, throw-in-dtor,
 //                 swallowed-catch).
-//   dataflow.hpp  the per-TU symbol-table + intra-procedural taint engine
-//                 behind determinism-taint, wire-taint and
-//                 unit-provenance.
+//   dataflow.hpp  the per-TU symbol-table + taint engine behind
+//                 determinism-taint, wire-taint, unit-provenance and
+//                 arena-escape; consumes the whole-program summary table
+//                 when one is supplied.
+//   callgraph.hpp per-TU function/call-site extraction feeding the
+//                 whole-program call graph.
+//   summaries.hpp the cross-TU summary fixpoint (Tarjan SCCs, bottom-up)
+//                 plus the transitive lock-across-blocking pass.
 //   alloc.hpp     the hot-path allocation pass (hot-alloc): keeps the
 //                 arena-managed modules (src/timenet, src/opt) off the
 //                 default heap.
@@ -48,13 +53,16 @@
 #include <sstream>
 #include <string>
 #include <thread>
+#include <tuple>
 #include <vector>
 
 #include "analyzer/alloc.hpp"
 #include "analyzer/cache.hpp"
+#include "analyzer/callgraph.hpp"
 #include "analyzer/dataflow.hpp"
 #include "analyzer/lex.hpp"
 #include "analyzer/passes.hpp"
+#include "analyzer/summaries.hpp"
 #include "sarif.hpp"
 
 namespace fs = std::filesystem;
@@ -98,6 +106,10 @@ const chronus_tools::RuleCatalog& rule_catalog() {
        "heap allocation (new/make_unique/make_shared/ostringstream/"
        "default-allocator container) on an arena-managed hot path "
        "(src/timenet, src/opt) without an allow(hot-alloc) acknowledgement"},
+      {"arena-escape",
+       "arena-backed pointer/reference/view escapes the owning ArenaScope: "
+       "stored into a member or global, captured by an escaping lambda, or "
+       "returned from the function that owns the arena"},
   };
   return kRules;
 }
@@ -110,10 +122,22 @@ struct PassSet {
   bool classic = true;  // layering + lock + determinism hygiene
   bool taint = true;    // the dataflow engine
   bool alloc = true;    // hot-path allocation discipline (arena modules)
+  bool escape = true;   // arena-escape lifetime analysis
+
+  /// Any pass that consumes the whole-program summary table (phase B/C):
+  /// classic feeds the transitive lock upgrade, taint/escape the
+  /// interprocedural dataflow run.
+  bool interproc() const { return classic || taint || escape; }
+
+  unsigned emit_mask() const {
+    return (taint ? chronus_analyzer::kEmitTaintRules : 0u) |
+           (escape ? chronus_analyzer::kEmitEscape : 0u);
+  }
 
   std::string config_string() const {
     return std::string("classic=") + (classic ? "1" : "0") +
-           ";taint=" + (taint ? "1" : "0") + ";alloc=" + (alloc ? "1" : "0");
+           ";taint=" + (taint ? "1" : "0") + ";alloc=" + (alloc ? "1" : "0") +
+           ";escape=" + (escape ? "1" : "0");
   }
 };
 
@@ -136,12 +160,25 @@ FileFacts analyze_file(const fs::path& path, const std::string& rel,
   facts.module = f.module;
   facts.includes = chronus_analyzer::quoted_includes(f.lexed);
   facts.allowances = f.lexed.allowances;
+  facts.fn_allowances = f.lexed.fn_allowances;
+  // The function table feeds the whole-program summary fixpoint (phase B).
+  // Extracted under every pass set — the serialized form is tiny, and one
+  // shape per content hash keeps the cache simple.
+  facts.fns = chronus_analyzer::extract_functions(f.lexed);
   if (passes.classic) {
     chronus_analyzer::lock_pass(f, facts.findings);
     chronus_analyzer::determinism_pass(f, facts.findings);
   }
-  if (passes.taint) {
-    chronus_analyzer::taint_pass(f, facts.findings);
+  if (passes.taint || passes.escape) {
+    // Taint findings moved to phase C (the interprocedural run, which
+    // re-emits the intra-procedural set with whole-program summaries
+    // visible); phase A only computes each function's local return taint.
+    const chronus_analyzer::TaintSummaries sum =
+        chronus_analyzer::collect_taint_summaries(f);
+    for (chronus_analyzer::FnDef& fn : facts.fns) {
+      const auto it = sum.fn_return.find(fn.name);
+      if (it != sum.fn_return.end()) fn.local_return_taint = it->second;
+    }
   }
   if (passes.alloc) {
     chronus_analyzer::hot_alloc_pass(f, facts.findings);
@@ -175,6 +212,11 @@ std::vector<fs::path> list_sources(const fs::path& root,
 
 struct TreeScan {
   std::vector<FileFacts> facts;
+  // Parallel to `facts`: the file's bytes and path, kept for phase C
+  // (the interprocedural run re-lexes content; a whole src tree is a few
+  // hundred KB, far cheaper than a second read pass).
+  std::vector<std::string> contents;
+  std::vector<fs::path> paths;
   std::size_t cache_hits = 0;
 };
 
@@ -183,6 +225,8 @@ TreeScan scan_tree(const fs::path& root, const std::vector<fs::path>& paths,
                    unsigned jobs) {
   TreeScan scan;
   scan.facts.resize(paths.size());
+  scan.contents.resize(paths.size());
+  scan.paths = paths;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> hits{0};
 
@@ -194,7 +238,8 @@ TreeScan scan_tree(const fs::path& root, const std::vector<fs::path>& paths,
       if (!in) continue;
       std::ostringstream buf;
       buf << in.rdbuf();
-      const std::string content = buf.str();
+      scan.contents[i] = buf.str();
+      const std::string& content = scan.contents[i];
       const std::string rel =
           fs::relative(paths[i], root).generic_string();
       // The file's identity is part of the key: identical bytes at two
@@ -220,12 +265,104 @@ TreeScan scan_tree(const fs::path& root, const std::vector<fs::path>& paths,
     for (std::thread& th : pool) th.join();
   }
   scan.cache_hits = hits.load();
-  // Drop unreadable files (empty rel) so downstream passes see real facts.
-  scan.facts.erase(
-      std::remove_if(scan.facts.begin(), scan.facts.end(),
-                     [](const FileFacts& f) { return f.rel.empty(); }),
-      scan.facts.end());
+  // Drop unreadable files (empty rel) so downstream passes see real facts,
+  // keeping the parallel vectors aligned.
+  std::size_t w = 0;
+  for (std::size_t i = 0; i < scan.facts.size(); ++i) {
+    if (scan.facts[i].rel.empty()) continue;
+    if (w != i) {
+      scan.facts[w] = std::move(scan.facts[i]);
+      scan.contents[w] = std::move(scan.contents[i]);
+      scan.paths[w] = std::move(scan.paths[i]);
+    }
+    ++w;
+  }
+  scan.facts.resize(w);
+  scan.contents.resize(w);
+  scan.paths.resize(w);
   return scan;
+}
+
+// ---------------------------------------------------------------------------
+// Phase C: the interprocedural run over the whole-program summary table
+// ---------------------------------------------------------------------------
+
+/// Runs the summary-consuming passes for one TU and appends the findings:
+/// the interprocedural dataflow engine (taint + arena-escape, per the emit
+/// mask) and the transitive lock-across-blocking upgrade.
+void interproc_file(const fs::path& path, const FileFacts& facts,
+                    const std::string& content,
+                    const chronus_analyzer::GlobalSummaries& global,
+                    const PassSet& passes, std::vector<Finding>* out) {
+  if (passes.taint || passes.escape) {
+    SourceFile f;
+    f.path = path;
+    f.rel = facts.rel;
+    f.module = facts.module;
+    f.lexed = chronus_analyzer::lex(content);
+    chronus_analyzer::interproc_dataflow_pass(f, global, passes.emit_mask(),
+                                              *out);
+  }
+  if (passes.classic) {
+    chronus_analyzer::transitive_lock_pass(facts, global, *out);
+  }
+}
+
+struct InterprocStats {
+  std::size_t analyzed = 0;  // TUs whose phase-C result was recomputed
+  std::size_t cached = 0;    // TUs served from the summary-keyed cache
+};
+
+/// Phase C over the tree: per TU, cached under content *plus* the hash of
+/// every reachable whole-program summary — so editing a leaf callee
+/// re-analyzes exactly the TUs that can see it through the call graph.
+std::vector<Finding> interproc_tree(
+    const TreeScan& scan, const chronus_analyzer::GlobalSummaries& global,
+    const PassSet& passes, const AnalysisCache& cache, unsigned jobs,
+    InterprocStats* stats) {
+  std::vector<std::vector<Finding>> per_file(scan.facts.size());
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> analyzed{0}, cached{0};
+
+  const auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1);
+      if (i >= scan.facts.size()) return;
+      const FileFacts& facts = scan.facts[i];
+      const std::string key = cache.key_for(
+          "ipf\x1f" + facts.rel + '\x1f' +
+          chronus_analyzer::hex64(global.reachable_hash(facts)) + '\x1f' +
+          scan.contents[i]);
+      if (cache.load_findings(key, &per_file[i])) {
+        cached.fetch_add(1);
+        continue;
+      }
+      interproc_file(scan.paths[i], facts, scan.contents[i], global, passes,
+                     &per_file[i]);
+      cache.store_findings(key, facts.rel, per_file[i]);
+      analyzed.fetch_add(1);
+    }
+  };
+
+  if (jobs <= 1 || scan.facts.size() <= 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    const unsigned n = std::min<unsigned>(
+        jobs, static_cast<unsigned>(scan.facts.size()));
+    pool.reserve(n);
+    for (unsigned i = 0; i < n; ++i) pool.emplace_back(worker);
+    for (std::thread& th : pool) th.join();
+  }
+  if (stats != nullptr) {
+    stats->analyzed = analyzed.load();
+    stats->cached = cached.load();
+  }
+  std::vector<Finding> out;
+  for (auto& fs_findings : per_file) {
+    out.insert(out.end(), fs_findings.begin(), fs_findings.end());
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------
@@ -336,10 +473,19 @@ int self_test(const fs::path& fixtures, const std::string& sarif_path,
     std::ifstream in(path, std::ios::binary);
     std::ostringstream buf;
     buf << in.rdbuf();
+    const std::string content = buf.str();
     const FileFacts facts =
         analyze_file(path, "src/fixture/" + path.filename().string(),
-                     buf.str(), all_passes);
-    const std::vector<Finding>& findings = facts.findings;
+                     content, all_passes);
+    std::vector<Finding> findings = facts.findings;
+    // Each fixture is its own whole program: the interprocedural passes
+    // run over a single-TU summary table, which is exactly what the
+    // transitive bad_/good_ fixtures exercise.
+    chronus_analyzer::GlobalSummaries global;
+    const std::vector<FileFacts> one{facts};
+    global.build(one);
+    interproc_file(path, facts, content, global, all_passes, &findings);
+    sort_findings(&findings);
     everything.insert(everything.end(), findings.begin(), findings.end());
     ++checked;
 
@@ -382,6 +528,11 @@ int self_test(const fs::path& fixtures, const std::string& sarif_path,
       const TreeScan scan = scan_tree(tree, paths, all_passes, no_cache, 1);
       std::vector<Finding> findings;
       chronus_analyzer::layering_pass(scan.facts, m, findings);
+      chronus_analyzer::GlobalSummaries global;
+      global.build(scan.facts);
+      std::vector<Finding> interproc =
+          interproc_tree(scan, global, all_passes, no_cache, 1, nullptr);
+      findings.insert(findings.end(), interproc.begin(), interproc.end());
       everything.insert(everything.end(), findings.begin(), findings.end());
       for (const char* rule : {"include-cycle", "layer-back-edge"}) {
         const bool hit =
@@ -423,6 +574,7 @@ struct Options {
   std::string sarif;
   PassSet passes;
   unsigned jobs = 0;  // 0 = hardware concurrency
+  bool stats = false;
   fs::path cache_dir;
   bool no_cache = false;
   fs::path baseline;
@@ -452,20 +604,24 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--passes=", 0) == 0) {
       const std::string which = arg.substr(9);
       if (which == "classic") {
-        opt.passes = {true, false, false};
+        opt.passes = {true, false, false, false};
       } else if (which == "taint") {
-        opt.passes = {false, true, false};
+        opt.passes = {false, true, false, false};
       } else if (which == "alloc") {
-        opt.passes = {false, false, true};
+        opt.passes = {false, false, true, false};
+      } else if (which == "escape") {
+        opt.passes = {false, false, false, true};
       } else if (which == "all") {
-        opt.passes = {true, true, true};
+        opt.passes = {true, true, true, true};
       } else {
         std::cerr << "unknown pass set: " << which
-                  << " (expected classic|taint|alloc|all)\n";
+                  << " (expected classic|taint|alloc|escape|all)\n";
         return 2;
       }
     } else if (arg.rfind("--jobs=", 0) == 0) {
       opt.jobs = static_cast<unsigned>(std::stoul(arg.substr(7)));
+    } else if (arg == "--stats") {
+      opt.stats = true;
     } else if (arg.rfind("--cache=", 0) == 0) {
       opt.cache_dir = arg.substr(8);
     } else if (arg == "--no-cache") {
@@ -479,7 +635,8 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::cerr
           << "usage: chronus_analyzer [--root DIR] [--manifest FILE]\n"
-             "           [--passes=classic|taint|alloc|all] [--jobs=N]\n"
+             "           [--passes=classic|taint|alloc|escape|all]\n"
+             "           [--jobs=N] [--stats]\n"
              "           [--cache=DIR | --no-cache]\n"
              "           [--baseline FILE [--baseline-diff]]\n"
              "           [--write-baseline FILE] [--sarif=FILE] [subdir...]\n"
@@ -527,11 +684,39 @@ int main(int argc, char** argv) {
   for (const FileFacts& f : scan.facts) {
     findings.insert(findings.end(), f.findings.begin(), f.findings.end());
   }
+
+  // Phase B: link the whole-program call graph and run the summary
+  // fixpoint (cheap — every run), then phase C: the interprocedural
+  // passes, cached per TU under content + reachable-summary hashes.
+  InterprocStats ip_stats;
+  if (opt.passes.interproc()) {
+    chronus_analyzer::GlobalSummaries global;
+    global.build(scan.facts);
+    std::vector<Finding> interproc = interproc_tree(
+        scan, global, opt.passes, cache, opt.jobs, &ip_stats);
+    // The classic intra pass already reports direct blocking-under-lock;
+    // drop phase-C duplicates at the same (rule, file, line).
+    std::set<std::tuple<std::string, std::string, long>> seen;
+    for (const Finding& f : findings) seen.insert({f.rule, f.file, f.line});
+    for (Finding& f : interproc) {
+      if (seen.count({f.rule, f.file, f.line}) == 0) {
+        findings.push_back(std::move(f));
+      }
+    }
+  }
   sort_findings(&findings);
   const auto elapsed_ms =
       std::chrono::duration_cast<std::chrono::milliseconds>(
           std::chrono::steady_clock::now() - t0)
           .count();
+  if (opt.stats) {
+    std::cerr << "chronus_analyzer stats: files=" << scan.facts.size()
+              << " lex_cache_hits=" << scan.cache_hits
+              << " interproc_analyzed=" << ip_stats.analyzed
+              << " interproc_cached=" << ip_stats.cached
+              << " jobs=" << opt.jobs << " elapsed_ms=" << elapsed_ms
+              << "\n";
+  }
 
   if (!opt.write_baseline_path.empty()) {
     if (!write_baseline(opt.write_baseline_path, count_findings(findings))) {

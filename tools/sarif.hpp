@@ -16,21 +16,42 @@
 
 namespace chronus_tools {
 
+/// One step of an interprocedural witness chain (the call path an
+/// analyzer finding travelled through). Rendered as SARIF
+/// `relatedLocations` so code-scanning viewers show the whole chain.
+struct RelatedLocation {
+  std::string file;  // repo-relative, forward slashes
+  long line = 0;
+  std::string note;  // e.g. "helper() returns wall-clock value"
+};
+
 struct SarifResult {
   std::string rule;
   std::string file;  // repo-relative, forward slashes
   long line = 0;
   std::string message;
+  std::vector<RelatedLocation> related;
 };
 
 /// The finding currency shared by chronus_lint and chronus_analyzer: both
 /// tools used to hand-roll an identical struct plus the printing and
 /// SARIF-conversion plumbing around it; this is the single home now.
 struct Finding {
+  Finding() = default;
+  Finding(std::string file_, long line_, std::string rule_,
+          std::string message_)
+      : file(std::move(file_)),
+        line(line_),
+        rule(std::move(rule_)),
+        message(std::move(message_)) {}
+
   std::string file;  // path relative to the analysis root
   long line = 0;
   std::string rule;
   std::string message;
+  /// Interprocedural call-chain witness, outermost first; empty for
+  /// intra-procedural findings.
+  std::vector<RelatedLocation> related;
 };
 
 /// Rule id -> one-line description. The catalog doubles as the SARIF rule
@@ -43,6 +64,9 @@ inline void print_findings(const std::vector<Finding>& findings,
   for (const auto& f : findings) {
     os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
        << "\n";
+    for (const auto& r : f.related) {
+      os << "    via " << r.file << ":" << r.line << ": " << r.note << "\n";
+    }
   }
 }
 
@@ -113,7 +137,22 @@ inline bool write_sarif(const std::string& path, const std::string& tool,
            "{\"artifactLocation\": {\"uri\": \""
         << sarif_escape(r.file)
         << "\"}, \"region\": {\"startLine\": " << (r.line > 0 ? r.line : 1)
-        << "}}}]}";
+        << "}}}]";
+    if (!r.related.empty()) {
+      out << ", \"relatedLocations\": [";
+      bool first_rel = true;
+      for (const auto& rel : r.related) {
+        if (!first_rel) out << ", ";
+        first_rel = false;
+        out << "{\"physicalLocation\": {\"artifactLocation\": {\"uri\": \""
+            << sarif_escape(rel.file) << "\"}, \"region\": {\"startLine\": "
+            << (rel.line > 0 ? rel.line : 1)
+            << "}}, \"message\": {\"text\": \"" << sarif_escape(rel.note)
+            << "\"}}";
+      }
+      out << "]";
+    }
+    out << "}";
   }
   out << "\n      ]\n    }\n  ]\n}\n";
   return out.good();
@@ -128,7 +167,7 @@ inline bool write_findings_sarif(const std::string& path,
   std::vector<SarifResult> results;
   results.reserve(findings.size());
   for (const auto& f : findings) {
-    results.push_back({f.rule, f.file, f.line, f.message});
+    results.push_back({f.rule, f.file, f.line, f.message, f.related});
   }
   return write_sarif(path, tool, catalog, results);
 }
